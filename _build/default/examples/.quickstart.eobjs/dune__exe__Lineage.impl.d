@@ -1,0 +1,1 @@
+examples/lineage.ml: Array Db Engine Graphs Hashtbl Instances Intf List Logic Printf Semiring String

@@ -1,0 +1,1 @@
+examples/local_search.ml: Array Db Enum Fo_enum Fun Graphs List Logic Printf

@@ -1,0 +1,1 @@
+examples/nested_aggregates.ml: Array Db Enum Format Fun Graphs List Logic Nested Printf Semiring String Value

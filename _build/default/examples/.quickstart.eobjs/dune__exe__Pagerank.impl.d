@@ -1,0 +1,1 @@
+examples/pagerank.ml: Array Db Engine Graphs Intf Logic Printf Rat Semiring

@@ -1,0 +1,1 @@
+examples/probability.ml: Db Engine Graphs Intf List Logic Printf Rat Semiring

@@ -1,0 +1,1 @@
+examples/probability.mli:

@@ -1,0 +1,1 @@
+examples/provenance_demo.ml: Array Db Enum Graphs List Logic Printf Provenance String

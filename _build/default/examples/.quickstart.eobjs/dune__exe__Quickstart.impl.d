@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Db Engine Enum Fo_enum Format Graphs Instances Intf List Logic Printf Semiring String Tropical

@@ -1,0 +1,85 @@
+(* Lineage analysis with a boolean-algebra semiring: every edge is tagged
+   with the set of data sources that contributed it, and the SAME compiled
+   circuit answers, for a triangle-counting query,
+
+   - in (P(Sources), ∪, ∩):  which sources some derivation depends on
+     entirely (intersection along a derivation, union across derivations)
+   - in (N, +, ·):           how many derivations there are
+   - in the product of both: both answers in one evaluation pass —
+     semirings compose, circuits don't change (Theorem 6's universality).
+
+   Run with: dune exec examples/lineage.exe *)
+
+open Semiring
+
+let v x = Logic.Term.Var x
+let e x y = Logic.Formula.Rel ("E", [ v x; v y ])
+
+module Sources = Instances.Bitset (struct let universe_size = 4 end)
+module CountAndLineage = Instances.Product (Instances.Nat) (Sources)
+
+let source_names = [| "census"; "osm"; "sensors"; "manual" |]
+
+let () =
+  let g = Graphs.Gen.triangulated_grid 8 8 in
+  let inst = Db.Instance.of_graph g in
+  let n = Db.Instance.n inst in
+  Printf.printf "lineage demo: %d elements, %d tuples, 4 sources\n" n (Db.Instance.size inst);
+
+  (* tag each edge with a pseudo-random nonempty set of sources *)
+  let rng = Graphs.Rand.create 5 in
+  let tag = Hashtbl.create 256 in
+  Db.Instance.iter_tuples inst "E" (fun tup ->
+      let key = match tup with [ a; b ] -> (min a b, max a b) | _ -> (0, 0) in
+      if not (Hashtbl.mem tag key) then
+        Hashtbl.replace tag key (1 + Graphs.Rand.int rng 15));
+  let edge_sources tup =
+    match tup with [ a; b ] -> Hashtbl.find tag (min a b, max a b) | _ -> 0
+  in
+
+  let query w =
+    Logic.Expr.Sum
+      ( [ "x"; "y"; "z" ],
+        Logic.Expr.Mul
+          [
+            Logic.Expr.Guard (Logic.Formula.And [ e "x" "y"; e "y" "z"; e "z" "x" ]);
+            w "x" "y";
+            w "y" "z";
+            w "z" "x";
+          ] )
+  in
+  let expr = query (fun a b -> Logic.Expr.Weight ("w", [ v a; v b ])) in
+
+  (* 1. lineage alone: union over triangles of the sources ALL three edges
+     share *)
+  let wl = Db.Weights.create ~name:"w" ~arity:2 ~zero:Sources.zero in
+  Db.Weights.fill_from_relation wl inst "E" edge_sources;
+  let lineage_ops = Intf.ops_of_finite (module Sources) in
+  let lineage = Engine.Eval.evaluate lineage_ops ~tfa_rounds:1 inst (Db.Weights.bundle [ wl ]) expr in
+  let set_to_string s =
+    String.concat "," (List.filteri (fun i _ -> s land (1 lsl i) <> 0) (Array.to_list source_names))
+  in
+  Printf.printf "sources fully supporting at least one triangle: {%s}\n" (set_to_string lineage);
+
+  (* 2. count and lineage simultaneously in the product semiring *)
+  let wp = Db.Weights.create ~name:"w" ~arity:2 ~zero:CountAndLineage.zero in
+  Db.Weights.fill_from_relation wp inst "E" (fun tup -> (1, edge_sources tup));
+  let prod_ops = Intf.ops_of_module (module CountAndLineage) in
+  let count, lineage2 =
+    Engine.Eval.evaluate prod_ops ~tfa_rounds:1 inst (Db.Weights.bundle [ wp ]) expr
+  in
+  Printf.printf "product semiring pass: %d derivations, lineage {%s} (agrees: %b)\n" count
+    (set_to_string lineage2)
+    (Sources.equal lineage lineage2);
+
+  (* 3. what-if: restrict to derivations surviving without source 'osm' *)
+  let drop_osm s = s land lnot 2 in
+  let wr = Db.Weights.create ~name:"w" ~arity:2 ~zero:CountAndLineage.zero in
+  Db.Weights.fill_from_relation wr inst "E" (fun tup ->
+      let s = drop_osm (edge_sources tup) in
+      if s = 0 then CountAndLineage.zero else (1, s));
+  let count', lineage' =
+    Engine.Eval.evaluate prod_ops ~tfa_rounds:1 inst (Db.Weights.bundle [ wr ]) expr
+  in
+  Printf.printf "without osm-only edges: %d derivations, lineage {%s}\n" count'
+    (set_to_string lineage')

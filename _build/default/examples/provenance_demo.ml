@@ -1,0 +1,61 @@
+(* Provenance analysis in the free semiring (Section 5, Example 21): which
+   edges are responsible for each triangle answer? Every edge gets a unique
+   identifier; the query value is a formal sum of monomials, one per
+   derivation, produced by a constant-delay iterator (Theorem 22).
+
+   Run with: dune exec examples/provenance_demo.exe *)
+
+let v x = Logic.Term.Var x
+
+let () =
+  (* the paper's Example 21 graph: vertices a b c d,
+     edges ab, bc, ca, bd, da *)
+  let names = [| "a"; "b"; "c"; "d" |] in
+  let inst = Db.Instance.create Db.Schema.graph_schema ~n:4 in
+  List.iter
+    (fun t -> Db.Instance.add inst "E" t)
+    [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 0 ]; [ 1; 3 ]; [ 3; 0 ] ];
+  let edge_id = function
+    | [ a; b ] -> Printf.sprintf "e%s%s" names.(a) names.(b)
+    | _ -> assert false
+  in
+  (* f = Σ_{x,y,z} w(x,y) · w(y,z) · w(z,x), with w(a,b) = e_ab *)
+  let expr =
+    Logic.Expr.Sum
+      ( [ "x"; "y"; "z" ],
+        Logic.Expr.Mul
+          [
+            Logic.Expr.Weight ("w", [ v "x"; v "y" ]);
+            Logic.Expr.Weight ("w", [ v "y"; v "z" ]);
+            Logic.Expr.Weight ("w", [ v "z"; v "x" ]);
+          ] )
+  in
+  let prov =
+    Provenance.Prov_circuit.prepare inst expr ~weight:(fun _w tuple ->
+        if Db.Instance.mem inst "E" tuple then [ [ edge_id tuple ] ] else [])
+  in
+  Printf.printf "triangle provenance of Example 21 (each derivation once):\n";
+  let it = Provenance.Prov_circuit.enumerate prov in
+  List.iter
+    (fun m -> Printf.printf "  %s\n" (String.concat " · " m))
+    (Enum.Iter.to_list it);
+
+  (* what-if: delete edge bc — re-enumerate under the update (O(1) to
+     record, iterator rebuilt lazily) *)
+  Provenance.Prov_circuit.update prov "w" [ 1; 2 ] [];
+  Printf.printf "after deleting edge bc:\n";
+  List.iter
+    (fun m -> Printf.printf "  %s\n" (String.concat " · " m))
+    (Enum.Iter.to_list (Provenance.Prov_circuit.enumerate prov));
+
+  (* the same machinery on a bigger planar graph, just counting monomials *)
+  let g = Graphs.Gen.triangulated_grid 12 12 in
+  let inst2 = Db.Instance.of_graph g in
+  let prov2 =
+    Provenance.Prov_circuit.prepare inst2 expr ~weight:(fun _w tuple ->
+        if Db.Instance.mem inst2 "E" tuple then
+          [ [ (match tuple with [ a; b ] -> Printf.sprintf "e%d_%d" a b | _ -> "") ] ]
+        else [])
+  in
+  let count = Enum.Iter.length (Provenance.Prov_circuit.enumerate prov2) in
+  Printf.printf "triangulated 12x12 grid: %d triangle derivations enumerated\n" count

@@ -1,0 +1,1 @@
+lib/circuits/circuit.ml: Array Format Hashtbl Perm Semiring

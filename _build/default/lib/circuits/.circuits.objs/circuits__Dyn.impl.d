@@ -1,0 +1,1 @@
+lib/circuits/dyn.ml: Array Circuit Hashtbl Int List Option Perm Semiring Set

@@ -1,0 +1,148 @@
+(** Circuits over semirings with permanent gates (paper, Section 3).
+
+    A circuit is a DAG of gates: inputs (identified by a weight symbol and
+    a tuple), constants, additions (arbitrary fan-in), multiplications
+    (arbitrary fan-in; compiled circuits keep these bounded), and permanent
+    gates whose inputs form a rows × columns matrix of gates. Gate ids are
+    assigned in creation order, which is a topological order.
+
+    The same circuit can be evaluated in any semiring containing its
+    constants — the universality at the heart of Theorem 6. *)
+
+type input_key = string * int list
+(** (weight symbol, tuple) — the pair (w, ā) indexing an input gate. *)
+
+type 'a node =
+  | Input of input_key
+  | Const of 'a
+  | Add of int array
+  | Mul of int array
+  | Perm of int array array  (** rows × columns of gate ids *)
+
+type 'a t = {
+  nodes : 'a node array;
+  output : int;
+  input_ids : (input_key, int) Hashtbl.t;
+}
+
+(* --- builder --- *)
+
+type 'a builder = {
+  mutable buf : 'a node array;
+  mutable len : int;
+  inputs : (input_key, int) Hashtbl.t;
+}
+
+let builder () =
+  { buf = Array.make 64 (Add [||]); len = 0; inputs = Hashtbl.create 256 }
+
+let push b node =
+  if b.len = Array.length b.buf then begin
+    let bigger = Array.make (2 * b.len) (Add [||]) in
+    Array.blit b.buf 0 bigger 0 b.len;
+    b.buf <- bigger
+  end;
+  b.buf.(b.len) <- node;
+  b.len <- b.len + 1;
+  b.len - 1
+
+(** Input gate for a weight tuple; hash-consed so each (w, ā) appears once. *)
+let input b key =
+  match Hashtbl.find_opt b.inputs key with
+  | Some id -> id
+  | None ->
+      let id = push b (Input key) in
+      Hashtbl.replace b.inputs key id;
+      id
+
+let const b s = push b (Const s)
+
+(** Addition gate; a single summand collapses to the summand itself. *)
+let add b = function [ g ] -> g | gs -> push b (Add (Array.of_list gs))
+
+(** Multiplication gate; a single factor collapses to the factor itself. *)
+let mul b = function [ g ] -> g | gs -> push b (Mul (Array.of_list gs))
+
+(** Permanent gate over a rows × columns matrix of gates. *)
+let perm b (rows : int array array) = push b (Perm rows)
+
+let finish b ~output =
+  if output < 0 || output >= b.len then invalid_arg "Circuit.finish: bad output gate";
+  { nodes = Array.sub b.buf 0 b.len; output; input_ids = b.inputs }
+
+(* --- evaluation --- *)
+
+(** Evaluate under a valuation of the input gates. Linear in circuit size
+    (permanent gates via the O(2ᵏ·k·n) DP). *)
+let eval (ops : 'a Semiring.Intf.ops) (c : 'a t) (valuation : input_key -> 'a) : 'a =
+  let open Semiring.Intf in
+  let values = Array.make (Array.length c.nodes) ops.zero in
+  Array.iteri
+    (fun id node ->
+      values.(id) <-
+        (match node with
+        | Input key -> valuation key
+        | Const s -> s
+        | Add gs -> Array.fold_left (fun acc g -> ops.add acc values.(g)) ops.zero gs
+        | Mul gs -> Array.fold_left (fun acc g -> ops.mul acc values.(g)) ops.one gs
+        | Perm rows -> Perm.Static.perm ops (Array.map (Array.map (fun g -> values.(g))) rows)))
+    c.nodes;
+  values.(c.output)
+
+(* --- statistics (the bounded-ness claims of Theorem 6) --- *)
+
+type stats = {
+  gates : int;
+  edges : int;
+  depth : int;
+  max_fan_in : int;
+  max_fan_out : int;
+  max_perm_rows : int;
+  num_perm : int;
+  num_inputs : int;
+}
+
+let children = function
+  | Input _ | Const _ -> [||]
+  | Add gs | Mul gs -> gs
+  | Perm rows -> Array.concat (Array.to_list rows)
+
+let stats (c : 'a t) : stats =
+  let n = Array.length c.nodes in
+  let depth = Array.make n 0 in
+  let fan_out = Array.make n 0 in
+  let edges = ref 0 in
+  let max_fan_in = ref 0 in
+  let max_perm_rows = ref 0 in
+  let num_perm = ref 0 in
+  let num_inputs = ref 0 in
+  Array.iteri
+    (fun id node ->
+      (match node with
+      | Perm rows ->
+          incr num_perm;
+          max_perm_rows := max !max_perm_rows (Array.length rows)
+      | Input _ -> incr num_inputs
+      | _ -> ());
+      let cs = children node in
+      edges := !edges + Array.length cs;
+      max_fan_in := max !max_fan_in (Array.length cs);
+      let d = Array.fold_left (fun acc g -> max acc (depth.(g) + 1)) 0 cs in
+      depth.(id) <- d;
+      Array.iter (fun g -> fan_out.(g) <- fan_out.(g) + 1) cs)
+    c.nodes;
+  {
+    gates = n;
+    edges = !edges;
+    depth = Array.fold_left max 0 depth;
+    max_fan_in = !max_fan_in;
+    max_fan_out = Array.fold_left max 0 fan_out;
+    max_perm_rows = !max_perm_rows;
+    num_perm = !num_perm;
+    num_inputs = !num_inputs;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "gates=%d edges=%d depth=%d fan_in<=%d fan_out<=%d perm_gates=%d perm_rows<=%d inputs=%d"
+    s.gates s.edges s.depth s.max_fan_in s.max_fan_out s.num_perm s.max_perm_rows s.num_inputs

@@ -1,0 +1,265 @@
+(** Dynamic circuit evaluation under input updates (Section 4).
+
+    Three strategies, chosen from the semiring's capabilities:
+
+    - {b General} (Corollary 13): wide additions and multiplications are
+      rebalanced into binary trees and every permanent gate carries a
+      segment-tree permanent, so an input update costs
+      O(3ᵏ log n · reach-out) — logarithmic, and tight by Proposition 14.
+    - {b Ring} (Corollary 17): additions keep a running sum updated by
+      x ↦ x − old + new; permanent gates carry power-sum permanents.
+      Constant-time updates for circuits of bounded depth and fan-in.
+    - {b Finite} (Corollary 20): additions keep per-element counters (the
+      counting gates of Lemma 18) and permanent gates carry column-type
+      counting permanents. Constant-time updates.
+
+    The strategy is picked automatically: [elements] ⇒ Finite,
+    else [neg] ⇒ Ring, else General. *)
+
+type mode = General | Ring | Finite
+
+type 'a perm_state =
+  | PSeg of 'a Perm.Segtree.t
+  | PRing of 'a Perm.Ring.t
+  | PFin of 'a Perm.Finite.t
+
+type 'a aux =
+  | ANone
+  | APerm of 'a perm_state * int  (** columns count, for slot decoding *)
+  | ACount of int array  (** finite-mode addition: per-element counters *)
+
+type 'a t = {
+  ops : 'a Semiring.Intf.ops;
+  mode : mode;
+  nodes : 'a Circuit.node array;
+  output : int;
+  input_ids : (Circuit.input_key, int) Hashtbl.t;
+  values : 'a array;
+  parents : (int * int) list array;  (** (parent id, slot in its child order) *)
+  aux : 'a aux array;
+  fin_ctx : 'a Perm.Finite.ctx option;
+  mutable update_ops : int;  (** gate recomputations since creation (for benches) *)
+}
+
+(* Rebalance wide Add/Mul gates into binary trees (General mode). *)
+let balance (c : 'a Circuit.t) : 'a Circuit.t =
+  let b = Circuit.builder () in
+  let remap = Array.make (Array.length c.Circuit.nodes) (-1) in
+  let rec tree mk = function
+    | [] -> invalid_arg "Dyn.balance: empty gate list"
+    | [ g ] -> g
+    | gs ->
+        let n = List.length gs in
+        let left = List.filteri (fun i _ -> i < n / 2) gs in
+        let right = List.filteri (fun i _ -> i >= n / 2) gs in
+        mk [ tree mk left; tree mk right ]
+  in
+  Array.iteri
+    (fun id node ->
+      let nid =
+        match node with
+        | Circuit.Input key -> Circuit.input b key
+        | Circuit.Const s -> Circuit.const b s
+        | Circuit.Add [||] -> Circuit.push b (Circuit.Add [||])
+        | Circuit.Mul [||] -> Circuit.push b (Circuit.Mul [||])
+        | Circuit.Add gs ->
+            tree (fun l -> Circuit.push b (Circuit.Add (Array.of_list l)))
+              (List.map (fun g -> remap.(g)) (Array.to_list gs))
+        | Circuit.Mul gs ->
+            tree (fun l -> Circuit.push b (Circuit.Mul (Array.of_list l)))
+              (List.map (fun g -> remap.(g)) (Array.to_list gs))
+        | Circuit.Perm rows -> Circuit.perm b (Array.map (Array.map (fun g -> remap.(g))) rows)
+      in
+      remap.(id) <- nid)
+    c.Circuit.nodes;
+  Circuit.finish b ~output:remap.(c.Circuit.output)
+
+let pick_mode (ops : 'a Semiring.Intf.ops) =
+  match (ops.Semiring.Intf.elements, ops.Semiring.Intf.neg) with
+  | Some _, _ -> Finite
+  | None, Some _ -> Ring
+  | None, None -> General
+
+let create ?mode (ops : 'a Semiring.Intf.ops) (c : 'a Circuit.t)
+    (valuation : Circuit.input_key -> 'a) : 'a t =
+  let open Semiring.Intf in
+  let mode = match mode with Some m -> m | None -> pick_mode ops in
+  let c = if mode = General then balance c else c in
+  let n = Array.length c.Circuit.nodes in
+  let values = Array.make n ops.zero in
+  let parents = Array.make n [] in
+  let aux = Array.make n ANone in
+  let fin_ctx = if mode = Finite then Some (Perm.Finite.make_ctx ops) else None in
+  Array.iteri
+    (fun id node ->
+      (* record parent slots *)
+      (match node with
+      | Circuit.Input _ | Circuit.Const _ -> ()
+      | Circuit.Add gs | Circuit.Mul gs ->
+          Array.iteri (fun slot g -> parents.(g) <- (id, slot) :: parents.(g)) gs
+      | Circuit.Perm rows ->
+          let ncols = if Array.length rows = 0 then 0 else Array.length rows.(0) in
+          Array.iteri
+            (fun r row -> Array.iteri (fun cidx g -> parents.(g) <- (id, (r * ncols) + cidx) :: parents.(g)) row)
+            rows);
+      (* initial value and auxiliary state *)
+      match node with
+      | Circuit.Input key -> values.(id) <- valuation key
+      | Circuit.Const s -> values.(id) <- s
+      | Circuit.Add gs ->
+          values.(id) <- Array.fold_left (fun acc g -> ops.add acc values.(g)) ops.zero gs;
+          (match fin_ctx with
+          | Some ctx ->
+              let counts = Array.make (Array.length ctx.Perm.Finite.elems) 0 in
+              Array.iter
+                (fun g ->
+                  let i = Perm.Finite.index_of ctx values.(g) in
+                  counts.(i) <- counts.(i) + 1)
+                gs;
+              aux.(id) <- ACount counts
+          | None -> ())
+      | Circuit.Mul gs ->
+          values.(id) <- Array.fold_left (fun acc g -> ops.mul acc values.(g)) ops.one gs
+      | Circuit.Perm rows ->
+          let m = Array.map (Array.map (fun g -> values.(g))) rows in
+          let ncols = if Array.length rows = 0 then 0 else Array.length rows.(0) in
+          let st =
+            match mode with
+            | General -> PSeg (Perm.Segtree.create ops m)
+            | Ring -> PRing (Perm.Ring.create ops m)
+            | Finite -> PFin (Perm.Finite.create ops m)
+          in
+          aux.(id) <- APerm (st, ncols);
+          values.(id) <-
+            (match st with
+            | PSeg s -> Perm.Segtree.perm s
+            | PRing s -> Perm.Ring.perm s
+            | PFin s -> Perm.Finite.perm s))
+    c.Circuit.nodes;
+  {
+    ops;
+    mode;
+    nodes = c.Circuit.nodes;
+    output = c.Circuit.output;
+    input_ids = c.Circuit.input_ids;
+    values;
+    parents;
+    aux;
+    fin_ctx;
+    update_ops = 0;
+  }
+
+let value t = t.values.(t.output)
+let gate_value t id = t.values.(id)
+
+module IQ = Set.Make (Int)
+
+(* Apply the effect of a child's value change on a parent's auxiliary
+   state; cheap bookkeeping only, no recomputation. *)
+let notify t parent slot ~old_v ~new_v =
+  let open Semiring.Intf in
+  match (t.nodes.(parent), t.aux.(parent)) with
+  | Circuit.Add _, ANone when t.mode = Ring ->
+      let neg = Option.get t.ops.neg in
+      t.values.(parent) <- t.ops.add (t.ops.add t.values.(parent) (neg old_v)) new_v
+  | Circuit.Add _, ACount counts ->
+      let ctx = Option.get t.fin_ctx in
+      let oi = Perm.Finite.index_of ctx old_v and ni = Perm.Finite.index_of ctx new_v in
+      counts.(oi) <- counts.(oi) - 1;
+      counts.(ni) <- counts.(ni) + 1
+  | Circuit.Perm _, APerm (st, ncols) ->
+      let row = slot / ncols and col = slot mod ncols in
+      (match st with
+      | PSeg s -> Perm.Segtree.set s ~row ~col new_v
+      | PRing s -> Perm.Ring.set s ~row ~col new_v
+      | PFin s -> Perm.Finite.set s ~row ~col new_v)
+  | _ -> ()
+
+(* Recompute a gate's value from its children/auxiliary state. *)
+let recompute t id =
+  let open Semiring.Intf in
+  t.update_ops <- t.update_ops + 1;
+  match (t.nodes.(id), t.aux.(id)) with
+  | Circuit.Input _, _ | Circuit.Const _, _ -> t.values.(id)
+  | Circuit.Add _, ANone when t.mode = Ring -> t.values.(id) (* maintained by deltas *)
+  | Circuit.Add _, ACount counts ->
+      (* counting gate: Σ_e count_e · e via the lasso *)
+      let ctx = Option.get t.fin_ctx in
+      let acc = ref t.ops.zero in
+      Array.iteri
+        (fun i cnt ->
+          if cnt > 0 then
+            acc :=
+              t.ops.add !acc
+                (Perm.Finite.scale ctx (Perm.Finite.count_of_int ctx cnt) ctx.Perm.Finite.elems.(i)))
+        counts;
+      !acc
+  | Circuit.Add gs, _ -> Array.fold_left (fun acc g -> t.ops.add acc t.values.(g)) t.ops.zero gs
+  | Circuit.Mul gs, _ -> Array.fold_left (fun acc g -> t.ops.mul acc t.values.(g)) t.ops.one gs
+  | Circuit.Perm _, APerm (st, _) -> (
+      match st with
+      | PSeg s -> Perm.Segtree.perm s
+      | PRing s -> Perm.Ring.perm s
+      | PFin s -> Perm.Finite.perm s)
+  | Circuit.Perm _, _ -> invalid_arg "Dyn: permanent gate without state"
+
+(** Update one input weight; propagates along all ancestor paths in
+    topological order. *)
+let set_input t (key : Circuit.input_key) v =
+  match Hashtbl.find_opt t.input_ids key with
+  | None -> invalid_arg "Dyn.set_input: unknown input (weight symbol, tuple)"
+  | Some id ->
+      let old_v = t.values.(id) in
+      if not (t.ops.Semiring.Intf.equal old_v v) then begin
+        t.values.(id) <- v;
+        let queue = ref IQ.empty in
+        let snapshots = Hashtbl.create 16 in
+        let enqueue_parents g ~old_v ~new_v =
+          List.iter
+            (fun (p, slot) ->
+              if not (Hashtbl.mem snapshots p) then begin
+                Hashtbl.replace snapshots p t.values.(p);
+                queue := IQ.add p !queue
+              end;
+              notify t p slot ~old_v ~new_v)
+            t.parents.(g)
+        in
+        enqueue_parents id ~old_v ~new_v:v;
+        while not (IQ.is_empty !queue) do
+          let g = IQ.min_elt !queue in
+          queue := IQ.remove g !queue;
+          let old_g = Hashtbl.find snapshots g in
+          Hashtbl.remove snapshots g;
+          let new_g = recompute t g in
+          if not (t.ops.Semiring.Intf.equal old_g new_g) then begin
+            t.values.(g) <- new_g;
+            enqueue_parents g ~old_v:old_g ~new_v:new_g
+          end
+          else t.values.(g) <- new_g
+        done
+      end
+
+(** Current value of an input gate. *)
+let input_value t key =
+  match Hashtbl.find_opt t.input_ids key with
+  | Some id -> Some t.values.(id)
+  | None -> None
+
+let has_input t key = Hashtbl.mem t.input_ids key
+
+(** Temporarily set some inputs, run [f], restore — the free-variable query
+    mechanism in the proof of Theorem 8. *)
+let with_temp t (assignments : (Circuit.input_key * 'a) list) (f : unit -> 'b) : 'b =
+  let saved =
+    List.filter_map
+      (fun (key, v) ->
+        match input_value t key with
+        | Some old_v ->
+            set_input t key v;
+            Some (key, old_v)
+        | None -> None)
+      assignments
+  in
+  let result = f () in
+  List.iter (fun (key, old_v) -> set_input t key old_v) saved;
+  result

@@ -1,0 +1,1 @@
+lib/db/instance.ml: Array Fun Graphs Hashtbl List Printf Schema

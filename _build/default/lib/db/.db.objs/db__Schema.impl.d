@@ -1,0 +1,1 @@
+lib/db/schema.ml: List Printf

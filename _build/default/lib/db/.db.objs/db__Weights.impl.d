@@ -1,0 +1,1 @@
+lib/db/weights.ml: Hashtbl Instance List Printf

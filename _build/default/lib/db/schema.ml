@@ -1,0 +1,37 @@
+(** Relational signatures Σ (paper, Section 2): finitely many relation
+    symbols with arities, plus unary function symbols. The compilation
+    pipeline only ever introduces unary functions (out-neighbor functions
+    of Lemma 37 and the forest [parent]), so functions are unary here. *)
+
+type t = {
+  rels : (string * int) list;  (** relation name, arity ≥ 1 *)
+  funcs : string list;  (** unary function names *)
+}
+
+let empty = { rels = []; funcs = [] }
+
+let make ?(funcs = []) rels =
+  List.iter
+    (fun (r, a) ->
+      if a < 1 then invalid_arg (Printf.sprintf "Schema: relation %s has arity %d" r a))
+    rels;
+  { rels; funcs }
+
+let arity t name =
+  match List.assoc_opt name t.rels with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Schema: unknown relation %s" name)
+
+let has_rel t name = List.mem_assoc name t.rels
+let has_func t name = List.mem name t.funcs
+
+let add_rel t (name, arity) =
+  if has_rel t name then invalid_arg ("Schema: duplicate relation " ^ name);
+  { t with rels = (name, arity) :: t.rels }
+
+let add_func t name =
+  if has_func t name then invalid_arg ("Schema: duplicate function " ^ name);
+  { t with funcs = name :: t.funcs }
+
+(** The graph signature {E/2}. *)
+let graph_schema = make [ ("E", 2) ]

@@ -1,0 +1,56 @@
+(** S-valued weight functions w : Aʳ → S (paper, Section 3). A weight
+    function stores only its nonzero entries; per the paper's requirement,
+    a weight of arity r ≥ 2 may be nonzero only on tuples that belong to
+    some relation of that arity (so weights live on the Gaifman graph). *)
+
+type 'a t = {
+  name : string;
+  arity : int;
+  zero : 'a;
+  table : (int list, 'a) Hashtbl.t;
+}
+
+let create ~name ~arity ~zero = { name; arity; zero; table = Hashtbl.create 64 }
+
+let name w = w.name
+let arity w = w.arity
+
+(** Look up the weight of a tuple; absent tuples weigh [zero]. *)
+let get w tup = match Hashtbl.find_opt w.table tup with Some v -> v | None -> w.zero
+
+(** Set the weight of a tuple (an "update" in the sense of Theorem 8). *)
+let set w tup v =
+  if List.length tup <> w.arity then
+    invalid_arg (Printf.sprintf "Weights.set: %s expects arity %d" w.name w.arity);
+  Hashtbl.replace w.table tup v
+
+let remove w tup = Hashtbl.remove w.table tup
+let iter w f = Hashtbl.iter f w.table
+let support w = Hashtbl.fold (fun tup _ acc -> tup :: acc) w.table []
+let cardinality w = Hashtbl.length w.table
+
+(** A collection of named weight functions over one semiring. *)
+type 'a bundle = (string, 'a t) Hashtbl.t
+
+let bundle (ws : 'a t list) : 'a bundle =
+  let h = Hashtbl.create 8 in
+  List.iter (fun w -> Hashtbl.replace h w.name w) ws;
+  h
+
+let find (b : 'a bundle) name =
+  match Hashtbl.find_opt b name with
+  | Some w -> w
+  | None -> invalid_arg (Printf.sprintf "Weights: unknown weight symbol %s" name)
+
+let mem_bundle (b : 'a bundle) name = Hashtbl.mem b name
+
+(** Fill a unary weight from a function over the whole domain. *)
+let fill_unary w ~n f =
+  if w.arity <> 1 then invalid_arg "Weights.fill_unary: arity <> 1";
+  for v = 0 to n - 1 do
+    set w [ v ] (f v)
+  done
+
+(** Fill a weight from the tuples of a relation. *)
+let fill_from_relation w (inst : Instance.t) rel f =
+  Instance.iter_tuples inst rel (fun tup -> set w tup (f tup))

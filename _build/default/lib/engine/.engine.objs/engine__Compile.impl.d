@@ -1,0 +1,1 @@
+lib/engine/compile.ml: Array Circuits Db Format Graphs Hashtbl List Logic Option Printf Shapes String

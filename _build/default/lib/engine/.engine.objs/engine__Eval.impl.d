@@ -1,0 +1,1 @@
+lib/engine/eval.ml: Circuits Compile Db List Logic Printf Semiring String

@@ -1,0 +1,230 @@
+(** The compilation pipeline of Theorem 6: a fixed closed weighted
+    expression and a database from a bounded-expansion class are compiled,
+    in time linear in the database, into a circuit with permanent gates
+    whose inputs are the tuple weights.
+
+    Pipeline (Figure 2 of the paper, specialized as described in
+    DESIGN.md):
+
+    1. normalize the expression into summands Σ_x̄ (coeff · Π lits · Π w)
+       (Lemma 28 / Lemma 32);
+    2. compute a low-treedepth coloring of the Gaifman graph by
+       transitive–fraternal augmentation (Proposition 1);
+    3. split the sum over color subsets D of size ≤ p with surjective
+       color assignments — identity (12) of Lemma 35;
+    4. for each subset, build a low-depth elimination forest of the induced
+       subgraph and compile each summand by shapes (Lemmas 29–33), with
+       relation literals resolved per shape against the database. *)
+
+type meta = {
+  p : int;  (** maximum number of variables in a summand *)
+  num_colors : int;
+  num_subsets : int;  (** color subsets actually compiled *)
+  max_forest_depth : int;
+  num_shapes : int;  (** shapes compiled across all subsets *)
+  num_summands : int;
+}
+
+let pp_meta fmt m =
+  Format.fprintf fmt "p=%d colors=%d subsets=%d depth<=%d shapes=%d summands=%d" m.p
+    m.num_colors m.num_subsets m.max_forest_depth m.num_shapes m.num_summands
+
+let color_rel c = Printf.sprintf "__color_%d" c
+
+(* all subsets of [colors present] with size in [1, p] *)
+let rec subsets_up_to p = function
+  | [] -> [ [] ]
+  | c :: rest ->
+      let without = subsets_up_to p rest in
+      let with_c =
+        List.filter_map
+          (fun s -> if List.length s < p then Some (c :: s) else None)
+          without
+      in
+      without @ with_c
+
+(* all surjective maps from [vars] onto [subset], as assoc lists *)
+let surjective_maps vars subset =
+  let rec go = function
+    | [] -> [ [] ]
+    | x :: rest ->
+        List.concat_map (fun m -> List.map (fun c -> (x, c) :: m) subset) (go rest)
+  in
+  List.filter
+    (fun m -> List.for_all (fun c -> List.exists (fun (_, c') -> c' = c) m) subset)
+    (go vars)
+
+(** Compile a closed expression over an instance. [tfa_rounds] overrides
+    the number of augmentation rounds; [max_depth] aborts (with
+    [Invalid_argument]) if some induced forest is deeper — a sign the
+    coloring is not low-treedepth enough for this pattern size. *)
+let compile (type a) ~(zero : a) ~(one : a) ?(tfa_rounds = -1) ?(max_depth = 10)
+    ?(dynamic_rels = []) (inst : Db.Instance.t) (expr : a Logic.Expr.t) :
+    a Circuits.Circuit.t * meta =
+  (match Logic.Expr.free_vars_unique expr with
+  | [] -> ()
+  | fv ->
+      invalid_arg
+        ("Compile: expression must be closed; free: " ^ String.concat "," fv));
+  let nf = Logic.Normal.of_expr expr in
+  let num_summands = List.length nf in
+  let p =
+    List.fold_left
+      (fun acc s -> max acc (List.length (Logic.Normal.summand_vars s)))
+      0 nf
+  in
+  if p > 4 then
+    invalid_arg
+      (Printf.sprintf "Compile: %d variables per summand; at most 4 supported" p);
+  let n = Db.Instance.n inst in
+  let g = Db.Instance.gaifman inst in
+  let coloring =
+    if p = 0 then { Graphs.Tfa.color = Array.make n 0; num_colors = min 1 n; rounds = 0 }
+    else Graphs.Tfa.low_treedepth_coloring ~rounds:tfa_rounds g ~p
+  in
+  let color = coloring.Graphs.Tfa.color in
+  let holds r tuple =
+    if String.length r > 8 && String.sub r 0 8 = "__color_" then
+      match tuple with
+      | [ v ] -> color.(v) = int_of_string (String.sub r 8 (String.length r - 8))
+      | _ -> false
+    else Db.Instance.mem inst r tuple
+  in
+  let b = Circuits.Circuit.builder () in
+  let gates = ref [] in
+  let num_shapes = ref 0 in
+  let max_forest_depth = ref 0 in
+  let num_subsets = ref 0 in
+  (* constant summands (no variables) compile once *)
+  List.iter
+    (fun (s : a Logic.Normal.summand) ->
+      if Logic.Normal.summand_vars s = [] then begin
+        (* a variable-free summand has no literals or weights, only coeffs *)
+        let gate =
+          match s.Logic.Normal.prod.Logic.Normal.coeffs with
+          | [] -> Circuits.Circuit.const b one
+          | cs -> Circuits.Circuit.mul b (List.map (Circuits.Circuit.const b) cs)
+        in
+        gates := gate :: !gates
+      end)
+    nf;
+  if p > 0 && n > 0 then begin
+    let colors_present =
+      List.sort_uniq compare (Array.to_list (Array.sub color 0 n))
+    in
+    let by_color = Hashtbl.create 16 in
+    Array.iteri
+      (fun v c ->
+        Hashtbl.replace by_color c (v :: Option.value ~default:[] (Hashtbl.find_opt by_color c)))
+      color;
+    let subsets = List.filter (fun s -> s <> []) (subsets_up_to p colors_present) in
+    let old_to_new = Array.make n (-1) in
+    List.iter
+      (fun subset ->
+        let verts = List.concat_map (fun c -> Hashtbl.find by_color c) subset in
+        if verts <> [] then begin
+          (* summands needing at least |subset| variables *)
+          let relevant =
+            List.filter
+              (fun s ->
+                let q = List.length (Logic.Normal.summand_vars s) in
+                q >= List.length subset && q > 0)
+              nf
+          in
+          if relevant <> [] then begin
+            incr num_subsets;
+            let verts = List.sort compare verts in
+            let orig = Array.of_list verts in
+            Array.iteri (fun i v -> old_to_new.(v) <- i) orig;
+            let sub_edges =
+              List.concat_map
+                (fun v ->
+                  List.filter_map
+                    (fun w ->
+                      if w > v && old_to_new.(w) >= 0 then
+                        Some (old_to_new.(v), old_to_new.(w))
+                      else None)
+                    (Graphs.Graph.neighbors g v))
+                verts
+            in
+            let sub_g = Graphs.Graph.of_edges ~n:(Array.length orig) sub_edges in
+            let forest = Graphs.Treedepth.best_forest sub_g in
+            let d = Graphs.Forest.max_depth forest in
+            if d > max_depth then
+              invalid_arg
+                (Printf.sprintf
+                   "Compile: induced forest depth %d exceeds %d; increase tfa_rounds"
+                   d max_depth);
+            max_forest_depth := max !max_forest_depth d;
+            let fs =
+              {
+                Shapes.Forest_compile.forest;
+                orig;
+                holds;
+                dynamic = (fun r -> List.mem r dynamic_rels);
+              }
+            in
+            List.iter
+              (fun (s : a Logic.Normal.summand) ->
+                let vars = Logic.Normal.summand_vars s in
+                List.iter
+                  (fun cmap ->
+                    let color_lits =
+                      List.map
+                        (fun (x, c) ->
+                          {
+                            Logic.Normal.pos = true;
+                            atom = Logic.Normal.ARel (color_rel c, [ Logic.Term.Var x ]);
+                          })
+                        cmap
+                    in
+                    let s' =
+                      {
+                        s with
+                        Logic.Normal.prod =
+                          {
+                            s.Logic.Normal.prod with
+                            Logic.Normal.lits = color_lits @ s.Logic.Normal.prod.Logic.Normal.lits;
+                          };
+                      }
+                    in
+                    let d' = Graphs.Forest.max_depth forest in
+                    let shapes = Shapes.Shape.enumerate ~d:d' ~summand:s' () in
+                    num_shapes := !num_shapes + List.length shapes;
+                    let sgates =
+                      List.map (Shapes.Forest_compile.compile_shape b fs ~zero ~one) shapes
+                    in
+                    let body =
+                      match sgates with
+                      | [] -> Circuits.Circuit.const b zero
+                      | gs -> Circuits.Circuit.add b gs
+                    in
+                    let gate =
+                      match s.Logic.Normal.prod.Logic.Normal.coeffs with
+                      | [] -> body
+                      | cs ->
+                          Circuits.Circuit.mul b
+                            (List.map (Circuits.Circuit.const b) cs @ [ body ])
+                    in
+                    gates := gate :: !gates)
+                  (surjective_maps vars subset))
+              relevant;
+            (* reset the shared index map *)
+            Array.iter (fun v -> old_to_new.(v) <- -1) orig
+          end
+        end)
+      subsets
+  end;
+  let output =
+    match !gates with [] -> Circuits.Circuit.const b zero | gs -> Circuits.Circuit.add b gs
+  in
+  let circuit = Circuits.Circuit.finish b ~output in
+  ( circuit,
+    {
+      p;
+      num_colors = coloring.Graphs.Tfa.num_colors;
+      num_subsets = !num_subsets;
+      max_forest_depth = !max_forest_depth;
+      num_shapes = !num_shapes;
+      num_summands;
+    } )

@@ -1,0 +1,82 @@
+(** Weighted query evaluation and maintenance (Theorem 8). [prepare]
+    compiles the expression once (linear time); the result supports
+
+    - [value] — the current value of a closed expression, O(1);
+    - [query] — the value at a tuple, for expressions with free variables,
+      implemented by 2·|x̄| temporary weight updates exactly as in the
+      proof of Theorem 8;
+    - [update] — change one weight, in O(log n) for general semirings and
+      O(1) for rings and finite semirings (the Dyn strategies).
+
+    Free variables are handled by the closure trick: f(x̄) becomes
+    f′ = Σ_x̄ f · v₁(x₁) ⋯ v_k(x_k) for fresh query weights v_i that
+    default to 0. *)
+
+type 'a t = {
+  ops : 'a Semiring.Intf.ops;
+  dyn : 'a Circuits.Dyn.t;
+  free_vars : string list;  (** in query-argument order *)
+  meta : Compile.meta;
+  circuit : 'a Circuits.Circuit.t;
+}
+
+let query_weight i = Printf.sprintf "__qv%d" i
+
+let prepare (type a) (ops : a Semiring.Intf.ops) ?mode ?tfa_rounds ?max_depth
+    (inst : Db.Instance.t) (weights : a Db.Weights.bundle) (expr : a Logic.Expr.t) : a t =
+  let open Semiring.Intf in
+  let fv = Logic.Expr.free_vars_unique expr in
+  let expr_closed =
+    if fv = [] then expr
+    else
+      Logic.Expr.Sum
+        ( fv,
+          Logic.Expr.Mul
+            (expr
+            :: List.mapi
+                 (fun i x -> Logic.Expr.Weight (query_weight i, [ Logic.Term.Var x ]))
+                 fv) )
+  in
+  let circuit, meta =
+    Compile.compile ~zero:ops.zero ~one:ops.one ?tfa_rounds ?max_depth inst expr_closed
+  in
+  let valuation (w, tuple) =
+    if String.length w > 4 && String.sub w 0 4 = "__qv" then ops.zero
+    else Db.Weights.get (Db.Weights.find weights w) tuple
+  in
+  let dyn = Circuits.Dyn.create ?mode ops circuit valuation in
+  { ops; dyn; free_vars = fv; meta; circuit }
+
+(** Value of a closed expression (or of the wrapped sum, which is 0 until
+    queried, for expressions with free variables). *)
+let value t = Circuits.Dyn.value t.dyn
+
+(** Value at a tuple (one element per free variable, in the order of
+    [free_vars]). *)
+let query (type a) (t : a t) (args : int list) : a =
+  if List.length args <> List.length t.free_vars then
+    invalid_arg "Eval.query: wrong number of arguments";
+  let assignments =
+    List.mapi (fun i a -> ((query_weight i, [ a ]), t.ops.Semiring.Intf.one)) args
+  in
+  Circuits.Dyn.with_temp t.dyn assignments (fun () -> Circuits.Dyn.value t.dyn)
+
+(** Update one weight. Tuples that cannot affect the query (their weight
+    is never read by the circuit) are ignored. *)
+let update t w tuple v =
+  let key = (w, tuple) in
+  if Circuits.Dyn.has_input t.dyn key then Circuits.Dyn.set_input t.dyn key v
+
+let meta t = t.meta
+let stats t = Circuits.Circuit.stats t.circuit
+
+(** One-shot static evaluation of a closed expression through the circuit
+    pipeline (compile + one linear evaluation, no dynamic structures). *)
+let evaluate (type a) (ops : a Semiring.Intf.ops) ?tfa_rounds ?max_depth
+    (inst : Db.Instance.t) (weights : a Db.Weights.bundle) (expr : a Logic.Expr.t) : a =
+  let open Semiring.Intf in
+  let circuit, _ =
+    Compile.compile ~zero:ops.zero ~one:ops.one ?tfa_rounds ?max_depth inst expr
+  in
+  Circuits.Circuit.eval ops circuit (fun (w, tuple) ->
+      Db.Weights.get (Db.Weights.find weights w) tuple)

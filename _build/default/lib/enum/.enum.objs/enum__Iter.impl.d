@@ -1,0 +1,1 @@
+lib/enum/iter.ml: Array Dll List Option

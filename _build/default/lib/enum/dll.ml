@@ -1,0 +1,63 @@
+(** Mutable doubly-linked lists with O(1) insertion and removal given a node
+    handle. This is the backing store for the per-column-type lists [L_t] of
+    Lemma 39: an update moves a column between lists in constant time. *)
+
+type 'a node = {
+  mutable value : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+  mutable owner : int;  (** id of the list currently containing the node, or -1 *)
+}
+
+type 'a t = {
+  id : int;
+  mutable first : 'a node option;
+  mutable last : 'a node option;
+  mutable length : int;
+}
+
+let next_id = ref 0
+
+let create () =
+  incr next_id;
+  { id = !next_id; first = None; last = None; length = 0 }
+
+let length t = t.length
+let is_empty t = t.length = 0
+let first t = t.first
+let last t = t.last
+
+(** Append a fresh node holding [v] at the back; returns the handle. *)
+let push_back t v =
+  let node = { value = v; prev = t.last; next = None; owner = t.id } in
+  (match t.last with
+  | None -> t.first <- Some node
+  | Some l -> l.next <- Some node);
+  t.last <- Some node;
+  t.length <- t.length + 1;
+  node
+
+(** Remove [node] from [t]. Raises [Invalid_argument] if the node is not
+    currently a member of [t]. *)
+let remove t node =
+  if node.owner <> t.id then invalid_arg "Dll.remove: node not in this list";
+  (match node.prev with None -> t.first <- node.next | Some p -> p.next <- node.next);
+  (match node.next with None -> t.last <- node.prev | Some n -> n.prev <- node.prev);
+  node.prev <- None;
+  node.next <- None;
+  node.owner <- -1;
+  t.length <- t.length - 1
+
+let iter f t =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        f n.value;
+        go n.next
+  in
+  go t.first
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun v -> acc := v :: !acc) t;
+  List.rev !acc

@@ -1,0 +1,174 @@
+(** Constant-delay enumeration of the answers to a first-order query
+    (Theorem 24, re-proving Kazana–Segoufin).
+
+    For a quantifier-free φ(x₁ … x_k), the free-semiring expression
+
+        f = Σ_x̄ [φ(x̄)] · w₁(x₁) ⋯ w_k(x_k),    wᵢ(a) = the generator e(i,a),
+
+    evaluates to the formal sum with exactly one monomial e(1,a₁)⋯e(k,a_k)
+    per answer ā. Compiling f (Theorem 6, with boolean constants) and
+    enumerating it through the provenance machinery (Theorem 22) yields the
+    answers with constant delay and no repetitions, after linear-time
+    preprocessing.
+
+    Existential quantifiers whose subformula has at most one free variable
+    are eliminated by pointwise materialization into fresh unary relations
+    (the guarded fragment of the Theorem 26 induction); other quantifier
+    patterns require the full quantifier elimination of Theorem 3 and are
+    rejected (see DESIGN.md §3).
+
+    With [~dynamic:true], relation literals are compiled as the v⁺/v⁻
+    weights of Lemma 40, so Gaifman-preserving updates ({!set_tuple}) need
+    no recompilation: the update is O(1) on the instance and the next
+    enumerator reads the current data. *)
+
+type gen = int * int  (** (variable position, element) *)
+
+type t = {
+  free_vars : string list;
+  prov : gen Provenance.Prov_circuit.t;
+  inst : Db.Instance.t;  (** shared; mutable through set_tuple when dynamic *)
+  dynamic : bool;
+}
+
+let weight_sym i = Printf.sprintf "__enum%d" i
+
+(* Copy [inst] with one extra unary relation [r] filled by [holds]. *)
+let with_unary_relation inst r holds =
+  let n = Db.Instance.n inst in
+  let schema = Db.Schema.add_rel (Db.Instance.schema inst) (r, 1) in
+  let inst' = Db.Instance.create schema ~n in
+  List.iter
+    (fun (rel, _) ->
+      if rel <> r then
+        Db.Instance.iter_tuples inst rel (fun tup -> Db.Instance.add inst' rel tup))
+    schema.Db.Schema.rels;
+  for a = 0 to n - 1 do
+    if holds a then Db.Instance.add inst' r [ a ]
+  done;
+  inst'
+
+(** Replace ∃-subformulas with at most one free variable by materialized
+    unary relations, bottom-up (the Theorem 26 induction restricted to
+    guards). Returns the possibly extended instance and the quantifier-free
+    rewriting. *)
+let materialize_guarded (inst : Db.Instance.t) (f : Logic.Formula.t) :
+    Db.Instance.t * Logic.Formula.t =
+  if Logic.Formula.is_quantifier_free f then (inst, f)
+  else begin
+    let inst = ref inst in
+    let counter = ref 0 in
+    let rec go f =
+      match f with
+      | Logic.Formula.True | Logic.Formula.False | Logic.Formula.Rel _ | Logic.Formula.Eq _
+        ->
+          f
+      | Logic.Formula.Not g -> Logic.Formula.Not (go g)
+      | Logic.Formula.And gs -> Logic.Formula.And (List.map go gs)
+      | Logic.Formula.Or gs -> Logic.Formula.Or (List.map go gs)
+      | Logic.Formula.Forall (x, g) ->
+          go (Logic.Formula.Not (Exists (x, Logic.Formula.Not g)))
+      | Logic.Formula.Exists (x, g) -> (
+          let g = go g in
+          let n = Db.Instance.n !inst in
+          let exists_with env =
+            let rec any v = v < n && (Logic.Formula.holds !inst ((x, v) :: env) g || any (v + 1)) in
+            any 0
+          in
+          match List.filter (fun y -> y <> x) (Logic.Formula.free_vars_unique g) with
+          | [] -> if exists_with [] then Logic.Formula.True else Logic.Formula.False
+          | [ y ] ->
+              incr counter;
+              let r = Printf.sprintf "__mat%d" !counter in
+              inst := with_unary_relation !inst r (fun a -> exists_with [ (y, a) ]);
+              Logic.Formula.Rel (r, [ Logic.Term.Var y ])
+          | _ ->
+              invalid_arg
+                "Fo_enum: quantified subformula with 2+ free variables requires full \
+                 quantifier elimination (not implemented; see DESIGN.md)")
+    in
+    let f' = go f in
+    (!inst, f')
+  end
+
+(** Preprocess a first-order query for enumeration. [order] fixes the
+    output component order (defaults to sorted free variables);
+    [dynamic:true] compiles relations as Lemma 40 weights so that
+    {!set_tuple} works without recompiling (requires φ quantifier-free). *)
+let prepare ?order ?(dynamic = false) (inst : Db.Instance.t) (phi : Logic.Formula.t) : t =
+  if dynamic && not (Logic.Formula.is_quantifier_free phi) then
+    invalid_arg "Fo_enum: dynamic mode requires a quantifier-free query";
+  let inst = if dynamic then Db.Instance.copy inst else inst in
+  let inst, phi = materialize_guarded inst phi in
+  let fv =
+    match order with Some o -> o | None -> Logic.Formula.free_vars_unique phi
+  in
+  let expr =
+    Logic.Expr.Sum
+      ( fv,
+        Logic.Expr.Mul
+          (Logic.Expr.Guard phi
+          :: List.mapi
+               (fun i x -> Logic.Expr.Weight (weight_sym i, [ Logic.Term.Var x ]))
+               fv) )
+  in
+  let dynamic_rels =
+    if dynamic then List.map fst (Db.Instance.schema inst).Db.Schema.rels else []
+  in
+  let prov =
+    Provenance.Prov_circuit.prepare ~dynamic_rels inst expr ~weight:(fun w tuple ->
+        let starts p = String.length w >= String.length p && String.sub w 0 (String.length p) = p in
+        let suffix p = String.sub w (String.length p) (String.length w - String.length p) in
+        if starts "__enum" then begin
+          let i = int_of_string (suffix "__enum") in
+          match tuple with
+          | [ a ] -> [ [ (i, a) ] ]
+          | _ -> invalid_arg "Fo_enum: enumeration weights are unary"
+        end
+        else if starts "__pos_" then begin
+          (* Lemma 40: v⁺_R = [R(ā)], read from the live instance *)
+          if Db.Instance.mem inst (suffix "__pos_") tuple then [ [] ] else []
+        end
+        else if starts "__neg_" then begin
+          if Db.Instance.mem inst (suffix "__neg_") tuple then [] else [ [] ]
+        end
+        else invalid_arg ("Fo_enum: unexpected weight " ^ w))
+  in
+  { free_vars = fv; prov; inst; dynamic }
+
+let free_vars t = t.free_vars
+
+(** The (possibly copied/extended) instance the enumerator reads. *)
+let instance t = t.inst
+
+let meta t = Provenance.Prov_circuit.meta t.prov
+
+(* decode a monomial into an answer tuple *)
+let decode k (m : gen Provenance.Free.mono) : int array =
+  let ans = Array.make k (-1) in
+  List.iter (fun (i, a) -> ans.(i) <- a) m;
+  ans
+
+(** A fresh constant-delay enumerator over the answers (each exactly
+    once). *)
+let enumerate t : int array Enum.Iter.t =
+  Enum.Iter.map (decode (List.length t.free_vars)) (Provenance.Prov_circuit.enumerate t.prov)
+
+(** All answers as a list (a full enumeration pass, for tests and small
+    outputs). *)
+let answers t = Enum.Iter.to_list (enumerate t)
+
+(** Gaifman-preserving update (dynamic mode only): add or remove a tuple
+    of an existing relation whose elements already form a clique of the
+    Gaifman graph. O(1) plus the clique check; enumerators created
+    afterwards see the new data, with no recompilation. *)
+let set_tuple t ?gaifman rel tuple present =
+  if not t.dynamic then
+    invalid_arg "Fo_enum.set_tuple: prepare with ~dynamic:true for updates";
+  if present then begin
+    let g = match gaifman with Some g -> g | None -> Db.Instance.gaifman t.inst in
+    if not (Db.Instance.clique_in g tuple) then
+      invalid_arg "Fo_enum.set_tuple: tuple would change the Gaifman graph";
+    Db.Instance.add t.inst rel tuple
+  end
+  else Db.Instance.remove t.inst rel tuple

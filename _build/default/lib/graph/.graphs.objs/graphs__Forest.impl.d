@@ -1,0 +1,1 @@
+lib/graph/forest.ml: Array Graph List

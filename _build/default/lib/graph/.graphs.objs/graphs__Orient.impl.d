@@ -1,0 +1,1 @@
+lib/graph/orient.ml: Array Graph List

@@ -1,0 +1,1 @@
+lib/graph/rand.ml: Array Int64

@@ -1,0 +1,1 @@
+lib/graph/tfa.ml: Array Forest Graph Hashtbl List Orient

@@ -1,0 +1,1 @@
+lib/graph/treedepth.ml: Array Forest Graph List Queue

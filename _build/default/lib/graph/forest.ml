@@ -1,0 +1,105 @@
+(** Rooted forests of bounded depth — the base case of the compilation
+    (Section A.2). A forest is a parent array where roots point to
+    themselves, plus derived depth and children tables.
+
+    A DFS spanning forest of an undirected graph has the key property that
+    every graph edge joins an ancestor–descendant pair (there are no cross
+    edges in undirected DFS), so it is a valid elimination forest; on a
+    graph of treedepth d its depth is at most 2^d (Example 2). *)
+
+type t = {
+  parent : int array;  (** parent.(v) = v iff v is a root *)
+  depth : int array;  (** depth of each vertex; roots have depth 0 *)
+  children : int list array;
+  roots : int list;
+  max_depth : int;
+}
+
+let of_parents parent =
+  let n = Array.length parent in
+  let depth = Array.make n (-1) in
+  let children = Array.make n [] in
+  let roots = ref [] in
+  let rec compute_depth v =
+    if depth.(v) >= 0 then depth.(v)
+    else if parent.(v) = v then begin
+      depth.(v) <- 0;
+      0
+    end
+    else begin
+      let d = compute_depth parent.(v) + 1 in
+      depth.(v) <- d;
+      d
+    end
+  in
+  for v = 0 to n - 1 do
+    ignore (compute_depth v);
+    if parent.(v) = v then roots := v :: !roots
+    else children.(parent.(v)) <- v :: children.(parent.(v))
+  done;
+  {
+    parent;
+    depth;
+    children;
+    roots = List.rev !roots;
+    max_depth = Array.fold_left max 0 depth;
+  }
+
+let n t = Array.length t.parent
+let parent t v = t.parent.(v)
+let depth t v = t.depth.(v)
+let children t v = t.children.(v)
+let roots t = t.roots
+let max_depth t = t.max_depth
+let is_root t v = t.parent.(v) = v
+
+(** [ancestor t v i] is the ancestor of v at [i] steps up (clamped at the
+    root, matching parentⁱ with parent(root) = root). *)
+let ancestor t v i =
+  let rec go v i = if i <= 0 then v else go t.parent.(v) (i - 1) in
+  go v i
+
+(** [ancestor_at_depth t v d] is the ancestor of v at depth exactly [d], or
+    [None] if depth v < d. *)
+let ancestor_at_depth t v d =
+  if t.depth.(v) < d then None else Some (ancestor t v (t.depth.(v) - d))
+
+(** Is [a] an ancestor of (or equal to) [v]? Costs O(depth). *)
+let is_ancestor t ~anc ~of_:v =
+  let rec go v = if v = anc then true else if t.parent.(v) = v then false else go t.parent.(v) in
+  go v
+
+(** DFS spanning forest of an undirected graph (iterative with explicit
+    neighbor cursors, linear time). A vertex's parent is the vertex from
+    which it is *entered*, which is what guarantees the ancestor–descendant
+    property for all non-tree edges. *)
+let dfs_forest (g : Graph.t) : t =
+  let n = Graph.n g in
+  let parent = Array.make n (-1) in
+  for s = 0 to n - 1 do
+    if parent.(s) < 0 then begin
+      parent.(s) <- s;
+      let stack = ref [ (s, ref (Graph.neighbors g s)) ] in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (v, rest) :: tail -> (
+            match !rest with
+            | [] -> stack := tail
+            | w :: more ->
+                rest := more;
+                if parent.(w) < 0 then begin
+                  parent.(w) <- v;
+                  stack := (w, ref (Graph.neighbors g w)) :: !stack
+                end)
+      done
+    end
+  done;
+  of_parents parent
+
+(** Check the elimination-forest property: every edge of [g] joins an
+    ancestor–descendant pair of [t]. *)
+let is_elimination_forest t (g : Graph.t) =
+  List.for_all
+    (fun (u, v) -> is_ancestor t ~anc:u ~of_:v || is_ancestor t ~anc:v ~of_:u)
+    (Graph.edges g)

@@ -1,0 +1,140 @@
+(** Workload generators over the graph classes the paper names as canonical
+    bounded-expansion classes: bounded degree, planar (grids), forests, and
+    graphs excluding dense minors (sparse random graphs of bounded average
+    degree behave like these at our scales). All generators are
+    deterministic given the seed. *)
+
+let path n = Graph.of_edges ~n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then path n
+  else Graph.of_edges ~n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let star n = Graph.of_edges ~n (List.init (max 0 (n - 1)) (fun i -> (0, i + 1)))
+
+let complete n =
+  let es = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      es := (i, j) :: !es
+    done
+  done;
+  Graph.of_edges ~n !es
+
+(** The w × h grid — the standard planar bounded-expansion workload. *)
+let grid w h =
+  let idx x y = (y * w) + x in
+  let es = ref [] in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      if x + 1 < w then es := (idx x y, idx (x + 1) y) :: !es;
+      if y + 1 < h then es := (idx x y, idx x (y + 1)) :: !es
+    done
+  done;
+  Graph.of_edges ~n:(w * h) !es
+
+(** Grid with one diagonal per cell: still planar, higher density. *)
+let triangulated_grid w h =
+  let idx x y = (y * w) + x in
+  let es = ref [] in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      if x + 1 < w then es := (idx x y, idx (x + 1) y) :: !es;
+      if y + 1 < h then es := (idx x y, idx x (y + 1)) :: !es;
+      if x + 1 < w && y + 1 < h then es := (idx x y, idx (x + 1) (y + 1)) :: !es
+    done
+  done;
+  Graph.of_edges ~n:(w * h) !es
+
+(** Sparse Erdős–Rényi-style graph with exactly [m = avg_deg · n / 2]
+    distinct random edges. *)
+let random_sparse ~seed ~n ~avg_deg =
+  let rng = Rand.create seed in
+  let target = avg_deg * n / 2 in
+  let seen = Hashtbl.create (target * 2) in
+  let es = ref [] in
+  let attempts = ref 0 in
+  while Hashtbl.length seen < target && !attempts < target * 20 do
+    incr attempts;
+    let u = Rand.int rng n and v = Rand.int rng n in
+    if u <> v then begin
+      let key = (min u v, max u v) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        es := (u, v) :: !es
+      end
+    end
+  done;
+  Graph.of_edges ~n !es
+
+(** Random graph with maximum degree at most [max_deg] (greedy matching of
+    half-edges, configuration-model style). *)
+let random_bounded_degree ~seed ~n ~max_deg =
+  let rng = Rand.create seed in
+  let deg = Array.make n 0 in
+  let es = ref [] in
+  let seen = Hashtbl.create (n * max_deg) in
+  let target = n * max_deg / 2 in
+  let attempts = ref 0 in
+  let added = ref 0 in
+  while !added < target && !attempts < target * 20 do
+    incr attempts;
+    let u = Rand.int rng n and v = Rand.int rng n in
+    if u <> v && deg.(u) < max_deg && deg.(v) < max_deg then begin
+      let key = (min u v, max u v) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        es := (u, v) :: !es;
+        deg.(u) <- deg.(u) + 1;
+        deg.(v) <- deg.(v) + 1;
+        incr added
+      end
+    end
+  done;
+  Graph.of_edges ~n !es
+
+(** Uniform random recursive tree on [n] vertices. *)
+let random_tree ~seed ~n =
+  let rng = Rand.create seed in
+  let es = ref [] in
+  for v = 1 to n - 1 do
+    es := (Rand.int rng v, v) :: !es
+  done;
+  Graph.of_edges ~n !es
+
+(** Random rooted forest of depth at most [depth]: each vertex at level
+    l > 0 attaches to a random vertex at level l − 1. Returns the graph and
+    the parent array (parent of a root is itself). *)
+let random_forest ~seed ~n ~depth ~roots =
+  let rng = Rand.create seed in
+  let roots = max 1 (min roots n) in
+  let parent = Array.make n (-1) in
+  let level = Array.make n 0 in
+  for v = 0 to roots - 1 do
+    parent.(v) <- v
+  done;
+  let es = ref [] in
+  for v = roots to n - 1 do
+    (* attach to a random earlier vertex whose level < depth *)
+    let rec pick tries =
+      let p = Rand.int rng v in
+      if level.(p) < depth || tries > 50 then p else pick (tries + 1)
+    in
+    let p = pick 0 in
+    parent.(v) <- p;
+    level.(v) <- min depth (level.(p) + 1);
+    es := (p, v) :: !es
+  done;
+  (Graph.of_edges ~n !es, parent)
+
+(** Caterpillar: a path spine with [legs] pendant vertices per spine node. *)
+let caterpillar ~spine ~legs =
+  let n = spine * (legs + 1) in
+  let es = ref [] in
+  for i = 0 to spine - 1 do
+    if i + 1 < spine then es := (i, i + 1) :: !es;
+    for l = 0 to legs - 1 do
+      es := (i, spine + (i * legs) + l) :: !es
+    done
+  done;
+  Graph.of_edges ~n !es

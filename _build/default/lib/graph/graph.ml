@@ -1,0 +1,98 @@
+(** Simple undirected graphs on vertices 0 … n−1, stored as adjacency
+    arrays. This is the combinatorial substrate for Gaifman graphs,
+    degeneracy orientations, and low-treedepth colorings. *)
+
+type t = {
+  n : int;
+  adj : int list array;  (** sorted, duplicate-free neighbor lists *)
+  m : int;  (** number of edges *)
+}
+
+let n t = t.n
+let m t = t.m
+let neighbors t v = t.adj.(v)
+let degree t v = List.length t.adj.(v)
+
+(** Build from an edge list; self-loops and duplicate edges are dropped. *)
+let of_edges ~n edges =
+  let seen = Hashtbl.create (List.length edges * 2) in
+  let adj = Array.make n [] in
+  let m = ref 0 in
+  List.iter
+    (fun (u, v) ->
+      if u <> v && u >= 0 && u < n && v >= 0 && v < n then begin
+        let key = (min u v, max u v) in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          adj.(u) <- v :: adj.(u);
+          adj.(v) <- u :: adj.(v);
+          incr m
+        end
+      end)
+    edges;
+  Array.iteri (fun i l -> adj.(i) <- List.sort_uniq compare l) adj;
+  { n; adj; m = !m }
+
+let has_edge t u v = List.mem v t.adj.(u)
+
+let edges t =
+  let acc = ref [] in
+  for u = 0 to t.n - 1 do
+    List.iter (fun v -> if u < v then acc := (u, v) :: !acc) t.adj.(u)
+  done;
+  List.rev !acc
+
+let iter_edges f t = List.iter (fun (u, v) -> f u v) (edges t)
+
+(** Subgraph induced by the vertex set [keep] (given as a predicate).
+    Returns the subgraph together with old→new and new→old vertex maps. *)
+let induced t keep =
+  let old_to_new = Array.make t.n (-1) in
+  let new_to_old = ref [] in
+  let count = ref 0 in
+  for v = 0 to t.n - 1 do
+    if keep v then begin
+      old_to_new.(v) <- !count;
+      new_to_old := v :: !new_to_old;
+      incr count
+    end
+  done;
+  let new_to_old = Array.of_list (List.rev !new_to_old) in
+  let es =
+    List.filter_map
+      (fun (u, v) ->
+        if old_to_new.(u) >= 0 && old_to_new.(v) >= 0 then
+          Some (old_to_new.(u), old_to_new.(v))
+        else None)
+      (edges t)
+  in
+  (of_edges ~n:!count es, old_to_new, new_to_old)
+
+(** Connected components as a vertex → component-id array. *)
+let components t =
+  let comp = Array.make t.n (-1) in
+  let c = ref 0 in
+  for s = 0 to t.n - 1 do
+    if comp.(s) < 0 then begin
+      let stack = ref [ s ] in
+      comp.(s) <- !c;
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | v :: rest ->
+            stack := rest;
+            List.iter
+              (fun w ->
+                if comp.(w) < 0 then begin
+                  comp.(w) <- !c;
+                  stack := w :: !stack
+                end)
+              t.adj.(v)
+      done;
+      incr c
+    end
+  done;
+  (comp, !c)
+
+let pp fmt t =
+  Format.fprintf fmt "graph(n=%d, m=%d)" t.n t.m

@@ -1,0 +1,84 @@
+(** Degeneracy orderings and acyclic bounded-out-degree orientations
+    (Section A.5). A graph of degeneracy d admits an acyclic orientation of
+    out-degree ≤ d, computed in linear time by repeatedly removing a
+    minimum-degree vertex with a bucket queue. Lemma 37 uses the out-
+    neighbor functions f₁ … f_d to reduce arbitrary arities to unary. *)
+
+type t = {
+  order : int array;  (** elimination order: position i holds the i-th removed vertex *)
+  rank : int array;  (** rank.(v) = position of v in the order *)
+  out : int array array;  (** out.(v) = out-neighbors of v (later in the order) *)
+  degeneracy : int;
+}
+
+let out_degree t v = Array.length t.out.(v)
+let max_out_degree t = Array.fold_left (fun acc o -> max acc (Array.length o)) 0 t.out
+
+(** [nth_out t v i] is the i-th out-neighbor of v (0-based), or [v] itself
+    when v has fewer than i+1 out-neighbors — matching the paper's
+    convention that fᵢ(a) = a when the i-th out-neighbor does not exist. *)
+let nth_out t v i = if i < Array.length t.out.(v) then t.out.(v).(i) else v
+
+(** Linear-time degeneracy ordering via bucket queue. *)
+let degeneracy_order (g : Graph.t) : t =
+  let n = Graph.n g in
+  let deg = Array.init n (Graph.degree g) in
+  let maxdeg = Array.fold_left max 0 deg in
+  let buckets = Array.make (maxdeg + 1) [] in
+  Array.iteri (fun v d -> buckets.(d) <- v :: buckets.(d)) deg;
+  let removed = Array.make n false in
+  let order = Array.make n 0 in
+  let rank = Array.make n 0 in
+  let degeneracy = ref 0 in
+  let cursor = ref 0 in
+  for pos = 0 to n - 1 do
+    (* find the nonempty bucket with smallest degree *)
+    if !cursor > 0 then decr cursor;
+    let rec find d =
+      if d > maxdeg then invalid_arg "degeneracy_order: empty buckets"
+      else
+        match buckets.(d) with
+        | [] -> find (d + 1)
+        | v :: rest ->
+            if removed.(v) || deg.(v) <> d then begin
+              buckets.(d) <- rest;
+              find d
+            end
+            else begin
+              buckets.(d) <- rest;
+              (d, v)
+            end
+    in
+    let d, v = find !cursor in
+    cursor := d;
+    degeneracy := max !degeneracy d;
+    removed.(v) <- true;
+    order.(pos) <- v;
+    rank.(v) <- pos;
+    List.iter
+      (fun w ->
+        if not removed.(w) then begin
+          deg.(w) <- deg.(w) - 1;
+          buckets.(deg.(w)) <- w :: buckets.(deg.(w))
+        end)
+      (Graph.neighbors g v)
+  done;
+  let out =
+    Array.init n (fun v ->
+        Graph.neighbors g v
+        |> List.filter (fun w -> rank.(w) > rank.(v))
+        |> Array.of_list)
+  in
+  { order; rank; out; degeneracy = !degeneracy }
+
+(** Orient an arbitrary edge list acyclically with low out-degree by
+    building the graph and taking its degeneracy orientation; returns
+    directed arc list. Used to orient fraternal edges in TFA. *)
+let orient_edges ~n edges =
+  let g = Graph.of_edges ~n edges in
+  let o = degeneracy_order g in
+  let arcs = ref [] in
+  Array.iteri
+    (fun v outs -> Array.iter (fun w -> arcs := (v, w) :: !arcs) outs)
+    o.out;
+  !arcs

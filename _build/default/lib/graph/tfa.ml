@@ -1,0 +1,133 @@
+(** Low-treedepth colorings via transitive–fraternal augmentation
+    (Nešetřil & Ossona de Mendez, used as Proposition 1 in the paper).
+
+    Starting from a bounded-out-degree acyclic orientation, each
+    augmentation round adds
+    - transitive arcs  u→w whenever u→v→w, and
+    - fraternal edges  u—w whenever u→v←w,
+    the fraternal edges being re-oriented by a degeneracy orientation to
+    keep out-degrees low. After enough rounds, a proper coloring of the
+    underlying augmented graph is a low-treedepth coloring of the original
+    graph: any p color classes induce a subgraph of bounded treedepth.
+
+    The engine never relies on the theoretical depth bound: it measures the
+    DFS-forest depth of each color-induced subgraph and compiles with the
+    observed depth, so correctness is unconditional and the coloring only
+    affects performance. *)
+
+type coloring = {
+  color : int array;  (** color of each vertex *)
+  num_colors : int;
+  rounds : int;  (** augmentation rounds performed *)
+}
+
+(* One augmentation round over arc set (as adjacency of out-neighbors). *)
+let augment ~n (out : int list array) : int list array =
+  let arc_set = Hashtbl.create (n * 4) in
+  let add_arc u v = if u <> v then Hashtbl.replace arc_set (u, v) () in
+  Array.iteri (fun u outs -> List.iter (fun v -> add_arc u v) outs) out;
+  let fraternal = ref [] in
+  let transitive = ref [] in
+  Array.iteri
+    (fun u outs ->
+      (* transitive: u -> v -> w *)
+      List.iter
+        (fun v -> List.iter (fun w -> if w <> u then transitive := (u, w) :: !transitive) out.(v))
+        outs;
+      ignore u)
+    out;
+  (* fraternal: u -> v <- w; group arcs by head *)
+  let in_nbrs = Array.make n [] in
+  Array.iteri (fun u outs -> List.iter (fun v -> in_nbrs.(v) <- u :: in_nbrs.(v)) outs) out;
+  Array.iter
+    (fun ins ->
+      let rec pairs = function
+        | [] -> ()
+        | u :: rest ->
+            List.iter
+              (fun w ->
+                if
+                  (not (Hashtbl.mem arc_set (u, w)))
+                  && not (Hashtbl.mem arc_set (w, u))
+                then fraternal := (u, w) :: !fraternal)
+              rest;
+            pairs rest
+      in
+      pairs ins)
+    in_nbrs;
+  List.iter (fun (u, w) -> add_arc u w) !transitive;
+  (* orient the fraternal edges with low out-degree *)
+  let fr_unique =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (u, w) ->
+           if u = w then None else Some (min u w, max u w))
+         !fraternal)
+  in
+  let fr_arcs = Orient.orient_edges ~n fr_unique in
+  List.iter
+    (fun (u, w) ->
+      if not (Hashtbl.mem arc_set (w, u)) then add_arc u w)
+    fr_arcs;
+  let out' = Array.make n [] in
+  Hashtbl.iter (fun (u, v) () -> out'.(u) <- v :: out'.(u)) arc_set;
+  out'
+
+(* Greedy proper coloring of the underlying undirected graph of the arcs,
+   processed in degeneracy order of that graph (colors ≤ degeneracy + 1). *)
+let proper_coloring ~n (out : int list array) : int array * int =
+  let edges = ref [] in
+  Array.iteri (fun u outs -> List.iter (fun v -> edges := (u, v) :: !edges) outs) out;
+  let g = Graph.of_edges ~n !edges in
+  let o = Orient.degeneracy_order g in
+  let color = Array.make n (-1) in
+  let num = ref 0 in
+  (* color in reverse elimination order so each vertex sees only its
+     out-neighbors already colored *)
+  for pos = n - 1 downto 0 do
+    let v = o.Orient.order.(pos) in
+    let used = List.filter_map (fun w -> if color.(w) >= 0 then Some color.(w) else None) (Graph.neighbors g v) in
+    let rec smallest c = if List.mem c used then smallest (c + 1) else c in
+    let c = smallest 0 in
+    color.(v) <- c;
+    num := max !num (c + 1)
+  done;
+  (color, !num)
+
+(** Compute a low-treedepth coloring adequate for patterns of [p] vertices:
+    [p − 1] augmentation rounds then a proper coloring of the augmented
+    graph. *)
+let low_treedepth_coloring ?(rounds = -1) (g : Graph.t) ~p : coloring =
+  let n = Graph.n g in
+  let rounds = if rounds >= 0 then rounds else max 0 (p - 1) in
+  let o = Orient.degeneracy_order g in
+  let out = ref (Array.map Array.to_list o.Orient.out) in
+  for _ = 1 to rounds do
+    out := augment ~n !out
+  done;
+  let color, num_colors = proper_coloring ~n !out in
+  { color; num_colors; rounds }
+
+(** All subsets of {0..num_colors−1} of size ≤ p, as sorted int lists. *)
+let color_subsets ~num_colors ~p =
+  let rec go start size =
+    if size = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun c -> List.map (fun rest -> c :: rest) (go (c + 1) (size - 1)))
+        (List.init (max 0 (num_colors - start)) (fun i -> start + i))
+  in
+  List.concat_map (fun size -> go 0 size) (List.init p (fun i -> i + 1))
+
+(** Validate: the subgraph induced by each pair of color classes should
+    have small DFS depth. Returns the max observed DFS-forest depth over
+    all ≤ p-subsets (diagnostic; exponential in p, use on small graphs). *)
+let max_induced_depth (g : Graph.t) (c : coloring) ~p =
+  let subsets = color_subsets ~num_colors:c.num_colors ~p in
+  List.fold_left
+    (fun acc subset ->
+      let keep v = List.mem c.color.(v) subset in
+      let sub, _, _ = Graph.induced g keep in
+      let f = Forest.dfs_forest sub in
+      max acc (Forest.max_depth f))
+    0 subsets

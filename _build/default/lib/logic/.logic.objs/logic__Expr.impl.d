@@ -1,0 +1,1 @@
+lib/logic/expr.ml: Db Format Formula List Semiring String Term

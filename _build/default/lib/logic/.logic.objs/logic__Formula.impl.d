@@ -1,0 +1,1 @@
+lib/logic/formula.ml: Db Format List Term

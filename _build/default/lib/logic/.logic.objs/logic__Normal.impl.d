@@ -1,0 +1,1 @@
+lib/logic/normal.ml: Db Expr Format Formula List Printf Semiring Term

@@ -1,0 +1,1 @@
+lib/logic/term.ml: Db Format List Stdlib String

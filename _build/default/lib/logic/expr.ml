@@ -1,0 +1,104 @@
+(** Weighted Σ(w)-expressions (paper, Section 3), parameterized by the
+    semiring of constants:
+
+      f ::= s | w(t₁,…,tᵣ) | [α] | f + f | f · f | Σ_x f
+
+    The reference evaluator here is the semantic ground truth against which
+    the circuit compiler is tested. *)
+
+type 'a t =
+  | Const of 'a
+  | Weight of string * Term.t list
+  | Guard of Formula.t  (** Iverson bracket [α] *)
+  | Add of 'a t list
+  | Mul of 'a t list
+  | Sum of string list * 'a t
+
+let const s = Const s
+let weight w ts = Weight (w, ts)
+let guard f = Guard f
+let ( +! ) a b = Add [ a; b ]
+let ( *! ) a b = Mul [ a; b ]
+let sum xs f = Sum (xs, f)
+
+let rec free_vars = function
+  | Const _ -> []
+  | Weight (_, ts) -> List.map Term.base ts
+  | Guard f -> Formula.free_vars f
+  | Add fs | Mul fs -> List.concat_map free_vars fs
+  | Sum (xs, f) -> List.filter (fun y -> not (List.mem y xs)) (free_vars f)
+
+let free_vars_unique f = List.sort_uniq compare (free_vars f)
+let is_closed f = free_vars f = []
+
+let rec weight_symbols = function
+  | Const _ | Guard _ -> []
+  | Weight (w, ts) -> [ (w, List.length ts) ]
+  | Add fs | Mul fs -> List.concat_map weight_symbols fs
+  | Sum (_, f) -> weight_symbols f
+
+(** Maximum number of simultaneously live variables in any summand after
+    normalization — the pattern size p that drives the low-treedepth
+    coloring (Lemma 35). *)
+let rec num_vars = function
+  | Const _ -> 0
+  | Weight (_, ts) -> List.length (List.sort_uniq compare (List.map Term.base ts))
+  | Guard f -> List.length (Formula.free_vars_unique f)
+  | Add fs -> List.fold_left (fun acc f -> max acc (num_vars f)) 0 fs
+  | Mul fs | Sum (_, Mul fs) ->
+      List.length
+        (List.sort_uniq compare (List.concat_map (fun f -> free_vars f) fs))
+      |> max (List.fold_left (fun acc f -> max acc (num_vars f)) 0 fs)
+  | Sum (xs, f) ->
+      max (num_vars f) (List.length (List.sort_uniq compare (xs @ free_vars f)))
+
+let rec rename m = function
+  | Const s -> Const s
+  | Weight (w, ts) -> Weight (w, List.map (Term.rename m) ts)
+  | Guard f -> Guard (Formula.rename m f)
+  | Add fs -> Add (List.map (rename m) fs)
+  | Mul fs -> Mul (List.map (rename m) fs)
+  | Sum (xs, f) ->
+      let m = List.filter (fun (x, _) -> not (List.mem x xs)) m in
+      Sum (xs, rename m f)
+
+(** Reference evaluation: brute force over all valuations of summed
+    variables (exponential in Σ-nesting; a test oracle, not the algorithm). *)
+let eval (type s) (module S : Semiring.Intf.BASIC with type t = s)
+    (inst : Db.Instance.t) (weights : s Db.Weights.bundle) (expr : s t)
+    ?(env = []) () : s =
+  let n = Db.Instance.n inst in
+  let rec go env = function
+    | Const s -> s
+    | Weight (w, ts) ->
+        Db.Weights.get (Db.Weights.find weights w) (List.map (Term.eval inst env) ts)
+    | Guard f -> if Formula.holds inst env f then S.one else S.zero
+    | Add fs -> List.fold_left (fun acc f -> S.add acc (go env f)) S.zero fs
+    | Mul fs -> List.fold_left (fun acc f -> S.mul acc (go env f)) S.one fs
+    | Sum ([], f) -> go env f
+    | Sum (x :: xs, f) ->
+        let acc = ref S.zero in
+        for v = 0 to n - 1 do
+          acc := S.add !acc (go ((x, v) :: env) (Sum (xs, f)))
+        done;
+        !acc
+  in
+  go env expr
+
+let rec pp pp_const fmt = function
+  | Const s -> pp_const fmt s
+  | Weight (w, ts) ->
+      Format.fprintf fmt "%s(%a)" w
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ",") Term.pp)
+        ts
+  | Guard f -> Format.fprintf fmt "[%a]" Formula.pp f
+  | Add fs ->
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f " + ") (pp pp_const))
+        fs
+  | Mul fs ->
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f "·") (pp pp_const))
+        fs
+  | Sum (xs, f) ->
+      Format.fprintf fmt "Σ_{%s}%a" (String.concat "," xs) (pp pp_const) f

@@ -1,0 +1,112 @@
+(** First-order Σ-formulas. These appear inside Iverson brackets [α] of
+    weighted expressions (Section 3) and as the queries of Theorem 24. *)
+
+type t =
+  | True
+  | False
+  | Rel of string * Term.t list
+  | Eq of Term.t * Term.t
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Exists of string * t
+  | Forall of string * t
+
+let rel r ts = Rel (r, ts)
+let eq a b = Eq (a, b)
+let neq a b = Not (Eq (a, b))
+let ( &&& ) a b = And [ a; b ]
+let ( ||| ) a b = Or [ a; b ]
+let exists x f = Exists (x, f)
+let forall x f = Forall (x, f)
+
+let rec free_vars = function
+  | True | False -> []
+  | Rel (_, ts) -> List.map Term.base ts
+  | Eq (a, b) -> [ Term.base a; Term.base b ]
+  | Not f -> free_vars f
+  | And fs | Or fs -> List.concat_map free_vars fs
+  | Exists (x, f) | Forall (x, f) -> List.filter (fun y -> y <> x) (free_vars f)
+
+let free_vars_unique f = List.sort_uniq compare (free_vars f)
+
+let rec is_quantifier_free = function
+  | True | False | Rel _ | Eq _ -> true
+  | Not f -> is_quantifier_free f
+  | And fs | Or fs -> List.for_all is_quantifier_free fs
+  | Exists _ | Forall _ -> false
+
+(** Rename free variables according to the association list [m]. *)
+let rec rename m = function
+  | True -> True
+  | False -> False
+  | Rel (r, ts) -> Rel (r, List.map (Term.rename m) ts)
+  | Eq (a, b) -> Eq (Term.rename m a, Term.rename m b)
+  | Not f -> Not (rename m f)
+  | And fs -> And (List.map (rename m) fs)
+  | Or fs -> Or (List.map (rename m) fs)
+  | Exists (x, f) -> Exists (x, rename (List.remove_assoc x m) f)
+  | Forall (x, f) -> Forall (x, rename (List.remove_assoc x m) f)
+
+(** Negation normal form: negation pushed to atoms. *)
+let rec nnf = function
+  | True -> True
+  | False -> False
+  | (Rel _ | Eq _) as a -> a
+  | And fs -> And (List.map nnf fs)
+  | Or fs -> Or (List.map nnf fs)
+  | Exists (x, f) -> Exists (x, nnf f)
+  | Forall (x, f) -> Forall (x, nnf f)
+  | Not f -> neg_nnf f
+
+and neg_nnf = function
+  | True -> False
+  | False -> True
+  | (Rel _ | Eq _) as a -> Not a
+  | Not f -> nnf f
+  | And fs -> Or (List.map neg_nnf fs)
+  | Or fs -> And (List.map neg_nnf fs)
+  | Exists (x, f) -> Forall (x, neg_nnf f)
+  | Forall (x, f) -> Exists (x, neg_nnf f)
+
+(** Brute-force model checking under an environment (test oracle;
+    exponential in quantifier depth). *)
+let rec holds (inst : Db.Instance.t) env = function
+  | True -> true
+  | False -> false
+  | Rel (r, ts) -> Db.Instance.mem inst r (List.map (Term.eval inst env) ts)
+  | Eq (a, b) -> Term.eval inst env a = Term.eval inst env b
+  | Not f -> not (holds inst env f)
+  | And fs -> List.for_all (holds inst env) fs
+  | Or fs -> List.exists (holds inst env) fs
+  | Exists (x, f) ->
+      let n = Db.Instance.n inst in
+      let rec go v = v < n && (holds inst ((x, v) :: env) f || go (v + 1)) in
+      go 0
+  | Forall (x, f) ->
+      let n = Db.Instance.n inst in
+      let rec go v = v >= n || (holds inst ((x, v) :: env) f && go (v + 1)) in
+      go 0
+
+let rec pp fmt = function
+  | True -> Format.pp_print_string fmt "⊤"
+  | False -> Format.pp_print_string fmt "⊥"
+  | Rel (r, ts) ->
+      Format.fprintf fmt "%s(%a)" r
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ",") Term.pp)
+        ts
+  | Eq (a, b) -> Format.fprintf fmt "%a=%a" Term.pp a Term.pp b
+  | Not (Eq (a, b)) -> Format.fprintf fmt "%a≠%a" Term.pp a Term.pp b
+  | Not f -> Format.fprintf fmt "¬(%a)" pp f
+  | And fs ->
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f " ∧ ") pp)
+        fs
+  | Or fs ->
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f " ∨ ") pp)
+        fs
+  | Exists (x, f) -> Format.fprintf fmt "∃%s.%a" x pp f
+  | Forall (x, f) -> Format.fprintf fmt "∀%s.%a" x pp f
+
+let to_string f = Format.asprintf "%a" pp f

@@ -1,0 +1,180 @@
+(** Normalization of weighted expressions into S-combinations of
+    "sum-of-product" summands Σ_x̄ (coeff · Π literals · Π weights) —
+    the workhorse behind Lemma 28 and Lemma 32.
+
+    Disjunction inside an Iverson bracket is expanded into a *mutually
+    exclusive* sum, [α ∨ β] = [α] + [¬α ∧ β], so that the translation is
+    correct in every semiring (not only idempotent ones). *)
+
+type atom = ARel of string * Term.t list | AEq of Term.t * Term.t
+
+type literal = { pos : bool; atom : atom }
+
+type 'a product = {
+  lits : literal list;
+  weights : (string * Term.t list) list;
+  coeffs : 'a list;  (** constant factors *)
+}
+
+type 'a summand = { vars : string list; prod : 'a product }
+(** Σ over [vars] of the product; variables not in [vars] are free. *)
+
+type 'a t = 'a summand list
+(** The expression is the sum of the summands. *)
+
+let empty_product = { lits = []; weights = []; coeffs = [] }
+
+let merge_product p q =
+  { lits = p.lits @ q.lits; weights = p.weights @ q.weights; coeffs = p.coeffs @ q.coeffs }
+
+let pp_atom fmt = function
+  | ARel (r, ts) ->
+      Format.fprintf fmt "%s(%a)" r
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ",") Term.pp)
+        ts
+  | AEq (a, b) -> Format.fprintf fmt "%a=%a" Term.pp a Term.pp b
+
+let pp_literal fmt l =
+  if l.pos then pp_atom fmt l.atom else Format.fprintf fmt "¬%a" pp_atom l.atom
+
+(* --- fresh renaming of bound variables --- *)
+
+let fresh_counter = ref 0
+
+let fresh_var () =
+  incr fresh_counter;
+  Printf.sprintf "__v%d" !fresh_counter
+
+let rec freshen env = function
+  | Expr.Const s -> Expr.Const s
+  | Expr.Weight (w, ts) -> Expr.Weight (w, List.map (Term.rename env) ts)
+  | Expr.Guard f -> Expr.Guard (Formula.rename env f)
+  | Expr.Add fs -> Expr.Add (List.map (freshen env) fs)
+  | Expr.Mul fs -> Expr.Mul (List.map (freshen env) fs)
+  | Expr.Sum (xs, f) ->
+      let fresh = List.map (fun x -> (x, fresh_var ())) xs in
+      let env' = fresh @ List.filter (fun (x, _) -> not (List.mem x xs)) env in
+      Expr.Sum (List.map snd fresh, freshen env' f)
+
+(* --- formula → exclusive sum of literal lists --- *)
+
+exception Not_quantifier_free of Formula.t
+
+(* Expand an NNF quantifier-free formula into a list of literal lists whose
+   disjunction is mutually exclusive and equivalent to the formula. *)
+let rec expand_formula (f : Formula.t) : literal list list =
+  match f with
+  | Formula.True -> [ [] ]
+  | Formula.False -> []
+  | Formula.Rel (r, ts) -> [ [ { pos = true; atom = ARel (r, ts) } ] ]
+  | Formula.Eq (a, b) -> [ [ { pos = true; atom = AEq (a, b) } ] ]
+  | Formula.Not (Formula.Rel (r, ts)) -> [ [ { pos = false; atom = ARel (r, ts) } ] ]
+  | Formula.Not (Formula.Eq (a, b)) -> [ [ { pos = false; atom = AEq (a, b) } ] ]
+  | Formula.Not _ -> expand_formula (Formula.nnf f)
+  | Formula.And fs ->
+      List.fold_left
+        (fun acc g ->
+          let eg = expand_formula g in
+          List.concat_map (fun ls -> List.map (fun ls' -> ls @ ls') eg) acc)
+        [ [] ] fs
+  | Formula.Or [] -> []
+  | Formula.Or [ g ] -> expand_formula g
+  | Formula.Or (g :: rest) ->
+      (* [g ∨ rest] = [g] + [¬g ∧ rest] — mutually exclusive *)
+      expand_formula g
+      @ expand_formula (Formula.And [ Formula.nnf (Formula.Not g); Formula.Or rest ])
+  | Formula.Exists _ | Formula.Forall _ -> raise (Not_quantifier_free f)
+
+(* --- expression → sum of summands --- *)
+
+let rec norm_expr : 'a Expr.t -> 'a t = function
+  | Expr.Const s -> [ { vars = []; prod = { empty_product with coeffs = [ s ] } } ]
+  | Expr.Weight (w, ts) ->
+      [ { vars = []; prod = { empty_product with weights = [ (w, ts) ] } } ]
+  | Expr.Guard f ->
+      List.map
+        (fun lits -> { vars = []; prod = { empty_product with lits } })
+        (expand_formula (Formula.nnf f))
+  | Expr.Add fs -> List.concat_map norm_expr fs
+  | Expr.Mul fs ->
+      List.fold_left
+        (fun acc f ->
+          let nf = norm_expr f in
+          List.concat_map
+            (fun s ->
+              List.map
+                (fun s' ->
+                  { vars = s.vars @ s'.vars; prod = merge_product s.prod s'.prod })
+                nf)
+            acc)
+        [ { vars = []; prod = empty_product } ]
+        fs
+  | Expr.Sum (xs, f) ->
+      List.map (fun s -> { s with vars = xs @ s.vars }) (norm_expr f)
+
+(** Normalize a weighted expression. All bound variables are renamed fresh
+    first, so distinct summands never capture each other's variables.
+    Raises {!Not_quantifier_free} if a guard contains a quantifier. *)
+let of_expr (e : 'a Expr.t) : 'a t = norm_expr (freshen [] e)
+
+let summand_free_vars s =
+  let in_prod =
+    List.concat_map
+      (fun l ->
+        match l.atom with
+        | ARel (_, ts) -> List.map Term.base ts
+        | AEq (a, b) -> [ Term.base a; Term.base b ])
+      s.prod.lits
+    @ List.concat_map (fun (_, ts) -> List.map Term.base ts) s.prod.weights
+  in
+  List.sort_uniq compare (List.filter (fun v -> not (List.mem v s.vars)) in_prod)
+
+(** All variables (bound and free) mentioned by a summand. *)
+let summand_vars s =
+  let in_prod =
+    List.concat_map
+      (fun l ->
+        match l.atom with
+        | ARel (_, ts) -> List.map Term.base ts
+        | AEq (a, b) -> [ Term.base a; Term.base b ])
+      s.prod.lits
+    @ List.concat_map (fun (_, ts) -> List.map Term.base ts) s.prod.weights
+  in
+  List.sort_uniq compare (s.vars @ in_prod)
+
+(** Reference evaluation of a normal form (test oracle). *)
+let eval (type s) (module S : Semiring.Intf.BASIC with type t = s)
+    (inst : Db.Instance.t) (weights : s Db.Weights.bundle) (nf : s t)
+    ?(env = []) () : s =
+  let n = Db.Instance.n inst in
+  let holds_lit env l =
+    let sat =
+      match l.atom with
+      | ARel (r, ts) -> Db.Instance.mem inst r (List.map (Term.eval inst env) ts)
+      | AEq (a, b) -> Term.eval inst env a = Term.eval inst env b
+    in
+    if l.pos then sat else not sat
+  in
+  let eval_product env p =
+    if List.for_all (holds_lit env) p.lits then
+      let wv =
+        List.fold_left
+          (fun acc (w, ts) ->
+            S.mul acc
+              (Db.Weights.get (Db.Weights.find weights w) (List.map (Term.eval inst env) ts)))
+          S.one p.weights
+      in
+      List.fold_left S.mul wv p.coeffs
+    else S.zero
+  in
+  let rec eval_summand env vars p =
+    match vars with
+    | [] -> eval_product env p
+    | x :: rest ->
+        let acc = ref S.zero in
+        for v = 0 to n - 1 do
+          acc := S.add !acc (eval_summand ((x, v) :: env) rest p)
+        done;
+        !acc
+  in
+  List.fold_left (fun acc s -> S.add acc (eval_summand env s.vars s.prod)) S.zero nf

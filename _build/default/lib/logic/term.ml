@@ -1,0 +1,42 @@
+(** First-order terms over variables and unary function symbols. After the
+    arity reduction of Lemma 37 every function in play is unary, so terms
+    are chains f₁(f₂(…(x)…)); we fix that shape from the start. *)
+
+type t = Var of string | App of string * t
+
+let var x = Var x
+let app f t = App (f, t)
+
+(** The variable at the bottom of the chain. *)
+let rec base = function Var x -> x | App (_, t) -> base t
+
+(** Function symbols applied, outermost first. *)
+let rec spine = function Var _ -> [] | App (f, t) -> f :: spine t
+
+let rec depth = function Var _ -> 0 | App (_, t) -> 1 + depth t
+
+let rec rename m = function
+  | Var x -> Var (match List.assoc_opt x m with Some y -> y | None -> x)
+  | App (f, t) -> App (f, rename m t)
+
+let rec equal a b =
+  match (a, b) with
+  | Var x, Var y -> String.equal x y
+  | App (f, s), App (g, t) -> String.equal f g && equal s t
+  | _ -> false
+
+let compare = Stdlib.compare
+
+let rec pp fmt = function
+  | Var x -> Format.pp_print_string fmt x
+  | App (f, t) -> Format.fprintf fmt "%s(%a)" f pp t
+
+let to_string t = Format.asprintf "%a" pp t
+
+(** Evaluate in an instance under an environment. *)
+let rec eval (inst : Db.Instance.t) env = function
+  | Var x -> (
+      match List.assoc_opt x env with
+      | Some v -> v
+      | None -> invalid_arg ("Term.eval: unbound variable " ^ x))
+  | App (f, t) -> Db.Instance.apply_func inst f (eval inst env t)

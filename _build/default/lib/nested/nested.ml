@@ -1,0 +1,290 @@
+(** Nested weighted queries — the logic FOG[C] and its evaluation
+    (Section 7, Theorem 26).
+
+    Formulas carry a per-node output semiring over the universal
+    {!Semiring.Value.t}; connectives transfer between semirings and must be
+    guarded: [Guarded (r, x̄, c, φs)] denotes [R(x̄)]_S · c(φ¹, …, φᵏ) where
+    R is a boolean relation of the structure and x̄ contains all free
+    variables of the φⁱ.
+
+    Evaluation follows the Theorem 26 induction: innermost guarded
+    connectives are replaced by fresh S-valued relations materialized by
+    querying their subformulas at every guard tuple (each query costs
+    O(log n), or O(1) for ring/finite semirings, via Theorem 8); the
+    resulting connective-free formula is a weighted expression compiled by
+    Theorem 6. Boolean-valued results additionally support constant-delay
+    enumeration of their answers (Theorem 24). *)
+
+open Semiring
+
+type formula =
+  | Srel of string * Logic.Term.t list  (** S-valued relation lookup *)
+  | Const of Value.t * Value.descr
+  | Add of formula list  (** ∨ when boolean *)
+  | Mul of formula list  (** ∧ when boolean *)
+  | Sum of string list * formula  (** Σ_x φ; ∃ when boolean *)
+  | Iverson of formula * Value.descr  (** [φ]_S, φ boolean-valued *)
+  | Brel of string * Logic.Term.t list  (** classical boolean relation *)
+  | Eq of Logic.Term.t * Logic.Term.t
+  | Not of formula  (** boolean only *)
+  | Guarded of string * string list * Value.connective * formula list
+      (** [R(x̄)]·c(φ¹ … φᵏ): guard relation, guard variables, connective *)
+
+(** A structure interpreting both boolean relations (in [inst]) and
+    S-valued relations (as weights with their semirings). *)
+type structure = {
+  inst : Db.Instance.t;
+  srels : Value.t Db.Weights.bundle;
+  stypes : (string * Value.descr) list;  (** semiring of each S-relation *)
+}
+
+let make_structure inst (srels : (Value.t Db.Weights.t * Value.descr) list) =
+  {
+    inst;
+    srels = Db.Weights.bundle (List.map fst srels);
+    stypes = List.map (fun (w, d) -> (Db.Weights.name w, d)) srels;
+  }
+
+exception Ill_typed of string
+
+let ill_typed fmt = Printf.ksprintf (fun s -> raise (Ill_typed s)) fmt
+
+(** Output semiring of a formula; raises {!Ill_typed}. *)
+let rec type_of (st : structure) : formula -> Value.descr = function
+  | Srel (r, _) -> (
+      match List.assoc_opt r st.stypes with
+      | Some d -> d
+      | None -> ill_typed "unknown S-relation %s" r)
+  | Const (_, d) -> d
+  | Add [] | Mul [] -> ill_typed "empty connective"
+  | Add (f :: fs) | Mul (f :: fs) ->
+      let d = type_of st f in
+      List.iter
+        (fun g ->
+          if not (Value.same_sr (type_of st g) d) then
+            ill_typed "mixed semirings in +/· (%s vs %s)" d.Value.name (type_of st g).Value.name)
+        fs;
+      d
+  | Sum (_, f) -> type_of st f
+  | Iverson (f, d) ->
+      if not (Value.same_sr (type_of st f) Value.bool_sr) then
+        ill_typed "Iverson bracket over non-boolean formula";
+      d
+  | Brel (r, _) ->
+      if not (Db.Schema.has_rel (Db.Instance.schema st.inst) r) then
+        ill_typed "unknown boolean relation %s" r;
+      Value.bool_sr
+  | Eq _ -> Value.bool_sr
+  | Not f ->
+      if not (Value.same_sr (type_of st f) Value.bool_sr) then
+        ill_typed "negation of non-boolean formula";
+      Value.bool_sr
+  | Guarded (r, gvars, c, fs) ->
+      if not (Db.Schema.has_rel (Db.Instance.schema st.inst) r) then
+        ill_typed "unknown guard relation %s" r;
+      if Db.Schema.arity (Db.Instance.schema st.inst) r <> List.length gvars then
+        ill_typed "guard arity mismatch on %s" r;
+      if List.length fs <> List.length c.Value.args then
+        ill_typed "connective %s arity mismatch" c.Value.cname;
+      List.iter2
+        (fun f expected ->
+          let d = type_of st f in
+          if not (Value.same_sr d expected) then
+            ill_typed "connective %s: argument has semiring %s, expected %s" c.Value.cname
+              d.Value.name expected.Value.name;
+          List.iter
+            (fun x ->
+              if not (List.mem x gvars) then
+                ill_typed "free variable %s of a connective argument is not guarded" x)
+            (free_vars f))
+        fs c.Value.args;
+      c.Value.out
+
+and free_vars : formula -> string list = function
+  | Srel (_, ts) | Brel (_, ts) -> List.map Logic.Term.base ts
+  | Const _ -> []
+  | Add fs | Mul fs -> List.sort_uniq compare (List.concat_map free_vars fs)
+  | Sum (xs, f) -> List.filter (fun v -> not (List.mem v xs)) (free_vars f)
+  | Iverson (f, _) -> free_vars f
+  | Eq (a, b) -> List.sort_uniq compare [ Logic.Term.base a; Logic.Term.base b ]
+  | Not f -> free_vars f
+  | Guarded (_, gvars, _, fs) ->
+      List.sort_uniq compare (gvars @ List.concat_map free_vars fs)
+
+(* --- translation of connective-free formulas --- *)
+
+(* boolean-valued, connective-free → classical FO formula *)
+let rec to_fo : formula -> Logic.Formula.t = function
+  | Brel (r, ts) -> Logic.Formula.Rel (r, ts)
+  | Srel (r, ts) -> Logic.Formula.Rel (r, ts) (* boolean S-relations materialized as relations *)
+  | Eq (a, b) -> Logic.Formula.Eq (a, b)
+  | Const (Value.B true, _) -> Logic.Formula.True
+  | Const (Value.B false, _) -> Logic.Formula.False
+  | Const _ -> invalid_arg "Nested: non-boolean constant in boolean context"
+  | Not f -> Logic.Formula.Not (to_fo f)
+  | Add fs -> Logic.Formula.Or (List.map to_fo fs)
+  | Mul fs -> Logic.Formula.And (List.map to_fo fs)
+  | Sum (xs, f) -> List.fold_right (fun x acc -> Logic.Formula.Exists (x, acc)) xs (to_fo f)
+  | Iverson (f, _) -> to_fo f
+  | Guarded _ -> invalid_arg "Nested: guard not materialized"
+
+(* S-valued, connective-free → weighted expression *)
+let rec to_expr (st : structure) (f : formula) : Value.t Logic.Expr.t =
+  match f with
+  | Srel (r, ts) -> Logic.Expr.Weight (r, ts)
+  | Const (v, _) -> Logic.Expr.Const v
+  | Add fs -> Logic.Expr.Add (List.map (to_expr st) fs)
+  | Mul fs -> Logic.Expr.Mul (List.map (to_expr st) fs)
+  | Sum (xs, f) -> Logic.Expr.Sum (xs, to_expr st f)
+  | Iverson (f, _) -> Logic.Expr.Guard (to_fo f)
+  | Brel (r, ts) -> Logic.Expr.Guard (Logic.Formula.Rel (r, ts))
+  | Eq (a, b) -> Logic.Expr.Guard (Logic.Formula.Eq (a, b))
+  | Not f -> Logic.Expr.Guard (Logic.Formula.Not (to_fo f))
+  | Guarded _ -> invalid_arg "Nested: guard not materialized"
+
+(* Quantifiers inside expression guards are eliminated by the guarded
+   materialization of Fo_enum; returns the extended structure. *)
+let eliminate_guard_quantifiers (st : structure) (e : Value.t Logic.Expr.t) :
+    structure * Value.t Logic.Expr.t =
+  let inst = ref st.inst in
+  let rec go : Value.t Logic.Expr.t -> Value.t Logic.Expr.t = function
+    | Logic.Expr.Guard f when not (Logic.Formula.is_quantifier_free f) ->
+        let inst', f' = Fo_enum.materialize_guarded !inst f in
+        inst := inst';
+        Logic.Expr.Guard f'
+    | (Logic.Expr.Guard _ | Logic.Expr.Const _ | Logic.Expr.Weight _) as e -> e
+    | Logic.Expr.Add es -> Logic.Expr.Add (List.map go es)
+    | Logic.Expr.Mul es -> Logic.Expr.Mul (List.map go es)
+    | Logic.Expr.Sum (xs, e) -> Logic.Expr.Sum (xs, go e)
+  in
+  let e' = go e in
+  ({ st with inst = !inst }, e')
+
+(* --- the Theorem 26 induction --- *)
+
+let fresh_counter = ref 0
+
+(* Materialize every guarded connective, innermost-first. *)
+let rec materialize (st : structure) (f : formula) : structure * formula =
+  match f with
+  | Srel _ | Const _ | Brel _ | Eq _ -> (st, f)
+  | Add fs ->
+      let st, fs = materialize_list st fs in
+      (st, Add fs)
+  | Mul fs ->
+      let st, fs = materialize_list st fs in
+      (st, Mul fs)
+  | Sum (xs, f) ->
+      let st, f = materialize st f in
+      (st, Sum (xs, f))
+  | Iverson (f, d) ->
+      let st, f = materialize st f in
+      (st, Iverson (f, d))
+  | Not f ->
+      let st, f = materialize st f in
+      (st, Not f)
+  | Guarded (r, gvars, c, fs) ->
+      let st, fs = materialize_list st fs in
+      (* evaluate each argument as a query over the guard variables *)
+      let queries =
+        List.map
+          (fun f ->
+            let q = query_of st f ~order:gvars in
+            q)
+          fs
+      in
+      incr fresh_counter;
+      let out = c.Value.out in
+      if Value.same_sr out Value.bool_sr then begin
+        (* boolean output: materialize as a classical relation so that the
+           result stays enumerable *)
+        let rname = Printf.sprintf "__conn%d" !fresh_counter in
+        let tuples = ref [] in
+        Db.Instance.iter_tuples st.inst r (fun tup ->
+            let v = c.Value.apply (List.map (fun q -> q tup) queries) in
+            if Value.as_bool v then tuples := tup :: !tuples);
+        let inst =
+          Db.Instance.with_relation st.inst rname ~arity:(List.length gvars) !tuples
+        in
+        (( { st with inst } : structure ),
+         Brel (rname, List.map (fun x -> Logic.Term.Var x) gvars))
+      end
+      else begin
+        let wname = Printf.sprintf "__conn%d" !fresh_counter in
+        let w = Db.Weights.create ~name:wname ~arity:(List.length gvars) ~zero:out.Value.zero in
+        Db.Instance.iter_tuples st.inst r (fun tup ->
+            let v = c.Value.apply (List.map (fun q -> q tup) queries) in
+            Db.Weights.set w tup v);
+        Hashtbl.replace st.srels wname w;
+        let st = { st with stypes = (wname, out) :: st.stypes } in
+        (st, Srel (wname, List.map (fun x -> Logic.Term.Var x) gvars))
+      end
+
+and materialize_list st fs =
+  List.fold_left
+    (fun (st, acc) f ->
+      let st, f = materialize st f in
+      (st, acc @ [ f ]))
+    (st, []) fs
+
+(* A query function for a connective-free formula with free variables
+   [order]: one Theorem 8 preparation, then one O(log n) query per tuple. *)
+and query_of (st : structure) (f : formula) ~(order : string list) : int list -> Value.t =
+  let d = type_of st f in
+  let fv = free_vars f in
+  let expr = to_expr st f in
+  let st, expr = eliminate_guard_quantifiers st expr in
+  let ops = Value.ops_of_descr d in
+  let ev = Engine.Eval.prepare ops st.inst st.srels expr in
+  let positions =
+    (* Engine sorts free variables; map guard-order tuples accordingly *)
+    List.map (fun x -> if List.mem x fv then Some x else None) order
+  in
+  let engine_fv = Logic.Expr.free_vars_unique expr in
+  fun tuple ->
+    let env = List.filteri (fun _ _ -> true) (List.combine positions tuple) in
+    let env = List.filter_map (fun (x, a) -> Option.map (fun x -> (x, a)) x) env in
+    let args = List.map (fun x -> List.assoc x env) engine_fv in
+    Engine.Eval.query ev args
+
+(** Evaluate a closed nested weighted query; O(n log n) in general, O(n)
+    when all semirings involved are rings or finite. *)
+let eval (st : structure) (f : formula) : Value.t =
+  let d = type_of st f in
+  if free_vars f <> [] then
+    invalid_arg ("Nested.eval: formula has free variables " ^ String.concat "," (free_vars f));
+  let st, f = materialize st f in
+  if Value.same_sr d Value.bool_sr then begin
+    (* evaluate through the boolean pipeline *)
+    let expr = Logic.Expr.Guard (to_fo f) in
+    let st, expr = eliminate_guard_quantifiers st expr in
+    let ops = Value.ops_of_descr Value.bool_sr in
+    Engine.Eval.evaluate ops st.inst st.srels expr
+  end
+  else begin
+    let expr = to_expr st f in
+    let st, expr = eliminate_guard_quantifiers st expr in
+    let ops = Value.ops_of_descr d in
+    Engine.Eval.evaluate ops st.inst st.srels expr
+  end
+
+(** Prepare a query function for a nested weighted query with free
+    variables: linear-time preprocessing, then per-tuple queries as in
+    Theorem 26. Returns the free variables (query-argument order) and the
+    query function. *)
+let query (st : structure) (f : formula) : string list * (int list -> Value.t) =
+  ignore (type_of st f);
+  let fv = free_vars f in
+  let st, f = materialize st f in
+  (fv, query_of st f ~order:fv)
+
+(** Constant-delay enumeration of the answers of a boolean-valued nested
+    query (the final part of Theorem 26). *)
+let enumerate (st : structure) (f : formula) : string list * int array Enum.Iter.t =
+  let d = type_of st f in
+  if not (Value.same_sr d Value.bool_sr) then
+    invalid_arg "Nested.enumerate: boolean-valued formulas only";
+  let st, f = materialize st f in
+  let phi = to_fo f in
+  let t = Fo_enum.prepare st.inst phi in
+  (Fo_enum.free_vars t, Fo_enum.enumerate t)

@@ -1,0 +1,1 @@
+lib/perm/enum_perm.ml: Array Enum List Subsets

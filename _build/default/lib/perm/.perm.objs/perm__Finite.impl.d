@@ -1,0 +1,1 @@
+lib/perm/finite.ml: Array Hashtbl List Option Semiring

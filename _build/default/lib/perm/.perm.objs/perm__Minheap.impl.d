@@ -1,0 +1,1 @@
+lib/perm/minheap.ml: Array Fun

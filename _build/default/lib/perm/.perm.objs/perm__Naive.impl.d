@@ -1,0 +1,1 @@
+lib/perm/naive.ml: Array Semiring

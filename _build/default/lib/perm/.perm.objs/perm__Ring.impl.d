@@ -1,0 +1,1 @@
+lib/perm/ring.ml: Array List Semiring Subsets

@@ -1,0 +1,1 @@
+lib/perm/segtree.ml: Array List Semiring Subsets

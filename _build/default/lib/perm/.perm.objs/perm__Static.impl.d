@@ -1,0 +1,1 @@
+lib/perm/static.ml: Array Semiring

@@ -1,0 +1,1 @@
+lib/perm/subsets.ml: List

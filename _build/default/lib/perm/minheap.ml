@@ -1,0 +1,75 @@
+(** Indexed binary min-heaps — the data structure behind the paper's
+    closing remark of Section 4: for selection semirings such as
+    (ℕ ∪ {∞}, min, +) or (ℕ ∪ {∞}, min, max), the permanent of a 1 × n
+    matrix is its least entry, so a heap gives O(1) *queries* with
+    O(log n) updates (whereas temporary-update querying would pay the
+    logarithmic update cost on every query).
+
+    The heap is indexed: every column keeps its heap position, so a
+    single-entry update is a sift in O(log n). *)
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  vals : 'a array;  (** current value per column *)
+  heap : int array;  (** heap slots → column ids *)
+  pos : int array;  (** column ids → heap slots *)
+}
+
+let swap t i j =
+  let a = t.heap.(i) and b = t.heap.(j) in
+  t.heap.(i) <- b;
+  t.heap.(j) <- a;
+  t.pos.(b) <- i;
+  t.pos.(a) <- j
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp t.vals.(t.heap.(i)) t.vals.(t.heap.(parent)) < 0 then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let n = Array.length t.heap in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < n && t.cmp t.vals.(t.heap.(l)) t.vals.(t.heap.(!smallest)) < 0 then smallest := l;
+  if r < n && t.cmp t.vals.(t.heap.(r)) t.vals.(t.heap.(!smallest)) < 0 then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+(** Build from the initial column values; O(n). *)
+let create ~cmp (vals : 'a array) : 'a t =
+  let n = Array.length vals in
+  let t = { cmp; vals = Array.copy vals; heap = Array.init n Fun.id; pos = Array.init n Fun.id } in
+  for i = (n / 2) - 1 downto 0 do
+    sift_down t i
+  done;
+  t
+
+let size t = Array.length t.heap
+let is_empty t = Array.length t.heap = 0
+
+(** The 1 × n permanent in a selection semiring: the least entry. O(1). *)
+let min_value t =
+  if is_empty t then invalid_arg "Minheap.min_value: empty";
+  t.vals.(t.heap.(0))
+
+(** A column achieving the minimum. O(1). *)
+let argmin t =
+  if is_empty t then invalid_arg "Minheap.argmin: empty";
+  t.heap.(0)
+
+let get t col = t.vals.(col)
+
+(** Update one column's value; O(log n). *)
+let set t col v =
+  if col < 0 || col >= Array.length t.vals then invalid_arg "Minheap.set: bad column";
+  let old = t.vals.(col) in
+  t.vals.(col) <- v;
+  let c = t.cmp v old in
+  if c < 0 then sift_up t t.pos.(col) else if c > 0 then sift_down t t.pos.(col)

@@ -1,0 +1,28 @@
+(** Baseline permanent by explicit enumeration of all injective row→column
+    assignments — Θ(nᵏ) work. The benchmark harness uses this as the
+    comparison point that the linear-time algorithms beat (experiment E2). *)
+
+module Make (S : Semiring.Intf.BASIC) = struct
+  let perm (m : S.t array array) : S.t =
+    let k = Array.length m in
+    if k = 0 then S.one
+    else begin
+      let n = Array.length m.(0) in
+      let used = Array.make n false in
+      let rec go r =
+        if r = k then S.one
+        else begin
+          let acc = ref S.zero in
+          for c = 0 to n - 1 do
+            if not used.(c) then begin
+              used.(c) <- true;
+              acc := S.add !acc (S.mul m.(r).(c) (go (r + 1)));
+              used.(c) <- false
+            end
+          done;
+          !acc
+        end
+      in
+      go 0
+    end
+end

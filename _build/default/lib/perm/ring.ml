@@ -1,0 +1,105 @@
+(** Constant-update permanent for rings (Lemma 15 / Corollary 17). By
+    inclusion–exclusion over the coincidence pattern of the column choices,
+
+      perm(M) = Σ over partitions P of the rows, of
+                Π over blocks B in P, of (−1)^(size B − 1) · (size B − 1)! · s_B,
+
+    where s_B = Σ_c Π over r in B of M[r,c] is a "power sum". The structure
+    maintains the 2ᵏ−1 power sums; a single-entry update touches the 2ᵏ⁻¹
+    sums containing that row (constant for fixed k), and the permanent is
+    recomputed from the power sums in O_k(1). *)
+
+type 'a t = {
+  ops : 'a Semiring.Intf.ops;
+  neg : 'a -> 'a;
+  k : int;
+  n : int;
+  sums : 'a array;  (** sums.(mask) = s_mask for nonzero masks *)
+  columns : 'a array array;  (** n × k *)
+  parts : (int * int) list list;  (** partitions as (block mask, coeff) lists *)
+}
+
+(* c · x for an integer c (|c| small, bounded by (k−1)!). *)
+let int_mul t c x =
+  let open Semiring.Intf in
+  let rec go acc c = if c = 0 then acc else go (t.ops.add acc x) (c - 1) in
+  if c >= 0 then go t.ops.zero c else t.neg (go t.ops.zero (-c))
+
+let block_coeff mask =
+  let b = Subsets.popcount mask in
+  let sign = if (b - 1) mod 2 = 0 then 1 else -1 in
+  sign * Subsets.factorial (b - 1)
+
+let column_contrib ops k col mask =
+  let open Semiring.Intf in
+  let acc = ref ops.one in
+  for r = 0 to k - 1 do
+    if mask land (1 lsl r) <> 0 then acc := ops.mul !acc col.(r)
+  done;
+  !acc
+
+let create (ops : 'a Semiring.Intf.ops) (m : 'a array array) : 'a t =
+  let open Semiring.Intf in
+  let neg =
+    match ops.neg with
+    | Some n -> n
+    | None -> invalid_arg "Ring permanent requires a ring (no negation available)"
+  in
+  let k = Array.length m in
+  let n = if k = 0 then 0 else Array.length m.(0) in
+  let columns = Array.init n (fun c -> Array.init k (fun r -> m.(r).(c))) in
+  let sums = Array.make (1 lsl k) ops.zero in
+  for mask = 1 to (1 lsl k) - 1 do
+    let acc = ref ops.zero in
+    Array.iter (fun col -> acc := ops.add !acc (column_contrib ops k col mask)) columns;
+    sums.(mask) <- !acc
+  done;
+  let parts =
+    List.map
+      (fun blocks -> List.map (fun b -> (b, block_coeff b)) blocks)
+      (Subsets.partitions k)
+  in
+  { ops; neg; k; n; sums; columns; parts }
+
+(** Permanent from the power sums: O(Bell(k) · k), independent of n. *)
+let perm t =
+  let open Semiring.Intf in
+  if t.k = 0 then t.ops.one
+  else
+    List.fold_left
+      (fun acc part ->
+        let term =
+          List.fold_left
+            (fun p (mask, coeff) -> t.ops.mul p (int_mul t coeff t.sums.(mask)))
+            t.ops.one part
+        in
+        t.ops.add acc term)
+      t.ops.zero t.parts
+
+(** Constant-time single-entry update (Corollary 17). *)
+let set t ~row ~col v =
+  let open Semiring.Intf in
+  if row < 0 || row >= t.k then invalid_arg "Ring_perm.set: bad row";
+  if col < 0 || col >= t.n then invalid_arg "Ring_perm.set: bad col";
+  let old_col = Array.copy t.columns.(col) in
+  t.columns.(col).(row) <- v;
+  for mask = 1 to (1 lsl t.k) - 1 do
+    if mask land (1 lsl row) <> 0 then begin
+      let old_term = column_contrib t.ops t.k old_col mask in
+      let new_term = column_contrib t.ops t.k t.columns.(col) mask in
+      t.sums.(mask) <- t.ops.add (t.ops.add t.sums.(mask) (t.neg old_term)) new_term
+    end
+  done
+
+let get t ~row ~col = t.columns.(col).(row)
+
+(** Functor sugar over a statically-known ring. *)
+module Make (R : Semiring.Intf.RING) = struct
+  type nonrec t = R.t t
+
+  let ops = Semiring.Intf.ops_of_ring (module R)
+  let create m = create ops m
+  let perm = perm
+  let set = set
+  let get = get
+end

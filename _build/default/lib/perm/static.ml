@@ -1,0 +1,55 @@
+(** Static permanent of a k × n matrix over an arbitrary commutative
+    semiring in time O(2ᵏ · k · n) — the linear-in-n computation promised
+    after Lemma 10. The DP scans the columns once, keeping for every subset
+    S ⊆ rows the permanent of the submatrix of the scanned columns with row
+    set S (each column hosts at most one row). *)
+
+(** [perm ops m] for [m] a k×n matrix given as rows; k = 0 yields [one]. *)
+let perm (ops : 'a Semiring.Intf.ops) (m : 'a array array) : 'a =
+  let open Semiring.Intf in
+  let k = Array.length m in
+  if k = 0 then ops.one
+  else begin
+    let n = Array.length m.(0) in
+    let full = (1 lsl k) - 1 in
+    let dp = Array.make (full + 1) ops.zero in
+    dp.(0) <- ops.one;
+    for c = 0 to n - 1 do
+      (* descending mask order: dp.(mask) updated from strictly smaller
+         masks of the previous column prefix *)
+      for mask = full downto 0 do
+        let acc = ref dp.(mask) in
+        for r = 0 to k - 1 do
+          if mask land (1 lsl r) <> 0 then
+            acc := ops.add !acc (ops.mul dp.(mask lxor (1 lsl r)) m.(r).(c))
+        done;
+        dp.(mask) <- !acc
+      done
+    done;
+    dp.(full)
+  end
+
+module Make (S : Semiring.Intf.BASIC) = struct
+  let ops = Semiring.Intf.ops_of_module (module S)
+
+  (** [perm m] for [m] a k×n matrix given as rows; k = 0 yields [one]. *)
+  let perm (m : S.t array array) : S.t = perm ops m
+
+  (** perm′ (Lemma 10): only order-increasing assignments contribute; the
+      rows must be matched to strictly increasing column indices. *)
+  let perm_increasing (m : S.t array array) : S.t =
+    let k = Array.length m in
+    if k = 0 then S.one
+    else begin
+      let n = Array.length m.(0) in
+      (* dp.(i) = perm' of first i rows over scanned column prefix *)
+      let dp = Array.make (k + 1) S.zero in
+      dp.(0) <- S.one;
+      for c = 0 to n - 1 do
+        for i = k downto 1 do
+          dp.(i) <- S.add dp.(i) (S.mul dp.(i - 1) m.(i - 1).(c))
+        done
+      done;
+      dp.(k)
+    end
+end

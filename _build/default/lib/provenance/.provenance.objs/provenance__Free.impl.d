@@ -1,0 +1,1 @@
+lib/provenance/free.ml: Format List Semiring

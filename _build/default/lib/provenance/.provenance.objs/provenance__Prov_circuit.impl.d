@@ -1,0 +1,1 @@
+lib/provenance/prov_circuit.ml: Array Circuits Db Engine Enum Free Hashtbl List Logic Perm

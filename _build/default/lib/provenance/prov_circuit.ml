@@ -1,0 +1,80 @@
+(** Evaluation of circuits in the free semiring with iterator-represented
+    elements (Theorem 22).
+
+    The circuit is evaluated bottom-up into a DAG of iterators: additions
+    become concatenations, multiplications become products mapped through
+    monomial multiplication, and permanent gates become the constant-delay
+    permanent enumerators of Lemma 23. Only leaves (input and constant
+    gates) are shared between parents in compiled circuits, and the leaf
+    valuation returns a fresh iterator per call, so no stateful iterator
+    ever appears in two simultaneously-active positions.
+
+    Constants must be the booleans 0 and 1 of the compilation (false ↦
+    empty iterator, true ↦ the single empty monomial) — exactly what
+    [Engine.Compile] emits when compiling with [~zero:false ~one:true]. *)
+
+let eval (type g) (circuit : bool Circuits.Circuit.t)
+    ~(leaf : Circuits.Circuit.input_key -> g Free.mono Enum.Iter.t) :
+    g Free.mono Enum.Iter.t =
+  let nodes = circuit.Circuits.Circuit.nodes in
+  let rec build id : g Free.mono Enum.Iter.t =
+    match nodes.(id) with
+    | Circuits.Circuit.Input key -> leaf key
+    | Circuits.Circuit.Const false -> Enum.Iter.empty
+    | Circuits.Circuit.Const true -> Enum.Iter.singleton Free.mono_one
+    | Circuits.Circuit.Add gs -> Enum.Iter.concat (List.map build (Array.to_list gs))
+    | Circuits.Circuit.Mul gs ->
+        Array.fold_left
+          (fun acc g ->
+            Enum.Iter.map (fun (a, b) -> Free.mono_mul a b) (Enum.Iter.product acc (build g)))
+          (Enum.Iter.singleton Free.mono_one)
+          gs
+    | Circuits.Circuit.Perm rows ->
+        let entries = Array.map (Array.map build) rows in
+        Perm.Enum_perm.enumerate
+          (Perm.Enum_perm.create ~mul:Free.mono_mul ~one:Free.mono_one entries)
+  in
+  build circuit.Circuits.Circuit.output
+
+(** Prepared provenance query: compile once (linear time), then build
+    monomial enumerators against the current weight valuation. A weight
+    update is recorded in O(1); the next [enumerate] rebuilds the iterator
+    DAG in time linear in the circuit (see DESIGN.md §3 for how this
+    relates to the paper's fully-dynamic variant). *)
+type 'g t = {
+  circuit : bool Circuits.Circuit.t;
+  meta : Engine.Compile.meta;
+  weights : (Circuits.Circuit.input_key, 'g Free.mono list) Hashtbl.t;
+      (** current value of each weight as an explicit monomial list *)
+  default : Circuits.Circuit.input_key -> 'g Free.mono list;
+}
+
+(** [prepare inst expr ~weight] compiles Σ-expression [expr] (over boolean
+    constants) and installs [weight] as the initial valuation: the list of
+    monomials of each weight's value (often a singleton identifier). *)
+let prepare ?(dynamic_rels = []) (inst : Db.Instance.t) (expr : bool Logic.Expr.t)
+    ~(weight : string -> int list -> 'g Free.mono list) : 'g t =
+  let circuit, meta =
+    Engine.Compile.compile ~zero:false ~one:true ~dynamic_rels inst expr
+  in
+  {
+    circuit;
+    meta;
+    weights = Hashtbl.create 256;
+    default = (fun (w, tuple) -> weight w tuple);
+  }
+
+(** Update one weight to a new free-semiring value (list of monomials).
+    O(1): recorded in an overlay consulted at the next enumeration. *)
+let update t (w : string) (tuple : int list) (value : 'g Free.mono list) =
+  Hashtbl.replace t.weights (w, tuple) value
+
+let current t key =
+  match Hashtbl.find_opt t.weights key with Some v -> v | None -> t.default key
+
+(** A fresh constant-delay enumerator for the monomials of the query value
+    under the current weights. *)
+let enumerate t : 'g Free.mono Enum.Iter.t =
+  eval t.circuit ~leaf:(fun key -> Enum.Iter.of_list (current t key))
+
+let meta t = t.meta

@@ -1,0 +1,1 @@
+lib/semiring/bigint.ml: Array Buffer Char Format Intf List Option Printf Stdlib String

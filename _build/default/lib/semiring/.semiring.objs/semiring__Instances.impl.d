@@ -1,0 +1,1 @@
+lib/semiring/instances.ml: Bool Format Fun Int Intf List

@@ -1,0 +1,1 @@
+lib/semiring/intf.ml: Format List

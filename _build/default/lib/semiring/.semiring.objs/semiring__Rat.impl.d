@@ -1,0 +1,1 @@
+lib/semiring/rat.ml: Bigint Format Intf

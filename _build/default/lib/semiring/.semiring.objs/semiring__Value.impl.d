@@ -1,0 +1,1 @@
+lib/semiring/value.ml: Bool Format Instances Int Intf List Printf Rat String Tropical Zmod

@@ -1,0 +1,1 @@
+lib/semiring/zmod.ml: Format Fun Int Intf List

@@ -1,0 +1,245 @@
+(** Arbitrary-precision integers, sign-magnitude over base-2^30 limbs.
+
+    The sealed build environment has no [zarith]; exact arithmetic over the
+    rationals (needed e.g. for the PageRank query of Example 9) is built on
+    this module. Little-endian limb order; the magnitude array never has a
+    trailing zero limb. *)
+
+type t = { sign : int; mag : int array }
+(* Invariants: [sign] is -1, 0 or 1; [sign = 0] iff [mag = [||]];
+   each limb is in [0, base); the highest limb is nonzero. *)
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let mask = base - 1
+
+let zero = { sign = 0; mag = [||] }
+let is_zero a = a.sign = 0
+
+let normalize sign mag =
+  let n = ref (Array.length mag) in
+  while !n > 0 && mag.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = 0 then zero
+  else if !n = Array.length mag then { sign; mag }
+  else { sign; mag = Array.sub mag 0 !n }
+
+let of_int i =
+  if i = 0 then zero
+  else
+    let sign = if i < 0 then -1 else 1 in
+    let i = abs i in
+    let rec limbs i = if i = 0 then [] else (i land mask) :: limbs (i lsr base_bits) in
+    { sign; mag = Array.of_list (limbs i) }
+
+let one = of_int 1
+let minus_one = of_int (-1)
+
+(* Magnitude comparison: -1, 0, 1. *)
+let cmp_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let l = max la lb + 1 in
+  let r = Array.make l 0 in
+  let carry = ref 0 in
+  for i = 0 to l - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land mask;
+    carry := s lsr base_bits
+  done;
+  r
+
+(* Requires |a| >= |b|. *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let s = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if s < 0 then begin
+      r.(i) <- s + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- s;
+      borrow := 0
+    end
+  done;
+  r
+
+let neg a = if a.sign = 0 then a else { a with sign = -a.sign }
+
+let rec add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then normalize a.sign (add_mag a.mag b.mag)
+  else
+    match cmp_mag a.mag b.mag with
+    | 0 -> zero
+    | c when c > 0 -> normalize a.sign (sub_mag a.mag b.mag)
+    | _ -> normalize b.sign (sub_mag b.mag a.mag)
+
+and sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else begin
+    let la = Array.length a.mag and lb = Array.length b.mag in
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.mag.(i) in
+      for j = 0 to lb - 1 do
+        let s = r.(i + j) + (ai * b.mag.(j)) + !carry in
+        r.(i + j) <- s land mask;
+        carry := s lsr base_bits
+      done;
+      r.(i + lb) <- r.(i + lb) + !carry
+    done;
+    normalize (a.sign * b.sign) r
+  end
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else if a.sign >= 0 then cmp_mag a.mag b.mag
+  else cmp_mag b.mag a.mag
+
+let equal a b = compare a b = 0
+
+(* Multiply a magnitude by a small non-negative int. *)
+let mul_small mag k =
+  if k = 0 then [||]
+  else begin
+    let l = Array.length mag in
+    let r = Array.make (l + 2) 0 in
+    let carry = ref 0 in
+    for i = 0 to l - 1 do
+      let s = (mag.(i) * k) + !carry in
+      r.(i) <- s land mask;
+      carry := s lsr base_bits
+    done;
+    r.(l) <- !carry land mask;
+    r.(l + 1) <- !carry lsr base_bits;
+    r
+  end
+
+(* Shift a magnitude left by [n] whole limbs. *)
+let shift_limbs mag n =
+  if Array.length mag = 0 then mag
+  else Array.append (Array.make n 0) mag
+
+(* Euclidean division of magnitudes: returns (quotient, remainder).
+   Quotient limbs are found by binary search over [0, base), using only
+   multiplication by a small int and magnitude comparison; O(30) compares
+   per quotient limb, which is plenty fast for the sizes we handle. *)
+let divmod_mag a b =
+  if cmp_mag a b < 0 then ([||], a)
+  else begin
+    let la = Array.length a and lb = Array.length b in
+    let lq = la - lb + 1 in
+    let q = Array.make lq 0 in
+    let rem = ref a in
+    for pos = lq - 1 downto 0 do
+      let shifted = shift_limbs b pos in
+      (* Largest d with d * shifted <= rem. *)
+      let lo = ref 0 and hi = ref mask in
+      while !lo < !hi do
+        let mid = (!lo + !hi + 1) / 2 in
+        let prod = normalize 1 (mul_small shifted mid) in
+        if cmp_mag prod.mag !rem <= 0 then lo := mid else hi := mid - 1
+      done;
+      let d = !lo in
+      q.(pos) <- d;
+      if d > 0 then begin
+        let prod = normalize 1 (mul_small shifted d) in
+        rem := (normalize 1 (sub_mag !rem prod.mag)).mag
+      end
+    done;
+    (q, !rem)
+  end
+
+(** Truncated division and remainder with [rem] having the sign of [a]
+    (like OCaml's [/] and [mod]). Raises [Division_by_zero]. *)
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  if a.sign = 0 then (zero, zero)
+  else begin
+    let q, r = divmod_mag a.mag b.mag in
+    (normalize (a.sign * b.sign) q, normalize a.sign r)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let abs a = if a.sign < 0 then neg a else a
+
+let rec gcd a b = if is_zero b then abs a else gcd b (rem a b)
+
+let sign a = a.sign
+
+(** [to_int a] if it fits in a native int. *)
+let to_int_opt a =
+  if Array.length a.mag > 2 then None
+  else begin
+    let v = Array.fold_right (fun limb acc -> (acc lsl base_bits) lor limb) a.mag 0 in
+    if v < 0 then None else Some (a.sign * v)
+  end
+
+let to_int_exn a =
+  match to_int_opt a with Some v -> v | None -> invalid_arg "Bigint.to_int_exn"
+
+let to_string a =
+  if is_zero a then "0"
+  else begin
+    let chunk = of_int 1_000_000_000 in
+    let buf = Buffer.create 32 in
+    let rec go m acc =
+      if Array.length m = 0 then acc
+      else
+        let q, r = divmod_mag m chunk.mag in
+        let rv = (normalize 1 r) |> to_int_opt |> Option.value ~default:0 in
+        go (normalize 1 q).mag (rv :: acc)
+    in
+    (match go a.mag [] with
+    | [] -> Buffer.add_char buf '0'
+    | hd :: tl ->
+        if a.sign < 0 then Buffer.add_char buf '-';
+        Buffer.add_string buf (string_of_int hd);
+        List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) tl);
+    Buffer.contents buf
+  end
+
+let of_string s =
+  let s, sign = if String.length s > 0 && s.[0] = '-' then (String.sub s 1 (String.length s - 1), -1) else (s, 1) in
+  let ten = of_int 10 in
+  let v =
+    String.fold_left
+      (fun acc c ->
+        if c < '0' || c > '9' then invalid_arg "Bigint.of_string";
+        add (mul acc ten) (of_int (Char.code c - Char.code '0')))
+      zero s
+  in
+  if sign < 0 then neg v else v
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)
+
+(** The ring (ℤ, +, ·) packaged as a module. *)
+module Ring : Intf.RING with type t = t = struct
+  type nonrec t = t
+
+  let zero = zero
+  let one = one
+  let add = add
+  let mul = mul
+  let neg = neg
+  let sub = sub
+  let equal = equal
+  let pp = pp
+end

@@ -1,0 +1,124 @@
+(** Stock semirings used throughout the paper's examples: the boolean
+    semiring B, the naturals (ℕ, +, ·), machine-integer and exact rings,
+    and the min-max semiring (ℕ ∪ {∞}, min, max). *)
+
+(** B = ({false, true}, ∨, ∧); summation in B is existential
+    quantification (Sections 1, 6). *)
+module Bool : Intf.FINITE with type t = bool = struct
+  type t = bool
+
+  let zero = false
+  let one = true
+  let add = ( || )
+  let mul = ( && )
+  let equal = Bool.equal
+  let elements = [ false; true ]
+  let pp = Format.pp_print_bool
+end
+
+(** (ℕ, +, ·) on machine integers — the bag-semantics semiring. Overflow is
+    the caller's concern, as in the paper's unit-cost model. *)
+module Nat : Intf.BASIC with type t = int = struct
+  type t = int
+
+  let zero = 0
+  let one = 1
+  let add = ( + )
+  let mul = ( * )
+  let equal = Int.equal
+  let pp = Format.pp_print_int
+end
+
+(** (ℤ, +, ·) on machine integers, with inverses (a ring, so circuit updates
+    are constant-time by Corollary 17). *)
+module Int_ring : Intf.RING with type t = int = struct
+  type t = int
+
+  let zero = 0
+  let one = 1
+  let add = ( + )
+  let mul = ( * )
+  let neg x = -x
+  let sub = ( - )
+  let equal = Int.equal
+  let pp = Format.pp_print_int
+end
+
+(** Values of (ℕ ∪ {+∞}, min, max) and the tropical semirings. *)
+type extended = Fin of int | Inf
+
+let pp_extended fmt = function
+  | Fin n -> Format.pp_print_int fmt n
+  | Inf -> Format.pp_print_string fmt "∞"
+
+let equal_extended a b =
+  match (a, b) with Fin x, Fin y -> x = y | Inf, Inf -> true | _ -> false
+
+(** (ℕ ∪ {+∞}, min, max): zero = ∞, one = 0. *)
+module Min_max : Intf.BASIC with type t = extended = struct
+  type t = extended
+
+  let zero = Inf
+  let one = Fin 0
+
+  let add a b =
+    match (a, b) with
+    | Inf, x | x, Inf -> x
+    | Fin x, Fin y -> Fin (min x y)
+
+  let mul a b =
+    match (a, b) with
+    | Inf, _ | _, Inf -> Inf
+    | Fin x, Fin y -> Fin (max x y)
+
+  let equal = equal_extended
+  let pp = pp_extended
+end
+
+(** Subsets of a universe of at most 62 points, as a boolean algebra
+    (P(X), ∪, ∩) over an int bitmask. *)
+module Bitset (U : sig
+  val universe_size : int
+end) : Intf.FINITE with type t = int = struct
+  type t = int
+
+  let () =
+    if U.universe_size < 0 || U.universe_size > 62 then
+      invalid_arg "Bitset: universe size must be in [0, 62]"
+
+  let zero = 0
+  let one = (1 lsl U.universe_size) - 1
+  let add = ( lor )
+  let mul = ( land )
+  let equal = Int.equal
+
+  let elements =
+    if U.universe_size > 16 then
+      invalid_arg "Bitset.elements: universe too large to enumerate"
+    else List.init (1 lsl U.universe_size) Fun.id
+
+  let pp fmt s =
+    Format.pp_print_char fmt '{';
+    let first = ref true in
+    for i = 0 to U.universe_size - 1 do
+      if s land (1 lsl i) <> 0 then begin
+        if not !first then Format.pp_print_char fmt ',';
+        first := false;
+        Format.pp_print_int fmt i
+      end
+    done;
+    Format.pp_print_char fmt '}'
+end
+
+(** Product semiring, componentwise operations. *)
+module Product (A : Intf.BASIC) (B : Intf.BASIC) :
+  Intf.BASIC with type t = A.t * B.t = struct
+  type t = A.t * B.t
+
+  let zero = (A.zero, B.zero)
+  let one = (A.one, B.one)
+  let add (a1, b1) (a2, b2) = (A.add a1 a2, B.add b1 b2)
+  let mul (a1, b1) (a2, b2) = (A.mul a1 a2, B.mul b1 b2)
+  let equal (a1, b1) (a2, b2) = A.equal a1 a2 && B.equal b1 b2
+  let pp fmt (a, b) = Format.fprintf fmt "(%a, %a)" A.pp a B.pp b
+end

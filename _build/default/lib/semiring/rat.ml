@@ -1,0 +1,74 @@
+(** Exact rationals over {!Bigint}, always kept in lowest terms with a
+    positive denominator. The field (ℚ, +, ·) is the value domain of the
+    paper's PageRank example (Example 9) and of the division connective in
+    nested weighted queries (Section 7). *)
+
+type t = { num : Bigint.t; den : Bigint.t }
+
+let make num den =
+  if Bigint.is_zero den then raise Division_by_zero;
+  let g = Bigint.gcd num den in
+  let num, den = (Bigint.div num g, Bigint.div den g) in
+  if Bigint.sign den < 0 then { num = Bigint.neg num; den = Bigint.neg den }
+  else { num; den }
+
+let zero = { num = Bigint.zero; den = Bigint.one }
+let one = { num = Bigint.one; den = Bigint.one }
+let of_bigint n = { num = n; den = Bigint.one }
+let of_int n = of_bigint (Bigint.of_int n)
+
+(** [of_ints p q] is the rational p/q. *)
+let of_ints p q = make (Bigint.of_int p) (Bigint.of_int q)
+
+let num t = t.num
+let den t = t.den
+let is_zero t = Bigint.is_zero t.num
+
+let add a b =
+  make
+    (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
+    (Bigint.mul a.den b.den)
+
+let neg a = { a with num = Bigint.neg a.num }
+let sub a b = add a (neg b)
+let mul a b = make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+
+let inv a =
+  if is_zero a then raise Division_by_zero;
+  make a.den a.num
+
+let div a b = mul a (inv b)
+
+(** Total division as a connective: [p / 0 = 0], following the paper's
+    convention for the division connective in Section 7. *)
+let div_total a b = if is_zero b then zero else div a b
+
+let compare a b = Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
+
+let to_float a =
+  (* Good enough for reporting: convert through strings when small. *)
+  match (Bigint.to_int_opt a.num, Bigint.to_int_opt a.den) with
+  | Some n, Some d -> float_of_int n /. float_of_int d
+  | _ ->
+      float_of_string (Bigint.to_string a.num) /. float_of_string (Bigint.to_string a.den)
+
+let pp fmt a =
+  if Bigint.equal a.den Bigint.one then Bigint.pp fmt a.num
+  else Format.fprintf fmt "%a/%a" Bigint.pp a.num Bigint.pp a.den
+
+let to_string a = Format.asprintf "%a" pp a
+
+(** The field (ℚ, +, ·) packaged as a ring module. *)
+module Ring : Intf.RING with type t = t = struct
+  type nonrec t = t
+
+  let zero = zero
+  let one = one
+  let add = add
+  let mul = mul
+  let neg = neg
+  let sub = sub
+  let equal = equal
+  let pp = pp
+end

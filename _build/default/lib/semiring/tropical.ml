@@ -1,0 +1,55 @@
+(** Tropical semirings: (ℕ ∪ {+∞}, min, +) and (ℚ ∪ {−∞}, max, +) from the
+    paper's introduction. Min-plus evaluates a weighted query to the minimum
+    total cost of a match (e.g. the cheapest directed triangle); max-plus is
+    the outer semiring of the neighbor-average example. *)
+
+type t = Instances.extended
+
+(** (ℕ ∪ {+∞}, min, +): zero = +∞, one = 0. *)
+module Min_plus : Intf.BASIC with type t = Instances.extended = struct
+  type t = Instances.extended
+
+  open Instances
+
+  let zero = Inf
+  let one = Fin 0
+
+  let add a b =
+    match (a, b) with Inf, x | x, Inf -> x | Fin x, Fin y -> Fin (min x y)
+
+  let mul a b =
+    match (a, b) with Inf, _ | _, Inf -> Inf | Fin x, Fin y -> Fin (x + y)
+
+  let equal = equal_extended
+  let pp = pp_extended
+end
+
+type maxplus = NegInf | MFin of int
+
+(** (ℤ ∪ {−∞}, max, +): zero = −∞, one = 0. *)
+module Max_plus : Intf.BASIC with type t = maxplus = struct
+  type t = maxplus
+
+  let zero = NegInf
+  let one = MFin 0
+
+  let add a b =
+    match (a, b) with
+    | NegInf, x | x, NegInf -> x
+    | MFin x, MFin y -> MFin (max x y)
+
+  let mul a b =
+    match (a, b) with
+    | NegInf, _ | _, NegInf -> NegInf
+    | MFin x, MFin y -> MFin (x + y)
+
+  let equal a b =
+    match (a, b) with
+    | NegInf, NegInf -> true
+    | MFin x, MFin y -> x = y
+    | _ -> false
+
+  let pp fmt = function
+    | NegInf -> Format.pp_print_string fmt "−∞"
+    | MFin n -> Format.pp_print_int fmt n
+end

@@ -1,0 +1,31 @@
+(** The finite ring ℤ/kℤ. Finite semirings admit constant-time circuit
+    updates via counting gates (Lemma 18, Corollary 20); ℤ/kℤ is the
+    canonical test case because the lasso of Claim 2 is a pure cycle. *)
+
+module Make (M : sig
+  val modulus : int
+end) : sig
+  include Intf.RING with type t = int
+  include Intf.FINITE with type t := int
+
+  val of_int : int -> int
+end = struct
+  type t = int
+
+  let () = if M.modulus < 1 then invalid_arg "Zmod: modulus must be >= 1"
+  let m = M.modulus
+  let of_int x = ((x mod m) + m) mod m
+  let zero = 0
+  let one = of_int 1
+  let add a b = (a + b) mod m
+  let mul a b = a * b mod m
+  let neg a = of_int (-a)
+  let sub a b = of_int (a - b)
+  let equal = Int.equal
+  let elements = List.init m Fun.id
+  let pp = Format.pp_print_int
+end
+
+module Z2 = Make (struct let modulus = 2 end)
+module Z3 = Make (struct let modulus = 3 end)
+module Z4 = Make (struct let modulus = 4 end)

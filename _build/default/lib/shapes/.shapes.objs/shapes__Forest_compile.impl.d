@@ -1,0 +1,1 @@
+lib/shapes/forest_compile.ml: Array Circuits Graphs Hashtbl List Logic Shape

@@ -1,0 +1,1 @@
+lib/shapes/shape.ml: Array Format Hashtbl List Logic Printf String

@@ -1,0 +1,129 @@
+(** Circuit construction over a rooted forest, per shape (Lemma 29 and its
+    Claim 1). For a shape with roots r₁ … r_m and a forest with roots
+    v₁ … v_N, the circuit is a permanent gate over the m × N matrix whose
+    (r, v) entry is
+
+      [constraints of r hold at v] · Π weights at v · C(subtrees of r, subtree of v),
+
+    recursing in lockstep down the two forests. Injectivity of the
+    permanent's assignments is exactly injectivity of forest embeddings.
+    Memoizing on (shape node, forest node) keeps the construction linear in
+    the forest size for a fixed shape. *)
+
+type fstage = {
+  forest : Graphs.Forest.t;  (** reindexed vertices 0 … m−1 *)
+  orig : int array;  (** forest vertex → original database element *)
+  holds : string -> int list -> bool;
+      (** relation membership over original elements (colors included) *)
+  dynamic : string -> bool;
+      (** relations encoded as ±weight inputs (Lemma 40) instead of being
+          checked at compile time — this is what makes Gaifman-preserving
+          updates possible without recompiling *)
+}
+
+(** Input-key names for the v⁺_R / v⁻_R weights of Lemma 40. *)
+let pos_weight rel = "__pos_" ^ rel
+
+let neg_weight rel = "__neg_" ^ rel
+
+(** The (w, ā) input key for a weight anchored at forest node [v] with
+    argument depths [wdepths]. *)
+let weight_key fs v (w : Shape.weight_spec) : Circuits.Circuit.input_key =
+  let tuple =
+    List.map
+      (fun l ->
+        match Graphs.Forest.ancestor_at_depth fs.forest v l with
+        | Some a -> fs.orig.(a)
+        | None -> invalid_arg "Forest_compile: constraint depth exceeds node depth")
+      w.Shape.wdepths
+  in
+  (w.Shape.sym, tuple)
+
+let constraint_tuple fs v (c : Shape.rel_constraint) =
+  List.map
+    (fun l ->
+      match Graphs.Forest.ancestor_at_depth fs.forest v l with
+      | Some a -> fs.orig.(a)
+      | None -> invalid_arg "Forest_compile: constraint depth exceeds node depth")
+    c.Shape.depths
+
+let rel_holds fs v (c : Shape.rel_constraint) : bool =
+  fs.holds c.Shape.rel (constraint_tuple fs v c) = c.Shape.pos
+
+(** Compile one shape into a gate of the builder [b]. *)
+let compile_shape (type a) (b : a Circuits.Circuit.builder) (fs : fstage)
+    ~(zero : a) ~(one : a) (s : Shape.t) : int =
+  if Shape.num_nodes s = 0 then Circuits.Circuit.const b one
+  else begin
+    let zero_gate = ref (-1) in
+    let get_zero () =
+      if !zero_gate < 0 then zero_gate := Circuits.Circuit.const b zero;
+      !zero_gate
+    in
+    let one_gate = ref (-1) in
+    let get_one () =
+      if !one_gate < 0 then one_gate := Circuits.Circuit.const b one;
+      !one_gate
+    in
+    let memo : (int * int, int) Hashtbl.t = Hashtbl.create 1024 in
+    (* gate computing: shape subtree rooted at [sid] embeds at forest node
+       [v] (with sid ↦ v), times the weights along the way *)
+    let rec subtree sid v =
+      match Hashtbl.find_opt memo (sid, v) with
+      | Some g -> g
+      | None ->
+          let sn = s.nodes.(sid) in
+          let static_rels, dynamic_rels =
+            List.partition (fun (c : Shape.rel_constraint) -> not (fs.dynamic c.Shape.rel)) sn.Shape.rels
+          in
+          let g =
+            if not (List.for_all (rel_holds fs v) static_rels) then get_zero ()
+            else begin
+              let wgates =
+                List.map (fun w -> Circuits.Circuit.input b (weight_key fs v w)) sn.Shape.weights
+                @ List.map
+                    (fun (c : Shape.rel_constraint) ->
+                      let name = if c.Shape.pos then pos_weight c.Shape.rel else neg_weight c.Shape.rel in
+                      Circuits.Circuit.input b (name, constraint_tuple fs v c))
+                    dynamic_rels
+              in
+              let factors =
+                match sn.Shape.children with
+                | [] -> wgates
+                | cs ->
+                    let cols = Graphs.Forest.children fs.forest v in
+                    let rows =
+                      List.map
+                        (fun c -> Array.of_list (List.map (fun u -> subtree c u) cols))
+                        cs
+                    in
+                    wgates @ [ Circuits.Circuit.perm b (Array.of_list rows) ]
+              in
+              match factors with [] -> get_one () | gs -> Circuits.Circuit.mul b gs
+            end
+          in
+          Hashtbl.replace memo (sid, v) g;
+          g
+    in
+    let cols = Graphs.Forest.roots fs.forest in
+    let rows =
+      List.map (fun r -> Array.of_list (List.map (fun v -> subtree r v) cols)) s.roots
+    in
+    Circuits.Circuit.perm b (Array.of_list rows)
+  end
+
+(** Compile a closed normalized summand over the forest stage: enumerate
+    its shapes, compile each, and multiply in the constant coefficients. *)
+let compile_summand (type a) (b : a Circuits.Circuit.builder) (fs : fstage)
+    ~(zero : a) ~(one : a) (summand : a Logic.Normal.summand) : int =
+  let d = Graphs.Forest.max_depth fs.forest in
+  let shapes = Shape.enumerate ~d ~summand () in
+  let shape_gates = List.map (compile_shape b fs ~zero ~one) shapes in
+  let body =
+    match shape_gates with [] -> Circuits.Circuit.const b zero | gs -> Circuits.Circuit.add b gs
+  in
+  match summand.Logic.Normal.prod.Logic.Normal.coeffs with
+  | [] -> body
+  | coeffs ->
+      let cgates = List.map (Circuits.Circuit.const b) coeffs in
+      Circuits.Circuit.mul b (cgates @ [ body ])

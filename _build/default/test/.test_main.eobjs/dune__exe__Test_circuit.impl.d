@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Circuits Graphs Instances Intf List QCheck QCheck_alcotest Semiring Tropical Zmod

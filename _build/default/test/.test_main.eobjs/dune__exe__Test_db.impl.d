@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Db Graphs QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Circuits Db Engine Fun Graphs Instances Intf List Logic Printf QCheck QCheck_alcotest Semiring Shapes Tropical

@@ -1,0 +1,1 @@
+test/test_enum.ml: Alcotest Dll Enum Gen Iter List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_fo.ml: Alcotest Array Db Enum Fo_enum Format Fun Graphs List Logic Printf Provenance

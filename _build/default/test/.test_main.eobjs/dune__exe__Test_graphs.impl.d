@@ -1,0 +1,1 @@
+test/test_graphs.ml: Alcotest Array Fun Graphs List QCheck QCheck_alcotest

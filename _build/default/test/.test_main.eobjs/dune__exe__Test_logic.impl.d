@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Db Expr Formula Graphs List Logic Normal QCheck QCheck_alcotest Semiring Term

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_circuit Test_db Test_engine Test_enum Test_fo Test_graphs Test_logic Test_nested Test_perm Test_semiring Test_shapes

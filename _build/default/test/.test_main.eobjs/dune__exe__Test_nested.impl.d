@@ -1,0 +1,1 @@
+test/test_nested.ml: Alcotest Array Db Enum Fun Graphs List Logic Nested Printf Rat Semiring Value

@@ -1,0 +1,1 @@
+test/test_perm.ml: Alcotest Array Enum Instances List Perm Printf QCheck QCheck_alcotest Semiring String Tropical Zmod

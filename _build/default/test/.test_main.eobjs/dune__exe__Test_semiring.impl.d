@@ -1,0 +1,1 @@
+test/test_semiring.ml: Alcotest Bigint Instances Intf List QCheck QCheck_alcotest Rat Semiring Test Tropical Value Zmod

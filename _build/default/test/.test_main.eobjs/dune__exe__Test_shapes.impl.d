@@ -1,0 +1,1 @@
+test/test_shapes.ml: Alcotest Array Circuits Db Enum Format Gen Graphs Instances Intf List Logic Perm Provenance QCheck QCheck_alcotest Semiring Shapes

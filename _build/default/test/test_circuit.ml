@@ -1,0 +1,161 @@
+(* Tests for circuits with permanent gates: static evaluation, statistics,
+   and the three dynamic-update strategies of Section 4 (which must all
+   track a from-scratch re-evaluation). *)
+
+open Semiring
+
+let nat_ops = Intf.ops_of_module (module Instances.Nat)
+let int_ops = Intf.ops_of_ring (module Instances.Int_ring)
+let bool_ops = Intf.ops_of_finite (module Instances.Bool)
+let trop_ops = Intf.ops_of_module (module Tropical.Min_plus)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* (w(1) + w(2)) * (w(3) + c5): a tiny circuit with shared structure *)
+let small_circuit () =
+  let b = Circuits.Circuit.builder () in
+  let w i = Circuits.Circuit.input b ("w", [ i ]) in
+  let s1 = Circuits.Circuit.add b [ w 1; w 2 ] in
+  let c5 = Circuits.Circuit.const b 5 in
+  let s2 = Circuits.Circuit.add b [ w 3; c5 ] in
+  let out = Circuits.Circuit.mul b [ s1; s2 ] in
+  Circuits.Circuit.finish b ~output:out
+
+let eval_small () =
+  let c = small_circuit () in
+  let v = function
+    | "w", [ i ] -> i * 10
+    | _ -> 0
+  in
+  check_int "((10+20)*(30+5))" ((10 + 20) * (30 + 5)) (Circuits.Circuit.eval nat_ops c v)
+
+let input_hash_consing () =
+  let b = Circuits.Circuit.builder () in
+  let g1 = Circuits.Circuit.input b ("w", [ 1 ]) in
+  let g2 = Circuits.Circuit.input b ("w", [ 1 ]) in
+  check_int "same gate" g1 g2;
+  let g3 = Circuits.Circuit.input b ("w", [ 2 ]) in
+  check_bool "different tuple different gate" true (g1 <> g3)
+
+let perm_gate_eval () =
+  (* permanent of [[w1 w2][w3 w4]] = w1 w4 + w2 w3 *)
+  let b = Circuits.Circuit.builder () in
+  let w i = Circuits.Circuit.input b ("w", [ i ]) in
+  let p = Circuits.Circuit.perm b [| [| w 1; w 2 |]; [| w 3; w 4 |] |] in
+  let c = Circuits.Circuit.finish b ~output:p in
+  let v = function "w", [ i ] -> i | _ -> 0 in
+  check_int "perm" ((1 * 4) + (2 * 3)) (Circuits.Circuit.eval nat_ops c v)
+
+let stats_small () =
+  let c = small_circuit () in
+  let s = Circuits.Circuit.stats c in
+  check_int "gates" 7 s.Circuits.Circuit.gates;
+  check_int "inputs" 3 s.Circuits.Circuit.num_inputs;
+  check_int "depth" 2 s.Circuits.Circuit.depth;
+  check_int "no perm gates" 0 s.Circuits.Circuit.num_perm
+
+(* a medium random circuit whose dynamic value must track re-evaluation *)
+let random_circuit seed n_inputs =
+  let rng = Graphs.Rand.create seed in
+  let b = Circuits.Circuit.builder () in
+  let inputs = List.init n_inputs (fun i -> Circuits.Circuit.input b ("w", [ i ])) in
+  let pool = ref (Array.of_list inputs) in
+  let pick () = !pool.(Graphs.Rand.int rng (Array.length !pool)) in
+  for _ = 1 to 12 do
+    let kind = Graphs.Rand.int rng 3 in
+    let g =
+      match kind with
+      | 0 -> Circuits.Circuit.add b [ pick (); pick (); pick () ]
+      | 1 -> Circuits.Circuit.mul b [ pick (); pick () ]
+      | _ ->
+          Circuits.Circuit.perm b
+            [| [| pick (); pick (); pick () |]; [| pick (); pick (); pick () |] |]
+    in
+    pool := Array.append !pool [| g |]
+  done;
+  let out = Circuits.Circuit.add b (Array.to_list !pool) in
+  Circuits.Circuit.finish b ~output:out
+
+let dyn_tracks_reeval mode ops name =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count:30
+       QCheck.(
+         pair (int_range 0 1000)
+           (small_list (pair (int_range 0 7) (int_range 0 3))))
+       (fun (seed, updates) ->
+         let c = random_circuit seed 8 in
+         let vals = Array.make 8 1 in
+         let d = Circuits.Dyn.create ~mode ops c (function "w", [ i ] -> vals.(i) | _ -> 0) in
+         List.for_all
+           (fun (i, v) ->
+             vals.(i) <- v;
+             Circuits.Dyn.set_input d ("w", [ i ]) v;
+             let expected =
+               Circuits.Circuit.eval ops c (function "w", [ j ] -> vals.(j) | _ -> 0)
+             in
+             Circuits.Dyn.value d = expected)
+           updates))
+
+let dyn_bool () =
+  (* boolean circuit: perm gate = matching existence *)
+  let b = Circuits.Circuit.builder () in
+  let w i = Circuits.Circuit.input b ("w", [ i ]) in
+  let p = Circuits.Circuit.perm b [| [| w 0; w 1 |]; [| w 2; w 3 |] |] in
+  let c = Circuits.Circuit.finish b ~output:p in
+  let vals = [| true; false; false; true |] in
+  let d = Circuits.Dyn.create bool_ops c (function "w", [ i ] -> vals.(i) | _ -> false) in
+  check_bool "initial true" true (Circuits.Dyn.value d);
+  Circuits.Dyn.set_input d ("w", [ 0 ]) false;
+  check_bool "broken diagonal still has other" false (Circuits.Dyn.value d);
+  Circuits.Dyn.set_input d ("w", [ 1 ]) true;
+  Circuits.Dyn.set_input d ("w", [ 2 ]) true;
+  check_bool "anti-diagonal" true (Circuits.Dyn.value d)
+
+let dyn_tropical () =
+  (* min-plus: value is min-cost assignment; log-update mode *)
+  let b = Circuits.Circuit.builder () in
+  let w i = Circuits.Circuit.input b ("w", [ i ]) in
+  let p = Circuits.Circuit.perm b [| [| w 0; w 1 |]; [| w 2; w 3 |] |] in
+  let c = Circuits.Circuit.finish b ~output:p in
+  let open Instances in
+  let vals = [| Fin 5; Fin 1; Fin 2; Fin 8 |] in
+  let d = Circuits.Dyn.create trop_ops c (function "w", [ i ] -> vals.(i) | _ -> Inf) in
+  check_bool "min(5+8, 1+2) = 3" true (equal_extended (Fin 3) (Circuits.Dyn.value d));
+  Circuits.Dyn.set_input d ("w", [ 1 ]) (Fin 100);
+  check_bool "now 13" true (equal_extended (Fin 13) (Circuits.Dyn.value d))
+
+let with_temp_restores () =
+  let c = small_circuit () in
+  let d = Circuits.Dyn.create ~mode:Circuits.Dyn.Ring int_ops c (function "w", [ i ] -> i | _ -> 0) in
+  let before = Circuits.Dyn.value d in
+  let inside =
+    Circuits.Dyn.with_temp d [ (("w", [ 1 ]), 100) ] (fun () -> Circuits.Dyn.value d)
+  in
+  check_int "temp changes value" ((100 + 2) * (3 + 5)) inside;
+  check_int "restored" before (Circuits.Dyn.value d)
+
+let balance_preserves_value () =
+  let c = random_circuit 42 8 in
+  let v = function "w", [ i ] -> i + 1 | _ -> 0 in
+  let balanced = Circuits.Dyn.balance c in
+  check_int "balanced value" (Circuits.Circuit.eval nat_ops c v) (Circuits.Circuit.eval nat_ops balanced v);
+  let s = Circuits.Circuit.stats balanced in
+  check_bool "fan-in at most 6 after balancing" true (s.Circuits.Circuit.max_fan_in <= 6)
+
+let suite =
+  [
+    Alcotest.test_case "static eval" `Quick eval_small;
+    Alcotest.test_case "input hash-consing" `Quick input_hash_consing;
+    Alcotest.test_case "perm gate eval" `Quick perm_gate_eval;
+    Alcotest.test_case "stats" `Quick stats_small;
+    dyn_tracks_reeval Circuits.Dyn.General nat_ops "dyn general tracks re-eval";
+    dyn_tracks_reeval Circuits.Dyn.Ring int_ops "dyn ring tracks re-eval";
+    dyn_tracks_reeval Circuits.Dyn.Finite
+      (Intf.ops_of_finite (module Zmod.Z4))
+      "dyn finite (Z4) tracks re-eval";
+    Alcotest.test_case "dyn boolean perm" `Quick dyn_bool;
+    Alcotest.test_case "dyn tropical perm" `Quick dyn_tropical;
+    Alcotest.test_case "with_temp restores" `Quick with_temp_restores;
+    Alcotest.test_case "balance preserves value" `Quick balance_preserves_value;
+  ]

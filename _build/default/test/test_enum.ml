@@ -1,0 +1,133 @@
+(* Tests for bi-directional iterators and doubly-linked lists (paper §5). *)
+
+open Enum
+
+let check_ilist = Alcotest.(check (list int))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let of_list_roundtrip () =
+  check_ilist "forward" [ 1; 2; 3 ] (Iter.to_list (Iter.of_list [ 1; 2; 3 ]));
+  check_ilist "empty" [] (Iter.to_list (Iter.of_list []));
+  check_ilist "backward" [ 3; 2; 1 ] (Iter.to_list_rev (Iter.of_list [ 1; 2; 3 ]))
+
+let cyclic_wraparound () =
+  let it = Iter.of_list [ 10; 20 ] in
+  Iter.next it;
+  Alcotest.(check (option int)) "first" (Some 10) (Iter.current it);
+  Iter.next it;
+  Alcotest.(check (option int)) "second" (Some 20) (Iter.current it);
+  Iter.next it;
+  Alcotest.(check (option int)) "bottom" None (Iter.current it);
+  Iter.next it;
+  Alcotest.(check (option int)) "wrapped to first" (Some 10) (Iter.current it);
+  Iter.prev it;
+  Alcotest.(check (option int)) "back to bottom" None (Iter.current it);
+  Iter.prev it;
+  Alcotest.(check (option int)) "back to last" (Some 20) (Iter.current it)
+
+let concat_skips_empty () =
+  let it = Iter.concat [ Iter.of_list []; Iter.of_list [ 1 ]; Iter.empty; Iter.of_list [ 2; 3 ] ] in
+  check_ilist "concat" [ 1; 2; 3 ] (Iter.to_list it);
+  Iter.reset it;
+  check_ilist "concat again after reset" [ 1; 2; 3 ] (Iter.to_list it);
+  check_ilist "concat backward" [ 3; 2; 1 ] (Iter.to_list_rev it);
+  check_bool "emptiness" true (Iter.is_empty (Iter.concat [ Iter.empty; Iter.of_list [] ]))
+
+let product_lexicographic () =
+  let p = Iter.product (Iter.of_list [ 1; 2 ]) (Iter.of_list [ 10; 20; 30 ]) in
+  Alcotest.(check (list (pair int int)))
+    "product order"
+    [ (1, 10); (1, 20); (1, 30); (2, 10); (2, 20); (2, 30) ]
+    (Iter.to_list p);
+  Alcotest.(check (list (pair int int)))
+    "product backward"
+    [ (2, 30); (2, 20); (2, 10); (1, 30); (1, 20); (1, 10) ]
+    (Iter.to_list_rev p);
+  check_bool "product with empty" true (Iter.is_empty (Iter.product Iter.empty (Iter.of_list [ 1 ])));
+  check_ilist "product with empty drains to nothing" []
+    (List.map fst (Iter.to_list (Iter.product (Iter.of_list [ 1 ]) (Iter.of_list ([] : int list)))))
+
+let map_works () =
+  check_ilist "map" [ 2; 4; 6 ] (Iter.to_list (Iter.map (fun x -> 2 * x) (Iter.of_list [ 1; 2; 3 ])))
+
+let dep_product_works () =
+  (* inner depends on outer; all inners nonempty as required *)
+  let it =
+    Iter.dep_product (Iter.of_list [ 1; 2; 3 ]) (fun a -> Iter.of_list [ a * 10; a * 10 + 1 ])
+  in
+  Alcotest.(check (list (pair int int)))
+    "dep_product"
+    [ (1, 10); (1, 11); (2, 20); (2, 21); (3, 30); (3, 31) ]
+    (Iter.to_list it);
+  Alcotest.(check (list (pair int int)))
+    "dep_product backward"
+    [ (3, 31); (3, 30); (2, 21); (2, 20); (1, 11); (1, 10) ]
+    (Iter.to_list_rev it)
+
+let nested_products () =
+  let triple =
+    Iter.product (Iter.of_list [ 0; 1 ]) (Iter.product (Iter.of_list [ 0; 1 ]) (Iter.of_list [ 0; 1 ]))
+  in
+  check_int "8 binary triples" 8 (Iter.length triple)
+
+let dll_ops () =
+  let d = Dll.create () in
+  let n1 = Dll.push_back d 1 in
+  let _n2 = Dll.push_back d 2 in
+  let n3 = Dll.push_back d 3 in
+  check_ilist "dll contents" [ 1; 2; 3 ] (Dll.to_list d);
+  Dll.remove d n1;
+  check_ilist "after removing head" [ 2; 3 ] (Dll.to_list d);
+  Dll.remove d n3;
+  check_ilist "after removing tail" [ 2 ] (Dll.to_list d);
+  check_int "length" 1 (Dll.length d);
+  let n4 = Dll.push_back d 4 in
+  check_ilist "after push" [ 2; 4 ] (Dll.to_list d);
+  Dll.remove d n4;
+  Alcotest.check_raises "double remove rejected" (Invalid_argument "Dll.remove: node not in this list")
+    (fun () -> Dll.remove d n4)
+
+let dll_iter () =
+  let d = Dll.create () in
+  List.iter (fun v -> ignore (Dll.push_back d v)) [ 5; 6; 7 ];
+  check_ilist "iterate dll" [ 5; 6; 7 ] (Iter.to_list (Iter.of_dll d));
+  check_ilist "iterate dll backward" [ 7; 6; 5 ] (Iter.to_list_rev (Iter.of_dll d))
+
+let qcheck_product_count =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"product length = product of lengths"
+       QCheck.(pair (list_of_size Gen.(0 -- 8) small_int) (list_of_size Gen.(0 -- 8) small_int))
+       (fun (a, b) ->
+         Iter.length (Iter.product (Iter.of_list a) (Iter.of_list b))
+         = List.length a * List.length b))
+
+let qcheck_concat_order =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"concat = list append"
+       QCheck.(pair (small_list small_int) (small_list small_int))
+       (fun (a, b) ->
+         Iter.to_list (Iter.concat [ Iter.of_list a; Iter.of_list b ]) = a @ b))
+
+let qcheck_bidirectional =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"backward = reverse of forward" QCheck.(small_list small_int)
+       (fun l ->
+         let it = Iter.of_list l in
+         Iter.to_list_rev it = List.rev (Iter.to_list it)))
+
+let suite =
+  [
+    Alcotest.test_case "of_list roundtrip" `Quick of_list_roundtrip;
+    Alcotest.test_case "cyclic wraparound" `Quick cyclic_wraparound;
+    Alcotest.test_case "concat skips empty" `Quick concat_skips_empty;
+    Alcotest.test_case "product lexicographic" `Quick product_lexicographic;
+    Alcotest.test_case "map" `Quick map_works;
+    Alcotest.test_case "dep_product" `Quick dep_product_works;
+    Alcotest.test_case "nested products" `Quick nested_products;
+    Alcotest.test_case "dll operations" `Quick dll_ops;
+    Alcotest.test_case "dll iteration" `Quick dll_iter;
+    qcheck_product_count;
+    qcheck_concat_order;
+    qcheck_bidirectional;
+  ]

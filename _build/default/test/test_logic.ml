@@ -1,0 +1,196 @@
+(* Tests for the query language layer: terms, formulas (NNF, semantics),
+   and the normalization of weighted expressions to sums of products
+   (Lemma 28 / Lemma 32) — including a property test with randomly
+   generated expressions checked against the direct evaluator. *)
+
+open Logic
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let v x = Term.Var x
+
+let term_ops () =
+  let t = Term.app "f" (Term.app "g" (v "x")) in
+  check_bool "base" true (Term.base t = "x");
+  Alcotest.(check (list string)) "spine" [ "f"; "g" ] (Term.spine t);
+  check_int "depth" 2 (Term.depth t);
+  check_bool "rename" true (Term.equal (Term.rename [ ("x", "y") ] t) (Term.app "f" (Term.app "g" (v "y"))));
+  check_bool "pp" true (Term.to_string t = "f(g(x))")
+
+let nnf_correct =
+  (* random small formulas over E/2 and P/1: nnf preserves semantics *)
+  let rec gen_formula rng depth =
+    let leaf () =
+      match Graphs.Rand.int rng 3 with
+      | 0 -> Formula.Rel ("E", [ v "x"; v "y" ])
+      | 1 -> Formula.Rel ("P", [ v "x" ])
+      | _ -> Formula.Eq (v "x", v "y")
+    in
+    if depth = 0 then leaf ()
+    else
+      match Graphs.Rand.int rng 5 with
+      | 0 -> Formula.Not (gen_formula rng (depth - 1))
+      | 1 -> Formula.And [ gen_formula rng (depth - 1); gen_formula rng (depth - 1) ]
+      | 2 -> Formula.Or [ gen_formula rng (depth - 1); gen_formula rng (depth - 1) ]
+      | 3 -> Formula.Exists ("y", gen_formula rng (depth - 1))
+      | _ -> leaf ()
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"nnf preserves semantics" ~count:100 QCheck.(int_range 0 100000)
+       (fun seed ->
+         let rng = Graphs.Rand.create seed in
+         let f = gen_formula rng 3 in
+         let g = Graphs.Gen.random_sparse ~seed ~n:6 ~avg_deg:2 in
+         let inst = Db.Instance.of_graph g in
+         let inst = Db.Instance.with_relation inst "P" ~arity:1 [ [ 0 ]; [ 3 ] ] in
+         let nnf = Formula.nnf f in
+         Formula.is_quantifier_free f = Formula.is_quantifier_free nnf
+         && List.for_all
+              (fun x ->
+                List.for_all
+                  (fun y ->
+                    let env = [ ("x", x); ("y", y) ] in
+                    Formula.holds inst env f = Formula.holds inst env nnf)
+                  [ 0; 1; 2; 3; 4; 5 ])
+              [ 0; 1; 2; 3; 4; 5 ]))
+
+(* exclusive expansion: at most one product of [expand_formula f] holds *)
+let expansion_exclusive_and_exhaustive =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"guard expansion: exclusive and exhaustive" ~count:100
+       QCheck.(int_range 0 100000)
+       (fun seed ->
+         let rng = Graphs.Rand.create seed in
+         let rec gen depth =
+           let leaf () =
+             match Graphs.Rand.int rng 2 with
+             | 0 -> Formula.Rel ("E", [ v "x"; v "y" ])
+             | _ -> Formula.Eq (v "x", v "y")
+           in
+           if depth = 0 then leaf ()
+           else
+             match Graphs.Rand.int rng 4 with
+             | 0 -> Formula.Not (gen (depth - 1))
+             | 1 -> Formula.And [ gen (depth - 1); gen (depth - 1) ]
+             | 2 -> Formula.Or [ gen (depth - 1); gen (depth - 1) ]
+             | _ -> leaf ()
+         in
+         let f = gen 3 in
+         let products = Normal.expand_formula (Formula.nnf f) in
+         let g = Graphs.Gen.random_sparse ~seed ~n:5 ~avg_deg:2 in
+         let inst = Db.Instance.of_graph g in
+         let holds_product env lits =
+           List.for_all
+             (fun (l : Normal.literal) ->
+               let sat =
+                 match l.Normal.atom with
+                 | Normal.ARel (r, ts) ->
+                     Db.Instance.mem inst r (List.map (Term.eval inst env) ts)
+                 | Normal.AEq (a, b) -> Term.eval inst env a = Term.eval inst env b
+               in
+               if l.Normal.pos then sat else not sat)
+             lits
+         in
+         List.for_all
+           (fun x ->
+             List.for_all
+               (fun y ->
+                 let env = [ ("x", x); ("y", y) ] in
+                 let sat_count =
+                   List.length (List.filter (holds_product env) products)
+                 in
+                 (* exactly one product holds iff the formula holds *)
+                 sat_count = if Formula.holds inst env f then 1 else 0)
+               [ 0; 1; 2; 3; 4 ])
+           [ 0; 1; 2; 3; 4 ]))
+
+(* random weighted expressions: normal form evaluates like the original *)
+let normalization_preserves_value =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"normalization preserves value (Lemma 28)" ~count:60
+       QCheck.(int_range 0 100000)
+       (fun seed ->
+         let rng = Graphs.Rand.create seed in
+         let vars = [ "x"; "y" ] in
+         let rand_var () = List.nth vars (Graphs.Rand.int rng 2) in
+         let rec gen_guard depth =
+           if depth = 0 then Formula.Rel ("E", [ v (rand_var ()); v (rand_var ()) ])
+           else
+             match Graphs.Rand.int rng 4 with
+             | 0 -> Formula.Not (gen_guard (depth - 1))
+             | 1 -> Formula.And [ gen_guard (depth - 1); gen_guard (depth - 1) ]
+             | 2 -> Formula.Or [ gen_guard (depth - 1); gen_guard (depth - 1) ]
+             | _ -> Formula.Eq (v (rand_var ()), v (rand_var ()))
+         in
+         let rec gen_expr depth =
+           if depth = 0 then
+             match Graphs.Rand.int rng 3 with
+             | 0 -> Expr.Const (Graphs.Rand.int rng 4)
+             | 1 -> Expr.Weight ("u", [ v (rand_var ()) ])
+             | _ -> Expr.Guard (gen_guard 1)
+           else
+             match Graphs.Rand.int rng 4 with
+             | 0 -> Expr.Add [ gen_expr (depth - 1); gen_expr (depth - 1) ]
+             | 1 -> Expr.Mul [ gen_expr (depth - 1); gen_expr (depth - 1) ]
+             | 2 -> Expr.Sum ([ rand_var () ], gen_expr (depth - 1))
+             | _ -> gen_expr 0
+         in
+         let expr = Expr.Sum ([ "x"; "y" ], gen_expr 3) in
+         let g = Graphs.Gen.random_sparse ~seed ~n:5 ~avg_deg:2 in
+         let inst = Db.Instance.of_graph g in
+         let u = Db.Weights.create ~name:"u" ~arity:1 ~zero:0 in
+         Db.Weights.fill_unary u ~n:5 (fun i -> i + 1);
+         let weights = Db.Weights.bundle [ u ] in
+         let direct = Expr.eval (module Semiring.Instances.Nat) inst weights expr () in
+         let nf = Normal.of_expr expr in
+         let via_nf = Normal.eval (module Semiring.Instances.Nat) inst weights nf () in
+         direct = via_nf))
+
+let expr_metadata () =
+  let f =
+    Expr.Sum
+      ( [ "x" ],
+        Expr.Mul [ Expr.Guard (Formula.Rel ("E", [ v "x"; v "y" ])); Expr.Weight ("w", [ v "x" ]) ] )
+  in
+  Alcotest.(check (list string)) "free vars" [ "y" ] (Expr.free_vars_unique f);
+  check_bool "not closed" false (Expr.is_closed f);
+  Alcotest.(check (list (pair string int))) "weight symbols" [ ("w", 1) ] (Expr.weight_symbols f)
+
+let formula_metadata () =
+  let f = Formula.Exists ("y", Formula.Rel ("E", [ v "x"; v "y" ])) in
+  Alcotest.(check (list string)) "free vars" [ "x" ] (Formula.free_vars_unique f);
+  check_bool "not qf" false (Formula.is_quantifier_free f);
+  check_bool "qf after stripping" true
+    (Formula.is_quantifier_free (Formula.Rel ("E", [ v "x"; v "y" ])))
+
+let freshness () =
+  (* nested sums over the same variable name must not capture *)
+  let f =
+    Expr.Sum
+      ( [ "x" ],
+        Expr.Mul
+          [
+            Expr.Weight ("u", [ v "x" ]);
+            Expr.Sum ([ "x" ], Expr.Weight ("u", [ v "x" ]));
+          ] )
+  in
+  let inst = Db.Instance.of_graph (Graphs.Gen.path 3) in
+  let u = Db.Weights.create ~name:"u" ~arity:1 ~zero:0 in
+  Db.Weights.fill_unary u ~n:3 (fun i -> i + 1);
+  let weights = Db.Weights.bundle [ u ] in
+  let direct = Expr.eval (module Semiring.Instances.Nat) inst weights f () in
+  let via_nf = Normal.eval (module Semiring.Instances.Nat) inst weights (Normal.of_expr f) () in
+  (* Σ_x u(x)·(Σ_x u(x)) = (1+2+3)^2 = 36 *)
+  check_int "direct" 36 direct;
+  check_int "normal form" 36 via_nf
+
+let suite =
+  [
+    Alcotest.test_case "terms" `Quick term_ops;
+    nnf_correct;
+    expansion_exclusive_and_exhaustive;
+    normalization_preserves_value;
+    Alcotest.test_case "expression metadata" `Quick expr_metadata;
+    Alcotest.test_case "formula metadata" `Quick formula_metadata;
+    Alcotest.test_case "no variable capture" `Quick freshness;
+  ]

@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "sparseq"
+    [
+      ("semiring", Test_semiring.suite);
+      ("enum", Test_enum.suite);
+      ("graphs", Test_graphs.suite);
+      ("db", Test_db.suite);
+      ("logic", Test_logic.suite);
+      ("perm", Test_perm.suite);
+      ("circuit", Test_circuit.suite);
+      ("engine", Test_engine.suite);
+      ("shapes", Test_shapes.suite);
+      ("fo", Test_fo.suite);
+      ("nested", Test_nested.suite);
+    ]

@@ -1,0 +1,150 @@
+(* Tests for nested weighted queries (FOG[C], Theorem 26): the two worked
+   examples from the paper's introduction, the type checker, and
+   enumeration of boolean-valued nested queries. *)
+
+open Semiring
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let v x = Logic.Term.Var x
+
+(* A small graph with natural vertex weights. *)
+let setup () =
+  let g = Graphs.Gen.grid 3 3 in
+  let inst = Db.Instance.of_graph g in
+  (* guard relation V = all vertices *)
+  let inst =
+    Db.Instance.with_relation inst "V"
+      ~arity:1
+      (List.init (Db.Instance.n inst) (fun i -> [ i ]))
+  in
+  let w = Db.Weights.create ~name:"w" ~arity:1 ~zero:(Value.I 0) in
+  Db.Weights.fill_unary w ~n:(Db.Instance.n inst) (fun i -> Value.I (((i * 3) + 1) mod 7));
+  let st = Nested.make_structure inst [ (w, Value.nat_sr) ] in
+  (g, inst, st)
+
+let wval i = ((i * 3) + 1) mod 7
+
+(* Intro example 1: max_x (Σ_y [E(x,y)]·w(y)) / (Σ_y [E(x,y)])
+   — maximum over vertices of the average weight of the neighbors. *)
+let neighbor_average () =
+  let g, _inst, st = setup () in
+  let sum_w =
+    Nested.Sum
+      ( [ "y" ],
+        Nested.Mul
+          [ Nested.Iverson (Nested.Brel ("E", [ v "x"; v "y" ]), Value.nat_sr); Nested.Srel ("w", [ v "y" ]) ] )
+  in
+  let count =
+    Nested.Sum ([ "y" ], Nested.Iverson (Nested.Brel ("E", [ v "x"; v "y" ]), Value.nat_sr))
+  in
+  let avg = Nested.Guarded ("V", [ "x" ], Value.div_nat_rat, [ sum_w; count ]) in
+  let as_max = Nested.Guarded ("V", [ "x" ], Value.rat_to_rat_max, [ avg ]) in
+  let query = Nested.Sum ([ "x" ], as_max) in
+  (* type checks to rat-max *)
+  check_bool "type" true (Value.same_sr (Nested.type_of st query) Value.rat_max_sr);
+  let result = Nested.eval st query in
+  (* brute-force expected value *)
+  let n = Graphs.Graph.n g in
+  let best = ref None in
+  for x = 0 to n - 1 do
+    let nbrs = Graphs.Graph.neighbors g x in
+    if nbrs <> [] then begin
+      let avg =
+        Rat.of_ints (List.fold_left (fun acc y -> acc + wval y) 0 nbrs) (List.length nbrs)
+      in
+      match !best with
+      | None -> best := Some avg
+      | Some b -> if Rat.compare avg b > 0 then best := Some avg
+    end
+  done;
+  match (result, !best) with
+  | Value.RM (Some got), Some expected ->
+      check_bool
+        (Printf.sprintf "max avg = %s vs %s" (Rat.to_string got) (Rat.to_string expected))
+        true
+        (Rat.equal got expected)
+  | _ -> Alcotest.fail "unexpected result shape"
+
+(* Intro example 2: f(x) = ∃y E(x,y) ∧ (w(y) > Σ_z [E(y,z)]·w(z)):
+   does x have a neighbor whose weight beats the sum of its neighbors'? *)
+let dominant_neighbor () =
+  let g, _inst, st = setup () in
+  let inner_sum =
+    Nested.Sum
+      ( [ "z" ],
+        Nested.Mul
+          [ Nested.Iverson (Nested.Brel ("E", [ v "y"; v "z" ]), Value.nat_sr); Nested.Srel ("w", [ v "z" ]) ] )
+  in
+  let beats =
+    Nested.Guarded ("V", [ "y" ], Value.gt, [ Nested.Srel ("w", [ v "y" ]) ; inner_sum ])
+  in
+  let f_x = Nested.Sum ([ "y" ], Nested.Mul [ Nested.Brel ("E", [ v "x"; v "y" ]) ; beats ]) in
+  check_bool "type bool" true (Value.same_sr (Nested.type_of st f_x) Value.bool_sr);
+  (* query at every vertex and compare with brute force *)
+  let fv, q = Nested.query st f_x in
+  Alcotest.(check (list string)) "free vars" [ "x" ] fv;
+  let n = Graphs.Graph.n g in
+  let brute x =
+    List.exists
+      (fun y ->
+        let s = List.fold_left (fun acc z -> acc + wval z) 0 (Graphs.Graph.neighbors g y) in
+        wval y > s)
+      (Graphs.Graph.neighbors g x)
+  in
+  for x = 0 to n - 1 do
+    check_bool (Printf.sprintf "f(%d)" x) (brute x) (Value.as_bool (q [ x ]))
+  done;
+  (* and enumeration of the answer set (Theorem 26, last part) *)
+  let _, it = Nested.enumerate st f_x in
+  let answers = List.sort compare (List.map (fun a -> a.(0)) (Enum.Iter.to_list it)) in
+  let expected = List.filter brute (List.init n Fun.id) in
+  Alcotest.(check (list int)) "enumerated answers" expected answers
+
+(* counting with aggregates: vertices whose degree is at least 3 *)
+let high_degree () =
+  let g, _inst, st = setup () in
+  let count =
+    Nested.Sum ([ "y" ], Nested.Iverson (Nested.Brel ("E", [ v "x"; v "y" ]), Value.nat_sr))
+  in
+  let high =
+    Nested.Guarded ("V", [ "x" ], Value.geq, [ count; Nested.Const (Value.I 3, Value.nat_sr) ])
+  in
+  let total = Nested.Sum ([ "x" ], Nested.Iverson (high, Value.nat_sr)) in
+  let result = Nested.eval st total in
+  let expected =
+    List.length
+      (List.filter (fun x -> Graphs.Graph.degree g x >= 3) (List.init (Graphs.Graph.n g) Fun.id))
+  in
+  check_int "high-degree count" expected (Value.as_int result)
+
+let type_errors () =
+  let _, _, st = setup () in
+  let mixed = Nested.Add [ Nested.Srel ("w", [ v "x" ]); Nested.Brel ("E", [ v "x"; v "x" ]) ] in
+  check_bool "mixed semirings rejected" true
+    (try
+       ignore (Nested.type_of st mixed);
+       false
+     with Nested.Ill_typed _ -> true);
+  let unguarded =
+    Nested.Guarded ("V", [ "x" ], Value.gt,
+      [ Nested.Srel ("w", [ v "y" ]); Nested.Const (Value.I 0, Value.nat_sr) ])
+  in
+  check_bool "unguarded free variable rejected" true
+    (try
+       ignore (Nested.type_of st unguarded);
+       false
+     with Nested.Ill_typed _ -> true);
+  check_bool "unknown relation rejected" true
+    (try
+       ignore (Nested.type_of st (Nested.Brel ("NOPE", [ v "x" ])));
+       false
+     with Nested.Ill_typed _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "neighbor average (intro ex. 1)" `Quick neighbor_average;
+    Alcotest.test_case "dominant neighbor (intro ex. 2)" `Quick dominant_neighbor;
+    Alcotest.test_case "degree threshold aggregate" `Quick high_degree;
+    Alcotest.test_case "type checker" `Quick type_errors;
+  ]

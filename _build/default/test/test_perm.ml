@@ -1,0 +1,258 @@
+(* Tests for the permanent algorithms of Section 4: all four strategies
+   must agree with the naive enumeration baseline, and the dynamic
+   structures must track updates. *)
+
+open Semiring
+
+module Nat_static = Perm.Static.Make (Instances.Nat)
+module Nat_naive = Perm.Naive.Make (Instances.Nat)
+module Nat_seg = Perm.Segtree.Make (Instances.Nat)
+module Int_ring_perm = Perm.Ring.Make (Instances.Int_ring)
+module Int_static = Perm.Static.Make (Instances.Int_ring)
+module Int_naive = Perm.Naive.Make (Instances.Int_ring)
+module Trop_static = Perm.Static.Make (Tropical.Min_plus)
+module Trop_naive = Perm.Naive.Make (Tropical.Min_plus)
+module Trop_seg = Perm.Segtree.Make (Tropical.Min_plus)
+module Bool_fin = Perm.Finite.Make (Instances.Bool)
+module Bool_naive = Perm.Naive.Make (Instances.Bool)
+module Z4 = Zmod.Z4
+module Z4_fin = Perm.Finite.Make (Z4)
+module Z4_naive = Perm.Naive.Make (Z4)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let matrix_gen ~k ~maxn ~maxv =
+  QCheck.make
+    ~print:(fun m ->
+      String.concat "\n"
+        (Array.to_list (Array.map (fun row -> String.concat " " (Array.to_list (Array.map string_of_int row))) m)))
+    QCheck.Gen.(
+      int_range 0 maxn >>= fun n ->
+      array_size (return k) (array_size (return n) (int_range 0 maxv)))
+
+let known_values () =
+  (* perm of 1xN is the sum of entries *)
+  check_int "1x3" 6 (Nat_static.perm [| [| 1; 2; 3 |] |]);
+  (* classic 2x2: ad' + bc' style: a1 b2 + a2 b1 *)
+  check_int "2x2" (1 * 4 + 2 * 3) (Nat_static.perm [| [| 1; 2 |]; [| 3; 4 |] |]);
+  (* paper example: 3-row permanent = sum over distinct i,j,k of ai bj ck *)
+  let m = [| [| 1; 1; 1 |]; [| 1; 1; 1 |]; [| 1; 1; 1 |] |] in
+  check_int "3x3 all ones = 3!" 6 (Nat_static.perm m);
+  check_int "k=0" 1 (Nat_static.perm [||]);
+  check_int "k > n is zero" 0 (Nat_static.perm [| [| 1 |]; [| 2 |] |])
+
+let increasing_values () =
+  (* perm' only counts increasing assignments: for all-ones, C(n, k) *)
+  let m = Array.make 2 [| 1; 1; 1; 1 |] in
+  check_int "perm' all ones = C(4,2)" 6 (Nat_static.perm_increasing m);
+  check_int "perm = sum over orders of perm'" (Nat_static.perm m)
+    (2 * Nat_static.perm_increasing m)
+
+let static_vs_naive k =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:(Printf.sprintf "static perm = naive (k=%d)" k)
+       ~count:50 (matrix_gen ~k ~maxn:7 ~maxv:5)
+       (fun m -> Nat_static.perm m = Nat_naive.perm m))
+
+let segtree_vs_naive k =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:(Printf.sprintf "segtree perm = naive (k=%d)" k)
+       ~count:50 (matrix_gen ~k ~maxn:7 ~maxv:5)
+       (fun m ->
+         let t = Nat_seg.create m in
+         Nat_seg.perm t = Nat_naive.perm m))
+
+let ring_vs_naive k =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:(Printf.sprintf "ring power-sum perm = naive (k=%d)" k)
+       ~count:50 (matrix_gen ~k ~maxn:7 ~maxv:5)
+       (fun m ->
+         let t = Int_ring_perm.create m in
+         Int_ring_perm.perm t = Int_naive.perm m))
+
+let finite_bool_vs_naive k =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:(Printf.sprintf "finite counting perm = naive, bool (k=%d)" k)
+       ~count:50 (matrix_gen ~k ~maxn:7 ~maxv:1)
+       (fun m ->
+         let bm = Array.map (Array.map (fun v -> v = 1)) m in
+         let t = Bool_fin.create bm in
+         Bool_fin.perm t = Bool_naive.perm bm))
+
+let finite_z4_vs_naive k =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:(Printf.sprintf "finite counting perm = naive, Z4 (k=%d)" k)
+       ~count:50 (matrix_gen ~k ~maxn:7 ~maxv:3)
+       (fun m ->
+         let t = Z4_fin.create m in
+         Z4_fin.perm t = Z4_naive.perm m))
+
+let tropical_matches () =
+  (* min-plus permanent = minimum-cost assignment *)
+  let m =
+    Array.map (Array.map (fun v -> Instances.Fin v)) [| [| 5; 1; 9 |]; [| 2; 8; 3 |] |]
+  in
+  let expected = Trop_naive.perm m in
+  check_bool "static tropical" true (Instances.equal_extended expected (Trop_static.perm m));
+  let t = Trop_seg.create m in
+  check_bool "segtree tropical" true (Instances.equal_extended expected (Trop_seg.perm t));
+  check_bool "value is min assignment" true (Instances.equal_extended (Instances.Fin 3) expected)
+
+(* updates tracked by each dynamic structure *)
+let update_agreement =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"dynamic structures track updates" ~count:50
+       QCheck.(
+         pair (matrix_gen ~k:3 ~maxn:6 ~maxv:4)
+           (small_list (triple (int_range 0 2) (int_range 0 5) (int_range 0 4))))
+       (fun (m, updates) ->
+         QCheck.assume (Array.length m.(0) > 0);
+         let n = Array.length m.(0) in
+         let seg = Nat_seg.create m in
+         let ring = Int_ring_perm.create m in
+         let cur = Array.map Array.copy m in
+         List.iter
+           (fun (r, c, v) ->
+             let c = c mod n in
+             cur.(r).(c) <- v;
+             Nat_seg.set seg ~row:r ~col:c v;
+             Int_ring_perm.set ring ~row:r ~col:c v)
+           updates;
+         let expected = Nat_naive.perm cur in
+         Nat_seg.perm seg = expected && Int_ring_perm.perm ring = expected))
+
+let finite_updates () =
+  let m = Array.map (Array.map (fun v -> v = 1)) [| [| 1; 0; 1; 0 |]; [| 0; 1; 0; 1 |] |] in
+  let t = Bool_fin.create m in
+  check_bool "initial" (Bool_naive.perm m) (Bool_fin.perm t);
+  Bool_fin.set t ~row:0 ~col:0 false;
+  m.(0).(0) <- false;
+  check_bool "after update 1" (Bool_naive.perm m) (Bool_fin.perm t);
+  Bool_fin.set t ~row:0 ~col:2 false;
+  m.(0).(2) <- false;
+  check_bool "after update 2 (now false)" (Bool_naive.perm m) (Bool_fin.perm t);
+  check_bool "permanent became false" false (Bool_fin.perm t)
+
+(* large-count lasso: bool semiring, n far beyond the period *)
+let lasso_large_counts () =
+  let n = 1000 in
+  let m = [| Array.make n true; Array.make n true |] in
+  let t = Bool_fin.create m in
+  check_bool "perm of huge all-true bool matrix" true (Bool_fin.perm t);
+  (* Z4: permanent of 1 x n all-ones matrix is n mod 4 *)
+  let m1 = [| Array.make n 1 |] in
+  let t1 = Z4_fin.create m1 in
+  check_int "Z4 1xn all ones = n mod 4" (n mod 4) (Z4_fin.perm t1)
+
+(* the enumerator permanent of Lemma 23 *)
+let monomial_mul a b = List.sort compare (a @ b)
+
+let enum_perm_simple () =
+  (* 2x2 matrix of singleton monomials: perm enumerates both assignments *)
+  let e name = Enum.Iter.singleton [ name ] in
+  let m = [| [| e "a1"; e "a2" |]; [| e "b1"; e "b2" |] |] in
+  let t = Perm.Enum_perm.create ~mul:monomial_mul ~one:[] m in
+  let results = Enum.Iter.to_list (Perm.Enum_perm.enumerate t) in
+  let sorted = List.sort compare results in
+  Alcotest.(check (list (list string)))
+    "perm monomials"
+    [ [ "a1"; "b2" ]; [ "a2"; "b1" ] ]
+    sorted
+
+let enum_perm_respects_zeroes () =
+  let e name = Enum.Iter.singleton [ name ] in
+  let z : string list Enum.Iter.t = Enum.Iter.empty in
+  (* row 0 can only use column 0; row 1 can use both *)
+  let m = [| [| e "a1"; z |]; [| e "b1"; e "b2" |] |] in
+  let t = Perm.Enum_perm.create ~mul:monomial_mul ~one:[] m in
+  let results = List.sort compare (Enum.Iter.to_list (Perm.Enum_perm.enumerate t)) in
+  Alcotest.(check (list (list string))) "only valid assignment" [ [ "a1"; "b2" ] ] results;
+  Alcotest.(check bool) "nonzero" true (Perm.Enum_perm.nonzero t)
+
+let enum_perm_infeasible () =
+  let z : string list Enum.Iter.t = Enum.Iter.empty in
+  let e name = Enum.Iter.singleton [ name ] in
+  (* both rows restricted to the same single column: no injective choice *)
+  let m = [| [| e "a1"; z |]; [| e "b1"; z |] |] in
+  let t = Perm.Enum_perm.create ~mul:monomial_mul ~one:[] m in
+  Alcotest.(check bool) "infeasible" false (Perm.Enum_perm.nonzero t);
+  Alcotest.(check int) "no monomials" 0 (Enum.Iter.length (Perm.Enum_perm.enumerate t))
+
+let enum_perm_multi_monomial () =
+  (* entries that are themselves sums: (x + y) in one cell *)
+  let e names = Enum.Iter.of_list (List.map (fun n -> [ n ]) names) in
+  let m = [| [| e [ "x"; "y" ]; e [ "z" ] |]; [| e [ "u" ]; e [ "v" ] |] |] in
+  let t = Perm.Enum_perm.create ~mul:monomial_mul ~one:[] m in
+  let results = List.sort compare (Enum.Iter.to_list (Perm.Enum_perm.enumerate t)) in
+  (* perm = (x+y)·v + z·u, so monomials: xv, yv, zu *)
+  Alcotest.(check (list (list string)))
+    "expanded monomials"
+    [ [ "u"; "z" ]; [ "v"; "x" ]; [ "v"; "y" ] ]
+    results
+
+let enum_perm_matches_counting k =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:(Printf.sprintf "enum perm count = nat perm of 0/1 matrix (k=%d)" k)
+       ~count:30 (matrix_gen ~k ~maxn:6 ~maxv:1)
+       (fun m ->
+         (* monomial count of enum perm equals permanent over ℕ *)
+         let entries =
+           Array.mapi
+             (fun r row ->
+               Array.mapi
+                 (fun c v ->
+                   if v = 1 then Enum.Iter.singleton [ Printf.sprintf "e%d_%d" r c ]
+                   else Enum.Iter.empty)
+                 row)
+             m
+         in
+         let t = Perm.Enum_perm.create ~mul:monomial_mul ~one:[] entries in
+         Enum.Iter.length (Perm.Enum_perm.enumerate t) = Nat_naive.perm m))
+
+let enum_perm_update () =
+  let e name = Enum.Iter.singleton [ name ] in
+  let m = [| [| e "a1"; e "a2" |]; [| e "b1"; e "b2" |] |] in
+  let t = Perm.Enum_perm.create ~mul:monomial_mul ~one:[] m in
+  Perm.Enum_perm.set_entry t ~row:0 ~col:1 Enum.Iter.empty;
+  let results = List.sort compare (Enum.Iter.to_list (Perm.Enum_perm.enumerate t)) in
+  Alcotest.(check (list (list string))) "after zeroing a2" [ [ "a1"; "b2" ] ] results;
+  Perm.Enum_perm.set_entry t ~row:0 ~col:1 (e "a2'");
+  let results = List.sort compare (Enum.Iter.to_list (Perm.Enum_perm.enumerate t)) in
+  Alcotest.(check (list (list string)))
+    "after restoring" [ [ "a1"; "b2" ]; [ "a2'"; "b1" ] ] results
+
+let suite =
+  [
+    Alcotest.test_case "known permanents" `Quick known_values;
+    Alcotest.test_case "perm' (increasing)" `Quick increasing_values;
+    static_vs_naive 1;
+    static_vs_naive 2;
+    static_vs_naive 3;
+    static_vs_naive 4;
+    segtree_vs_naive 2;
+    segtree_vs_naive 3;
+    ring_vs_naive 2;
+    ring_vs_naive 3;
+    finite_bool_vs_naive 2;
+    finite_bool_vs_naive 3;
+    finite_z4_vs_naive 2;
+    Alcotest.test_case "tropical permanents" `Quick tropical_matches;
+    update_agreement;
+    Alcotest.test_case "finite semiring updates" `Quick finite_updates;
+    Alcotest.test_case "lasso with large counts" `Quick lasso_large_counts;
+    Alcotest.test_case "enum perm: simple" `Quick enum_perm_simple;
+    Alcotest.test_case "enum perm: zero entries" `Quick enum_perm_respects_zeroes;
+    Alcotest.test_case "enum perm: infeasible" `Quick enum_perm_infeasible;
+    Alcotest.test_case "enum perm: multi-monomial entries" `Quick enum_perm_multi_monomial;
+    enum_perm_matches_counting 1;
+    enum_perm_matches_counting 2;
+    enum_perm_matches_counting 3;
+    Alcotest.test_case "enum perm: updates" `Quick enum_perm_update;
+  ]

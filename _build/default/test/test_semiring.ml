@@ -1,0 +1,174 @@
+(* Unit and property tests for lib/semiring: axioms of every instance,
+   bigint arithmetic against machine ints, and rational arithmetic. *)
+
+open Semiring
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* --- semiring axioms as qcheck properties, generic over an instance --- *)
+
+let axiom_tests (type a) name (module S : Intf.BASIC with type t = a) (arb : a QCheck.arbitrary) =
+  let open QCheck in
+  let t p = QCheck_alcotest.to_alcotest p in
+  [
+    t (Test.make ~name:(name ^ ": add commutative") (pair arb arb)
+         (fun (a, b) -> S.equal (S.add a b) (S.add b a)));
+    t (Test.make ~name:(name ^ ": add associative") (triple arb arb arb)
+         (fun (a, b, c) -> S.equal (S.add a (S.add b c)) (S.add (S.add a b) c)));
+    t (Test.make ~name:(name ^ ": mul commutative") (pair arb arb)
+         (fun (a, b) -> S.equal (S.mul a b) (S.mul b a)));
+    t (Test.make ~name:(name ^ ": mul associative") (triple arb arb arb)
+         (fun (a, b, c) -> S.equal (S.mul a (S.mul b c)) (S.mul (S.mul a b) c)));
+    t (Test.make ~name:(name ^ ": distributivity") (triple arb arb arb)
+         (fun (a, b, c) -> S.equal (S.mul a (S.add b c)) (S.add (S.mul a b) (S.mul a c))));
+    t (Test.make ~name:(name ^ ": zero neutral") arb (fun a -> S.equal (S.add a S.zero) a));
+    t (Test.make ~name:(name ^ ": one neutral") arb (fun a -> S.equal (S.mul a S.one) a));
+    t (Test.make ~name:(name ^ ": zero absorbs") arb (fun a -> S.equal (S.mul a S.zero) S.zero));
+  ]
+
+let gen_bool = QCheck.bool
+let gen_small_int = QCheck.int_range (-1000) 1000
+
+let gen_extended =
+  QCheck.map
+    (fun i -> if i > 990 then Instances.Inf else Instances.Fin (abs i))
+    gen_small_int
+
+let gen_maxplus =
+  QCheck.map
+    (fun i -> if i > 990 then Tropical.NegInf else Tropical.MFin i)
+    gen_small_int
+
+let gen_bigint = QCheck.map Bigint.of_int QCheck.int
+
+let gen_rat =
+  QCheck.map
+    (fun (p, q) -> Rat.of_ints p (if q = 0 then 1 else q))
+    QCheck.(pair gen_small_int gen_small_int)
+
+module Z7 = Zmod.Make (struct let modulus = 7 end)
+module BS = Instances.Bitset (struct let universe_size = 8 end)
+
+let gen_z7 = QCheck.map Z7.of_int gen_small_int
+let gen_bs = QCheck.map (fun i -> abs i mod 256) gen_small_int
+
+(* --- bigint specifics --- *)
+
+let bigint_matches_int =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"bigint mirrors machine int ops"
+       QCheck.(pair (int_range (-100000) 100000) (int_range (-100000) 100000))
+       (fun (a, b) ->
+         let open Bigint in
+         equal (add (of_int a) (of_int b)) (of_int (a + b))
+         && equal (sub (of_int a) (of_int b)) (of_int (a - b))
+         && equal (mul (of_int a) (of_int b)) (of_int (a * b))))
+
+let bigint_divmod =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"bigint divmod mirrors machine int"
+       QCheck.(pair (int_range (-100000) 100000) (int_range (-1000) 1000))
+       (fun (a, b) ->
+         QCheck.assume (b <> 0);
+         let open Bigint in
+         let q, r = divmod (of_int a) (of_int b) in
+         equal q (of_int (a / b)) && equal r (of_int (a mod b))))
+
+let bigint_string_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"bigint of_string . to_string = id" QCheck.int (fun a ->
+         let open Bigint in
+         equal (of_string (to_string (of_int a))) (of_int a)))
+
+let bigint_large () =
+  let open Bigint in
+  let a = of_string "123456789012345678901234567890" in
+  let b = of_string "987654321098765432109876543210" in
+  check_str "product of large numbers"
+    "121932631137021795226185032733622923332237463801111263526900"
+    (to_string (mul a b));
+  let q, r = divmod b a in
+  check_str "quotient" "8" (to_string q);
+  check_str "remainder" "9000000000900000000090" (to_string r);
+  check "gcd" true (equal (gcd a b) (of_string "9000000000900000000090") |> fun _ ->
+    (* gcd(a,b) = gcd via Euclid; verify divides both *)
+    is_zero (rem a (gcd a b)) && is_zero (rem b (gcd a b)))
+
+let bigint_pow_scaling () =
+  (* 2^200 computed by repeated squaring against repeated doubling *)
+  let open Bigint in
+  let two = of_int 2 in
+  let rec pow_sq b n = if n = 0 then one else
+    let h = pow_sq b (n / 2) in
+    let h2 = mul h h in
+    if n mod 2 = 0 then h2 else mul h2 b
+  in
+  let rec pow_lin acc n = if n = 0 then acc else pow_lin (mul acc two) (n - 1) in
+  check "2^200 two ways" true (equal (pow_sq two 200) (pow_lin one 200))
+
+(* --- rationals --- *)
+
+let rat_field_laws =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"rat: a/b * b/a = 1" (QCheck.pair gen_small_int gen_small_int)
+       (fun (p, q) ->
+         QCheck.assume (p <> 0 && q <> 0);
+         let r = Rat.of_ints p q in
+         Rat.equal (Rat.mul r (Rat.inv r)) Rat.one))
+
+let rat_normalization () =
+  check "6/4 = 3/2" true Rat.(equal (of_ints 6 4) (of_ints 3 2));
+  check "-6/-4 = 3/2" true Rat.(equal (of_ints (-6) (-4)) (of_ints 3 2));
+  check "1/-2 = -1/2" true Rat.(equal (of_ints 1 (-2)) (of_ints (-1) 2));
+  check_str "pp" "3/2" (Rat.to_string (Rat.of_ints 6 4));
+  check "div_total by zero" true Rat.(equal (div_total one zero) zero)
+
+(* --- iterate / power helpers --- *)
+
+let helpers () =
+  check_int "iterate nat" 15 (Intf.iterate (module Instances.Nat) 5 3);
+  check_int "power nat" 243 (Intf.power (module Instances.Nat) 3 5);
+  check_int "sum" 10 (Intf.sum (module Instances.Nat) [ 1; 2; 3; 4 ]);
+  check_int "product" 24 (Intf.product (module Instances.Nat) [ 1; 2; 3; 4 ])
+
+(* --- dynamic values --- *)
+
+let value_descrs () =
+  let open Value in
+  check "bool add" true (equal (bool_sr.add (B true) (B false)) (B true));
+  check "nat mul" true (equal (nat_sr.mul (I 6) (I 7)) (I 42));
+  check "min_plus add is min" true (equal (min_plus_sr.add (T (Instances.Fin 3)) (T (Instances.Fin 5))) (T (Instances.Fin 3)));
+  check "min_plus mul is +" true (equal (min_plus_sr.mul (T (Instances.Fin 3)) (T (Instances.Fin 5))) (T (Instances.Fin 8)));
+  check "same_sr" true (same_sr nat_sr nat_sr);
+  check "different sr" false (same_sr nat_sr bool_sr);
+  (match (zmod_sr 4).kind with
+  | Finite es -> check_int "zmod4 elements" 4 (List.length es)
+  | _ -> Alcotest.fail "zmod should be finite");
+  check "lt connective" true (equal (lt.apply [ I 2; I 3 ]) (B true));
+  check "iverson one" true (equal ((iverson nat_sr).apply [ B true ]) (I 1));
+  check "div_nat" true (equal (div_nat_rat.apply [ I 3; I 4 ]) (Q (Rat.of_ints 3 4)))
+
+let suite =
+  axiom_tests "bool" (module Instances.Bool) gen_bool
+  @ axiom_tests "nat" (module Instances.Nat) gen_small_int
+  @ axiom_tests "int-ring" (module Instances.Int_ring) gen_small_int
+  @ axiom_tests "min-plus" (module Tropical.Min_plus) gen_extended
+  @ axiom_tests "max-plus" (module Tropical.Max_plus) gen_maxplus
+  @ axiom_tests "min-max" (module Instances.Min_max) gen_extended
+  @ axiom_tests "bigint" (module Bigint.Ring) gen_bigint
+  @ axiom_tests "rat" (module Rat.Ring) gen_rat
+  @ axiom_tests "zmod7" (module Z7) gen_z7
+  @ axiom_tests "bitset" (module BS) gen_bs
+  @ [
+      bigint_matches_int;
+      bigint_divmod;
+      bigint_string_roundtrip;
+      Alcotest.test_case "bigint large values" `Quick bigint_large;
+      Alcotest.test_case "bigint powers" `Quick bigint_pow_scaling;
+      rat_field_laws;
+      Alcotest.test_case "rat normalization" `Quick rat_normalization;
+      Alcotest.test_case "iterate/power/sum/product" `Quick helpers;
+      Alcotest.test_case "dynamic value semirings" `Quick value_descrs;
+    ]
