@@ -7,7 +7,15 @@
      pagerank   run PageRank rounds as a dynamic weighted query (Example 9)
 
    All subcommands operate on generated workloads: grid, tri-grid,
-   bounded-degree random, sparse random, path, tree. *)
+   bounded-degree random, sparse random, path, tree.
+
+   Guardrails: --budget-gates and --timeout-ms bound compilation (checked
+   cooperatively, Robust.Budget_exceeded on violation); --fallback picks
+   what happens on a degradable failure (naive = brute-force reference
+   evaluator, fail = report the error). Unknown kinds/queries and every
+   classified engine error are reported through Cmdliner with a nonzero
+   exit code instead of escaping as a raw backtrace. SPARSEQ_SELF_CHECK=1
+   cross-validates circuit values against the reference evaluator. *)
 
 open Cmdliner
 open Semiring
@@ -16,6 +24,8 @@ let v x = Logic.Term.Var x
 let e x y = Logic.Formula.Rel ("E", [ v x; v y ])
 
 (* --- workload selection --- *)
+
+let graph_kinds = [ "grid"; "tri-grid"; "deg3"; "deg4"; "sparse"; "path"; "tree" ]
 
 let make_graph kind n seed =
   let side = max 2 (int_of_float (sqrt (float_of_int n))) in
@@ -27,7 +37,9 @@ let make_graph kind n seed =
   | "sparse" -> Graphs.Gen.random_sparse ~seed ~n ~avg_deg:3
   | "path" -> Graphs.Gen.path n
   | "tree" -> Graphs.Gen.random_tree ~seed ~n
-  | _ -> invalid_arg ("unknown graph kind " ^ kind)
+  | _ -> Robust.bad_input "unknown graph kind %s" kind
+
+let query_names = [ "triangle"; "path2"; "edge"; "nonedge"; "has-neighbor" ]
 
 let make_query name =
   match name with
@@ -39,16 +51,68 @@ let make_query name =
       Logic.Formula.And
         [ Logic.Formula.neq (v "x") (v "y"); Logic.Formula.Not (e "x" "y") ]
   | "has-neighbor" -> Logic.Formula.Exists ("y", e "x" "y")
-  | _ -> invalid_arg ("unknown query " ^ name)
+  | _ -> Robust.bad_input "unknown query %s" name
 
+(* Arg.enum rejects unknown values with a Cmdliner usage error and a
+   nonzero exit code — no raw Invalid_argument backtrace. *)
 let graph_arg =
-  Arg.(value & opt string "tri-grid" & info [ "g"; "graph" ] ~docv:"KIND" ~doc:"Workload: grid, tri-grid, deg3, deg4, sparse, path, tree.")
+  Arg.(
+    value
+    & opt (enum (List.map (fun k -> (k, k)) graph_kinds)) "tri-grid"
+    & info [ "g"; "graph" ] ~docv:"KIND"
+        ~doc:("Workload: " ^ String.concat ", " graph_kinds ^ "."))
 
 let n_arg = Arg.(value & opt int 400 & info [ "n" ] ~docv:"N" ~doc:"Approximate domain size.")
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.")
 
 let query_arg =
-  Arg.(value & opt string "triangle" & info [ "q"; "query" ] ~docv:"QUERY" ~doc:"Query: triangle, path2, edge, nonedge, has-neighbor.")
+  Arg.(
+    value
+    & opt (enum (List.map (fun q -> (q, q)) query_names)) "triangle"
+    & info [ "q"; "query" ] ~docv:"QUERY"
+        ~doc:("Query: " ^ String.concat ", " query_names ^ "."))
+
+(* --- guardrail flags --- *)
+
+let budget_term =
+  let gates =
+    Arg.(
+      value & opt int 0
+      & info [ "budget-gates" ] ~docv:"GATES"
+          ~doc:"Abort compilation after emitting more than $(docv) gates (0 = unlimited).")
+  in
+  let timeout =
+    Arg.(
+      value & opt int 0
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:"Abort compilation after $(docv) wall-clock milliseconds (0 = unlimited).")
+  in
+  let mk g t =
+    Robust.budget
+      ?max_gates:(if g > 0 then Some g else None)
+      ?timeout_ms:(if t > 0 then Some t else None)
+      ()
+  in
+  Term.(const mk $ gates $ timeout)
+
+let fallback_arg =
+  Arg.(
+    value
+    & opt (enum [ ("naive", `Naive); ("fail", `Fail) ]) `Naive
+    & info [ "fallback" ] ~docv:"MODE"
+        ~doc:
+          "On budget exhaustion or an unsupported fragment: $(b,naive) degrades to the \
+           brute-force reference evaluator, $(b,fail) reports the error.")
+
+(* Unwrap a checked result inside a run function; the uniform handler below
+   turns the raise into a Cmdliner error with exit code 1. *)
+let ok = function Ok x -> x | Error e -> raise (Robust.Error e)
+
+(* Wrap a run function so classified engine errors become Cmdliner-reported
+   errors (nonzero exit) rather than raw backtraces. *)
+let guarded run =
+ fun a b c d e f ->
+  try `Ok (run a b c d e f) with Robust.Error err -> `Error (false, Robust.to_string err)
 
 let setup kind n seed =
   let g = make_graph kind n seed in
@@ -57,39 +121,55 @@ let setup kind n seed =
     (Db.Instance.size inst);
   (g, inst)
 
+let note_degraded = function
+  | None -> ()
+  | Some reason ->
+      Printf.printf "degraded to reference evaluator (%s)\n" (Robust.to_string reason)
+
 (* --- stats --- *)
 
 let stats_cmd =
-  let run kind n seed qname =
+  let run kind n seed qname budget () =
     let _, inst = setup kind n seed in
     let phi = make_query qname in
     let fv = Logic.Formula.free_vars_unique phi in
     let expr = Logic.Expr.Sum (fv, Logic.Expr.Guard phi) in
     let t0 = Sys.time () in
-    let c, m = Engine.Compile.compile ~tfa_rounds:1 ~zero:0 ~one:1 inst expr in
+    let c, m = Engine.Compile.compile ~tfa_rounds:1 ~budget ~zero:0 ~one:1 inst expr in
     let dt = Sys.time () -. t0 in
     Format.printf "compiled %s in %.3fs@." qname dt;
     Format.printf "pipeline: %a@." Engine.Compile.pp_meta m;
     Format.printf "circuit: %a@." Circuits.Circuit.pp_stats (Circuits.Circuit.stats c)
   in
   Cmd.v (Cmd.info "stats" ~doc:"Compile a query and print circuit statistics.")
-    Term.(const run $ graph_arg $ n_arg $ seed_arg $ query_arg)
+    Term.(
+      ret
+        (const (guarded run) $ graph_arg $ n_arg $ seed_arg $ query_arg $ budget_term
+       $ const ()))
 
 (* --- count --- *)
 
 let count_cmd =
-  let run kind n seed qname =
+  let run kind n seed qname budget fallback =
     let _, inst = setup kind n seed in
     let phi = make_query qname in
     let fv = Logic.Formula.free_vars_unique phi in
     let expr = Logic.Expr.Sum (fv, Logic.Expr.Guard phi) in
     let nat_ops = Intf.ops_of_module (module Instances.Nat) in
     let t0 = Sys.time () in
-    let value = Engine.Eval.evaluate nat_ops ~tfa_rounds:1 inst (Db.Weights.bundle []) expr in
+    let value, degraded =
+      ok
+        (Engine.Eval.evaluate_checked nat_ops ~tfa_rounds:1 ~budget ~fallback inst
+           (Db.Weights.bundle []) expr)
+    in
+    note_degraded degraded;
     Printf.printf "answers(%s) = %d   (%.3fs)\n" qname value (Sys.time () -. t0)
   in
   Cmd.v (Cmd.info "count" ~doc:"Count the answers of a query through the circuit pipeline.")
-    Term.(const run $ graph_arg $ n_arg $ seed_arg $ query_arg)
+    Term.(
+      ret
+        (const (guarded run) $ graph_arg $ n_arg $ seed_arg $ query_arg $ budget_term
+       $ fallback_arg))
 
 (* --- enum --- *)
 
@@ -97,37 +177,45 @@ let enum_cmd =
   let limit_arg =
     Arg.(value & opt int 10 & info [ "k"; "limit" ] ~doc:"How many answers to print.")
   in
-  let run kind n seed qname limit =
+  let print_answers limit answers total =
+    let printed = ref 0 in
+    List.iter
+      (fun a ->
+        if !printed < limit then begin
+          incr printed;
+          Printf.printf "  (%s)\n" (String.concat "," (List.map string_of_int a))
+        end)
+      answers;
+    Printf.printf "total answers: %d\n" total
+  in
+  let run kind n seed qname limit (budget, fallback) =
     let _, inst = setup kind n seed in
     let phi = make_query qname in
     let t0 = Sys.time () in
-    let t = Fo_enum.prepare inst phi in
-    Printf.printf "preprocessing: %.3fs; free variables: %s\n" (Sys.time () -. t0)
-      (String.concat "," (Fo_enum.free_vars t));
-    let it = Fo_enum.enumerate t in
-    let printed = ref 0 in
-    let continue = ref true in
-    while !continue && !printed < limit do
-      Enum.Iter.next it;
-      match Enum.Iter.current it with
-      | Some a ->
-          incr printed;
-          Printf.printf "  (%s)\n"
-            (String.concat "," (Array.to_list (Array.map string_of_int a)))
-      | None -> continue := false
-    done;
-    let total = List.length (Fo_enum.answers t) in
-    Printf.printf "total answers: %d\n" total
+    match Fo_enum.prepare_checked ~budget inst phi with
+    | Ok t ->
+        Printf.printf "preprocessing: %.3fs; free variables: %s\n" (Sys.time () -. t0)
+          (String.concat "," (Fo_enum.free_vars t));
+        let answers = List.map Array.to_list (Fo_enum.answers t) in
+        print_answers limit answers (List.length answers)
+    | Error e when Robust.degradable e && fallback = `Naive ->
+        note_degraded (Some e);
+        let fv, answers = Engine.Reference.answers inst phi in
+        Printf.printf "free variables: %s\n" (String.concat "," fv);
+        print_answers limit answers (List.length answers)
+    | Error e -> raise (Robust.Error e)
   in
+  let pair = Term.(const (fun b f -> (b, f)) $ budget_term $ fallback_arg) in
   Cmd.v
     (Cmd.info "enum" ~doc:"Enumerate query answers with constant delay (Theorem 24).")
-    Term.(const run $ graph_arg $ n_arg $ seed_arg $ query_arg $ limit_arg)
+    Term.(
+      ret (const (guarded run) $ graph_arg $ n_arg $ seed_arg $ query_arg $ limit_arg $ pair))
 
 (* --- pagerank --- *)
 
 let pagerank_cmd =
   let rounds_arg = Arg.(value & opt int 5 & info [ "rounds" ] ~doc:"PageRank rounds.") in
-  let run kind n seed rounds =
+  let run kind n seed rounds budget fallback =
     let g, inst = setup kind n seed in
     let n = Db.Instance.n inst in
     let d = Rat.of_ints 85 100 in
@@ -156,12 +244,16 @@ let pagerank_cmd =
         ]
     in
     let rat_ops = Intf.ops_of_ring (module Rat.Ring) in
-    let t = Engine.Eval.prepare rat_ops ~tfa_rounds:1 inst (Db.Weights.bundle [ w; linv ]) expr in
+    let t =
+      ok
+        (Engine.Eval.prepare_checked rat_ops ~tfa_rounds:1 ~budget ~fallback inst
+           (Db.Weights.bundle [ w; linv ]) expr)
+    in
+    note_degraded (Engine.Eval.degraded t);
     for _ = 1 to rounds do
-      let next = Array.init n (fun x -> Engine.Eval.query t [ x ]) in
+      let next = Array.init n (fun x -> ok (Engine.Eval.query_checked t [ x ])) in
       for x = 0 to n - 1 do
-        Db.Weights.set w [ x ] next.(x);
-        Engine.Eval.update t "w" [ x ] next.(x)
+        ok (Engine.Eval.update_checked t "w" [ x ] next.(x))
       done
     done;
     let ranks = Array.init n (fun x -> (Db.Weights.get w [ x ], x)) in
@@ -174,7 +266,10 @@ let pagerank_cmd =
   in
   Cmd.v
     (Cmd.info "pagerank" ~doc:"PageRank rounds as a dynamic weighted query (Example 9).")
-    Term.(const run $ graph_arg $ n_arg $ seed_arg $ rounds_arg)
+    Term.(
+      ret
+        (const (guarded run) $ graph_arg $ n_arg $ seed_arg $ rounds_arg $ budget_term
+       $ fallback_arg))
 
 let () =
   let info =

@@ -70,6 +70,10 @@ let finish b ~output =
   if output < 0 || output >= b.len then invalid_arg "Circuit.finish: bad output gate";
   { nodes = Array.sub b.buf 0 b.len; output; input_ids = b.inputs }
 
+(** Gates emitted so far — the cooperative gate-budget probe used by
+    [Engine.Compile] while the circuit is still under construction. *)
+let builder_len b = b.len
+
 (* --- evaluation --- *)
 
 (** Evaluate under a valuation of the input gates. Linear in circuit size

@@ -18,6 +18,10 @@
 
 type mode = General | Ring | Finite
 
+(** Raised by every read/update once a fault mid-update has left the
+    incremental state inconsistent; carries the original failure. *)
+exception Poisoned of string
+
 type 'a perm_state =
   | PSeg of 'a Perm.Segtree.t
   | PRing of 'a Perm.Ring.t
@@ -39,6 +43,12 @@ type 'a t = {
   aux : 'a aux array;
   fin_ctx : 'a Perm.Finite.ctx option;
   mutable update_ops : int;  (** gate recomputations since creation (for benches) *)
+  mutable poisoned : string option;
+      (** set when an exception escaped mid-propagation: gate values may be
+          stale, so every subsequent read raises {!Poisoned} *)
+  mutable fault_hook : (int -> unit) option;
+      (** test-only fault injection, called with the gate id before each
+          recomputation; a raise here simulates a mid-update crash *)
 }
 
 (* Rebalance wide Add/Mul gates into binary trees (General mode). *)
@@ -147,10 +157,23 @@ let create ?mode (ops : 'a Semiring.Intf.ops) (c : 'a Circuit.t)
     aux;
     fin_ctx;
     update_ops = 0;
+    poisoned = None;
+    fault_hook = None;
   }
 
-let value t = t.values.(t.output)
-let gate_value t id = t.values.(id)
+let poisoned t = t.poisoned
+let set_fault_hook t h = t.fault_hook <- h
+
+let check_live t =
+  match t.poisoned with Some msg -> raise (Poisoned msg) | None -> ()
+
+let value t =
+  check_live t;
+  t.values.(t.output)
+
+let gate_value t id =
+  check_live t;
+  t.values.(id)
 
 module IQ = Set.Make (Int)
 
@@ -178,6 +201,7 @@ let notify t parent slot ~old_v ~new_v =
 (* Recompute a gate's value from its children/auxiliary state. *)
 let recompute t id =
   let open Semiring.Intf in
+  (match t.fault_hook with Some h -> h id | None -> ());
   t.update_ops <- t.update_ops + 1;
   match (t.nodes.(id), t.aux.(id)) with
   | Circuit.Input _, _ | Circuit.Const _, _ -> t.values.(id)
@@ -204,39 +228,47 @@ let recompute t id =
   | Circuit.Perm _, _ -> invalid_arg "Dyn: permanent gate without state"
 
 (** Update one input weight; propagates along all ancestor paths in
-    topological order. *)
+    topological order. If anything raises mid-propagation (crash, fault
+    injection) the structure is permanently poisoned: gate values may be
+    stale, so rather than silently returning corrupt answers every later
+    read or update raises {!Poisoned}. *)
 let set_input t (key : Circuit.input_key) v =
+  check_live t;
   match Hashtbl.find_opt t.input_ids key with
   | None -> invalid_arg "Dyn.set_input: unknown input (weight symbol, tuple)"
   | Some id ->
       let old_v = t.values.(id) in
       if not (t.ops.Semiring.Intf.equal old_v v) then begin
-        t.values.(id) <- v;
-        let queue = ref IQ.empty in
-        let snapshots = Hashtbl.create 16 in
-        let enqueue_parents g ~old_v ~new_v =
-          List.iter
-            (fun (p, slot) ->
-              if not (Hashtbl.mem snapshots p) then begin
-                Hashtbl.replace snapshots p t.values.(p);
-                queue := IQ.add p !queue
-              end;
-              notify t p slot ~old_v ~new_v)
-            t.parents.(g)
-        in
-        enqueue_parents id ~old_v ~new_v:v;
-        while not (IQ.is_empty !queue) do
-          let g = IQ.min_elt !queue in
-          queue := IQ.remove g !queue;
-          let old_g = Hashtbl.find snapshots g in
-          Hashtbl.remove snapshots g;
-          let new_g = recompute t g in
-          if not (t.ops.Semiring.Intf.equal old_g new_g) then begin
-            t.values.(g) <- new_g;
-            enqueue_parents g ~old_v:old_g ~new_v:new_g
-          end
-          else t.values.(g) <- new_g
-        done
+        try
+          t.values.(id) <- v;
+          let queue = ref IQ.empty in
+          let snapshots = Hashtbl.create 16 in
+          let enqueue_parents g ~old_v ~new_v =
+            List.iter
+              (fun (p, slot) ->
+                if not (Hashtbl.mem snapshots p) then begin
+                  Hashtbl.replace snapshots p t.values.(p);
+                  queue := IQ.add p !queue
+                end;
+                notify t p slot ~old_v ~new_v)
+              t.parents.(g)
+          in
+          enqueue_parents id ~old_v ~new_v:v;
+          while not (IQ.is_empty !queue) do
+            let g = IQ.min_elt !queue in
+            queue := IQ.remove g !queue;
+            let old_g = Hashtbl.find snapshots g in
+            Hashtbl.remove snapshots g;
+            let new_g = recompute t g in
+            if not (t.ops.Semiring.Intf.equal old_g new_g) then begin
+              t.values.(g) <- new_g;
+              enqueue_parents g ~old_v:old_g ~new_v:new_g
+            end
+            else t.values.(g) <- new_g
+          done
+        with e ->
+          t.poisoned <- Some (Printexc.to_string e);
+          raise e
       end
 
 (** Current value of an input gate. *)
@@ -250,6 +282,7 @@ let has_input t key = Hashtbl.mem t.input_ids key
 (** Temporarily set some inputs, run [f], restore — the free-variable query
     mechanism in the proof of Theorem 8. *)
 let with_temp t (assignments : (Circuit.input_key * 'a) list) (f : unit -> 'b) : 'b =
+  check_live t;
   let saved =
     List.filter_map
       (fun (key, v) ->

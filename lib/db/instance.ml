@@ -25,15 +25,19 @@ let n t = t.n
 let rel_table t r =
   match Hashtbl.find_opt t.tuples r with
   | Some tbl -> tbl
-  | None -> invalid_arg (Printf.sprintf "Instance: unknown relation %s" r)
+  | None -> Robust.bad_input "Instance: unknown relation %s" r
 
+(* Validate on construction: an arity mismatch or out-of-range element id
+   fails here with a clear [Bad_input], not as an out-of-bounds crash deep
+   inside compilation. *)
 let check_tuple t r tup =
+  if not (Schema.has_rel t.schema r) then Robust.bad_input "Instance: unknown relation %s" r;
   let a = Schema.arity t.schema r in
-  if List.length tup <> a then
-    invalid_arg (Printf.sprintf "Instance: %s expects arity %d" r a);
+  if List.length tup <> a then Robust.bad_input "Instance: %s expects arity %d" r a;
   List.iter
     (fun v ->
-      if v < 0 || v >= t.n then invalid_arg (Printf.sprintf "Instance: element %d out of domain" v))
+      if v < 0 || v >= t.n then
+        Robust.bad_input "Instance: element %d out of domain [0, %d)" v t.n)
     tup
 
 (** Add a tuple to relation [r]. Idempotent. *)
@@ -56,14 +60,20 @@ let size t =
   List.fold_left (fun acc (r, _) -> acc + cardinality t r) 0 t.schema.Schema.rels
 
 let set_func t f tbl =
-  if Array.length tbl <> t.n then invalid_arg "Instance.set_func: wrong length";
-  Array.iter (fun v -> if v < 0 || v >= t.n then invalid_arg "Instance.set_func: out of domain") tbl;
+  if Array.length tbl <> t.n then
+    Robust.bad_input "Instance.set_func: table length %d, domain size %d"
+      (Array.length tbl) t.n;
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= t.n then
+        Robust.bad_input "Instance.set_func: value %d out of domain [0, %d)" v t.n)
+    tbl;
   Hashtbl.replace t.funcs f tbl
 
 let func t f =
   match Hashtbl.find_opt t.funcs f with
   | Some tbl -> tbl
-  | None -> invalid_arg (Printf.sprintf "Instance: unknown function %s" f)
+  | None -> Robust.bad_input "Instance: unknown function %s" f
 
 let apply_func t f v = (func t f).(v)
 

@@ -21,7 +21,7 @@ let get w tup = match Hashtbl.find_opt w.table tup with Some v -> v | None -> w.
 (** Set the weight of a tuple (an "update" in the sense of Theorem 8). *)
 let set w tup v =
   if List.length tup <> w.arity then
-    invalid_arg (Printf.sprintf "Weights.set: %s expects arity %d" w.name w.arity);
+    Robust.bad_input "Weights.set: %s expects arity %d" w.name w.arity;
   Hashtbl.replace w.table tup v
 
 let remove w tup = Hashtbl.remove w.table tup
@@ -40,13 +40,13 @@ let bundle (ws : 'a t list) : 'a bundle =
 let find (b : 'a bundle) name =
   match Hashtbl.find_opt b name with
   | Some w -> w
-  | None -> invalid_arg (Printf.sprintf "Weights: unknown weight symbol %s" name)
+  | None -> Robust.bad_input "Weights: unknown weight symbol %s" name
 
 let mem_bundle (b : 'a bundle) name = Hashtbl.mem b name
 
 (** Fill a unary weight from a function over the whole domain. *)
 let fill_unary w ~n f =
-  if w.arity <> 1 then invalid_arg "Weights.fill_unary: arity <> 1";
+  if w.arity <> 1 then Robust.bad_input "Weights.fill_unary: %s has arity %d, expected 1" w.name w.arity;
   for v = 0 to n - 1 do
     set w [ v ] (f v)
   done

@@ -56,16 +56,21 @@ let surjective_maps vars subset =
 
 (** Compile a closed expression over an instance. [tfa_rounds] overrides
     the number of augmentation rounds; [max_depth] aborts (with
-    [Invalid_argument]) if some induced forest is deeper — a sign the
-    coloring is not low-treedepth enough for this pattern size. *)
+    [Robust.Unsupported_fragment]) if some induced forest is deeper — a
+    sign the coloring is not low-treedepth enough for this pattern size.
+    [budget] limits emitted gates and wall-clock time, checked
+    cooperatively as shapes and subsets are compiled; a violation raises
+    [Robust.Error (Budget_exceeded _)] instead of exhausting memory on a
+    hostile query. *)
 let compile (type a) ~(zero : a) ~(one : a) ?(tfa_rounds = -1) ?(max_depth = 10)
-    ?(dynamic_rels = []) (inst : Db.Instance.t) (expr : a Logic.Expr.t) :
-    a Circuits.Circuit.t * meta =
+    ?(budget = Robust.unlimited) ?(dynamic_rels = []) (inst : Db.Instance.t)
+    (expr : a Logic.Expr.t) : a Circuits.Circuit.t * meta =
+  let monitor = if Robust.is_unlimited budget then None else Some (Robust.start budget) in
   (match Logic.Expr.free_vars_unique expr with
   | [] -> ()
   | fv ->
-      invalid_arg
-        ("Compile: expression must be closed; free: " ^ String.concat "," fv));
+      Robust.bad_input "Compile: expression must be closed; free: %s"
+        (String.concat "," fv));
   let nf = Logic.Normal.of_expr expr in
   let num_summands = List.length nf in
   let p =
@@ -74,8 +79,7 @@ let compile (type a) ~(zero : a) ~(one : a) ?(tfa_rounds = -1) ?(max_depth = 10)
       0 nf
   in
   if p > 4 then
-    invalid_arg
-      (Printf.sprintf "Compile: %d variables per summand; at most 4 supported" p);
+    Robust.unsupported "Compile: %d variables per summand; at most 4 supported" p;
   let n = Db.Instance.n inst in
   let g = Db.Instance.gaifman inst in
   let coloring =
@@ -91,6 +95,11 @@ let compile (type a) ~(zero : a) ~(one : a) ?(tfa_rounds = -1) ?(max_depth = 10)
     else Db.Instance.mem inst r tuple
   in
   let b = Circuits.Circuit.builder () in
+  let check_budget () =
+    match monitor with
+    | Some m -> Robust.check m ~gates:(Circuits.Circuit.builder_len b)
+    | None -> ()
+  in
   let gates = ref [] in
   let num_shapes = ref 0 in
   let max_forest_depth = ref 0 in
@@ -105,7 +114,8 @@ let compile (type a) ~(zero : a) ~(one : a) ?(tfa_rounds = -1) ?(max_depth = 10)
           | [] -> Circuits.Circuit.const b one
           | cs -> Circuits.Circuit.mul b (List.map (Circuits.Circuit.const b) cs)
         in
-        gates := gate :: !gates
+        gates := gate :: !gates;
+        check_budget ()
       end)
     nf;
   if p > 0 && n > 0 then begin
@@ -132,6 +142,7 @@ let compile (type a) ~(zero : a) ~(one : a) ?(tfa_rounds = -1) ?(max_depth = 10)
               nf
           in
           if relevant <> [] then begin
+            check_budget ();
             incr num_subsets;
             let verts = List.sort compare verts in
             let orig = Array.of_list verts in
@@ -151,10 +162,9 @@ let compile (type a) ~(zero : a) ~(one : a) ?(tfa_rounds = -1) ?(max_depth = 10)
             let forest = Graphs.Treedepth.best_forest sub_g in
             let d = Graphs.Forest.max_depth forest in
             if d > max_depth then
-              invalid_arg
-                (Printf.sprintf
-                   "Compile: induced forest depth %d exceeds %d; increase tfa_rounds"
-                   d max_depth);
+              Robust.unsupported
+                "Compile: induced forest depth %d exceeds %d; increase tfa_rounds" d
+                max_depth;
             max_forest_depth := max !max_forest_depth d;
             let fs =
               {
@@ -206,7 +216,8 @@ let compile (type a) ~(zero : a) ~(one : a) ?(tfa_rounds = -1) ?(max_depth = 10)
                           Circuits.Circuit.mul b
                             (List.map (Circuits.Circuit.const b) cs @ [ body ])
                     in
-                    gates := gate :: !gates)
+                    gates := gate :: !gates;
+                    check_budget ())
                   (surjective_maps vars subset))
               relevant;
             (* reset the shared index map *)
@@ -218,6 +229,7 @@ let compile (type a) ~(zero : a) ~(one : a) ?(tfa_rounds = -1) ?(max_depth = 10)
   let output =
     match !gates with [] -> Circuits.Circuit.const b zero | gs -> Circuits.Circuit.add b gs
   in
+  check_budget ();
   let circuit = Circuits.Circuit.finish b ~output in
   ( circuit,
     {

@@ -22,7 +22,7 @@ type 'a t = {
 
 let query_weight i = Printf.sprintf "__qv%d" i
 
-let prepare (type a) (ops : a Semiring.Intf.ops) ?mode ?tfa_rounds ?max_depth
+let prepare (type a) (ops : a Semiring.Intf.ops) ?mode ?tfa_rounds ?max_depth ?budget
     (inst : Db.Instance.t) (weights : a Db.Weights.bundle) (expr : a Logic.Expr.t) : a t =
   let open Semiring.Intf in
   let fv = Logic.Expr.free_vars_unique expr in
@@ -38,7 +38,8 @@ let prepare (type a) (ops : a Semiring.Intf.ops) ?mode ?tfa_rounds ?max_depth
                  fv) )
   in
   let circuit, meta =
-    Compile.compile ~zero:ops.zero ~one:ops.one ?tfa_rounds ?max_depth inst expr_closed
+    Compile.compile ~zero:ops.zero ~one:ops.one ?tfa_rounds ?max_depth ?budget inst
+      expr_closed
   in
   let valuation (w, tuple) =
     if String.length w > 4 && String.sub w 0 4 = "__qv" then ops.zero
@@ -72,11 +73,224 @@ let stats t = Circuits.Circuit.stats t.circuit
 
 (** One-shot static evaluation of a closed expression through the circuit
     pipeline (compile + one linear evaluation, no dynamic structures). *)
-let evaluate (type a) (ops : a Semiring.Intf.ops) ?tfa_rounds ?max_depth
+let evaluate (type a) (ops : a Semiring.Intf.ops) ?tfa_rounds ?max_depth ?budget
     (inst : Db.Instance.t) (weights : a Db.Weights.bundle) (expr : a Logic.Expr.t) : a =
   let open Semiring.Intf in
   let circuit, _ =
-    Compile.compile ~zero:ops.zero ~one:ops.one ?tfa_rounds ?max_depth inst expr
+    Compile.compile ~zero:ops.zero ~one:ops.one ?tfa_rounds ?max_depth ?budget inst expr
   in
   Circuits.Circuit.eval ops circuit (fun (w, tuple) ->
       Db.Weights.get (Db.Weights.find weights w) tuple)
+
+(* --- checked entry points (the robustness layer) --- *)
+
+(** How a checked entry point reacts to a degradable compile failure
+    ([Budget_exceeded] or [Unsupported_fragment]): [`Naive] falls back to
+    the brute-force {!Reference} evaluator, [`Fail] returns the error. *)
+type fallback = [ `Naive | `Fail ]
+
+type 'a backend = Circuit of 'a t | Degraded of 'a Reference.prepared
+
+(** A prepared query that can never escape an unclassified exception:
+    either a compiled circuit or (after degradation) a reference state,
+    plus the optional self-check configuration. *)
+type 'a checked = {
+  backend : 'a backend;
+  degraded_because : Robust.error option;  (** why the reference backend is in use *)
+  self_check : bool;
+  sc_samples : int;
+  c_ops : 'a Semiring.Intf.ops;
+  c_inst : Db.Instance.t;
+  c_weights : 'a Db.Weights.bundle;
+  c_expr : 'a Logic.Expr.t;
+  c_fv : string list;
+}
+
+let degraded ck = ck.degraded_because
+let checked_free_vars ck = ck.c_fv
+
+let self_check_env () =
+  match Sys.getenv_opt "SPARSEQ_SELF_CHECK" with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | _ -> false
+
+(* Classify engine exceptions beyond the generic Robust backstop; if the
+   underlying dyn circuit got poisoned, that dominates every other reading
+   of the failure. *)
+let classify_engine (backend : 'a backend option) (e : exn) : Robust.error option =
+  let base =
+    match e with
+    | Circuits.Dyn.Poisoned msg ->
+        Some (Robust.Internal_divergence ("dynamic circuit poisoned: " ^ msg))
+    | Logic.Normal.Not_quantifier_free f ->
+        Some
+          (Robust.Unsupported_fragment
+             (Format.asprintf "quantifier inside a compiled guard: %a" Logic.Formula.pp f))
+    | _ -> Robust.classify_exn e
+  in
+  match backend with
+  | Some (Circuit t) -> (
+      match (base, Circuits.Dyn.poisoned t.dyn) with
+      | Some (Robust.Internal_divergence _), _ | _, None -> base
+      | Some err, Some _ ->
+          Some
+            (Robust.Internal_divergence
+               (Printf.sprintf "update fault poisoned the circuit (%s)"
+                  (Robust.to_string err)))
+      | None, Some fault ->
+          Some
+            (Robust.Internal_divergence ("update fault poisoned the circuit: " ^ fault)))
+  | _ -> base
+
+(* Deterministic sample of query-argument tuples for the self-check. *)
+let sample_args ~n ~k ~samples =
+  if n = 0 || k = 0 then []
+  else begin
+    let state = ref 0x9e3779b9 in
+    let next bound =
+      state := (!state * 1103515245) + 12345;
+      (!state land 0x3FFFFFFF) mod bound
+    in
+    List.init samples (fun _ -> List.init k (fun _ -> next n))
+  end
+
+(* Cross-validate the circuit against the reference evaluator on the
+   current weights: the closed value, plus sampled query points when the
+   expression has free variables. Raises [Internal_divergence]. *)
+let self_check_now (ck : 'a checked) : unit =
+  match ck.backend with
+  | Degraded _ -> ()
+  | Circuit t ->
+      let ops = ck.c_ops in
+      if ck.c_fv = [] then begin
+        let got = value t in
+        let want = Reference.eval ops ck.c_inst ck.c_weights ck.c_expr in
+        if not (ops.Semiring.Intf.equal got want) then
+          Robust.divergence "self-check: circuit value disagrees with reference evaluator"
+      end
+      else
+        List.iter
+          (fun args ->
+            let got = query t args in
+            let want =
+              Reference.eval ops ck.c_inst ck.c_weights
+                ~env:(List.combine ck.c_fv args) ck.c_expr
+            in
+            if not (ops.Semiring.Intf.equal got want) then
+              Robust.divergence
+                "self-check: circuit disagrees with reference at query (%s)"
+                (String.concat "," (List.map string_of_int args)))
+          (sample_args ~n:(Db.Instance.n ck.c_inst) ~k:(List.length ck.c_fv)
+             ~samples:ck.sc_samples)
+
+(** Checked preparation: classifies every exception the pipeline can raise
+    into [Robust.error], and on a degradable failure (budget, unsupported
+    fragment) with [~fallback:`Naive] (the default) transparently falls
+    back to the brute-force reference evaluator. [~self_check:true] (or
+    [SPARSEQ_SELF_CHECK=1]) cross-validates circuit values against the
+    reference at preparation, on sampled query points, and after every
+    {!update_checked}. *)
+let prepare_checked (type a) (ops : a Semiring.Intf.ops) ?mode ?tfa_rounds ?max_depth
+    ?budget ?(fallback : fallback = `Naive) ?self_check ?(self_check_samples = 4)
+    (inst : Db.Instance.t) (weights : a Db.Weights.bundle) (expr : a Logic.Expr.t) :
+    (a checked, Robust.error) result =
+  let self_check =
+    match self_check with Some b -> b | None -> self_check_env ()
+  in
+  let mk backend degraded_because =
+    {
+      backend;
+      degraded_because;
+      self_check;
+      sc_samples = self_check_samples;
+      c_ops = ops;
+      c_inst = inst;
+      c_weights = weights;
+      c_expr = expr;
+      c_fv = Logic.Expr.free_vars_unique expr;
+    }
+  in
+  match
+    Robust.protect
+      ~classify:(classify_engine None)
+      (fun () -> prepare ops ?mode ?tfa_rounds ?max_depth ?budget inst weights expr)
+  with
+  | Ok t ->
+      let ck = mk (Circuit t) None in
+      if self_check then
+        Robust.protect ~classify:(classify_engine (Some ck.backend)) (fun () ->
+            self_check_now ck;
+            ck)
+      else Ok ck
+  | Error e when Robust.degradable e && fallback = `Naive ->
+      Robust.protect (fun () -> mk (Degraded (Reference.prepare ops inst weights expr)) (Some e))
+  | Error e -> Error e
+
+(** Current value of a checked query (with the self-check, when enabled). *)
+let value_checked (ck : 'a checked) : ('a, Robust.error) result =
+  Robust.protect
+    ~classify:(classify_engine (Some ck.backend))
+    (fun () ->
+      if ck.self_check then self_check_now ck;
+      match ck.backend with Circuit t -> value t | Degraded r -> Reference.value r)
+
+(** Value at a tuple (one element per free variable). *)
+let query_checked (ck : 'a checked) (args : int list) : ('a, Robust.error) result =
+  Robust.protect
+    ~classify:(classify_engine (Some ck.backend))
+    (fun () ->
+      match ck.backend with
+      | Circuit t ->
+          let got = query t args in
+          if ck.self_check then begin
+            let want =
+              Reference.eval ck.c_ops ck.c_inst ck.c_weights
+                ~env:(List.combine ck.c_fv args) ck.c_expr
+            in
+            if not (ck.c_ops.Semiring.Intf.equal got want) then
+              Robust.divergence
+                "self-check: circuit disagrees with reference at query (%s)"
+                (String.concat "," (List.map string_of_int args))
+          end;
+          got
+      | Degraded r -> Reference.query r args)
+
+(** Update one weight. Unlike the unchecked {!update}, this writes through
+    to the weight bundle as well, so the circuit, the reference fallback,
+    and the self-check all observe the same state. A fault mid-update
+    poisons the circuit and reports [Internal_divergence] — it never leaves
+    a silently corrupt value behind. *)
+let update_checked (ck : 'a checked) (w : string) (tuple : int list) (v : 'a) :
+    (unit, Robust.error) result =
+  Robust.protect
+    ~classify:(classify_engine (Some ck.backend))
+    (fun () ->
+      Db.Weights.set (Db.Weights.find ck.c_weights w) tuple v;
+      (match ck.backend with
+      | Circuit t -> update t w tuple v
+      | Degraded _ -> ());
+      if ck.self_check then self_check_now ck)
+
+(** Inject a fault hook into the underlying dynamic circuit (tests only);
+    no-op on a degraded backend. *)
+let set_fault_hook (ck : 'a checked) (h : (int -> unit) option) : unit =
+  match ck.backend with
+  | Circuit t -> Circuits.Dyn.set_fault_hook t.dyn h
+  | Degraded _ -> ()
+
+(** One-shot checked evaluation of a closed expression: [Ok (v, None)]
+    from the circuit pipeline, [Ok (v, Some reason)] from the reference
+    fallback after a degradable failure, [Error _] otherwise. *)
+let evaluate_checked (type a) (ops : a Semiring.Intf.ops) ?tfa_rounds ?max_depth ?budget
+    ?(fallback : fallback = `Naive) (inst : Db.Instance.t)
+    (weights : a Db.Weights.bundle) (expr : a Logic.Expr.t) :
+    (a * Robust.error option, Robust.error) result =
+  match
+    Robust.protect
+      ~classify:(classify_engine None)
+      (fun () -> evaluate ops ?tfa_rounds ?max_depth ?budget inst weights expr)
+  with
+  | Ok v -> Ok (v, None)
+  | Error e when Robust.degradable e && fallback = `Naive ->
+      Robust.protect (fun () -> (Reference.eval ops inst weights expr, Some e))
+  | Error e -> Error e

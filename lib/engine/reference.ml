@@ -1,0 +1,89 @@
+(** Trusted brute-force evaluator — the degradation and verification
+    target for the circuit pipeline.
+
+    Circuit-based evaluators need a baseline that is obviously correct:
+    this module evaluates weighted expressions and first-order queries
+    directly from the semantics, by exhaustive iteration over valuations
+    (exponential in the number of summed variables, linear per valuation).
+    It is used two ways:
+
+    - {b graceful degradation}: when compilation exceeds a resource budget
+      or hits an unsupported fragment, checked entry points fall back to a
+      {!prepared} reference state that still answers [value]/[query]/
+      [update] — slowly, but correctly;
+    - {b self-checking}: with [~self_check:true] (or [SPARSEQ_SELF_CHECK=1])
+      the engine cross-validates circuit values against this evaluator and
+      reports disagreement as [Robust.Internal_divergence].
+
+    Promoted and generalized from the test oracles that previously lived in
+    [test/test_fo.ml] and [test/test_nested.ml]. *)
+
+(** Brute-force evaluation of a weighted expression over first-class
+    semiring operations, under an environment for its free variables. *)
+let eval (type a) (ops : a Semiring.Intf.ops) (inst : Db.Instance.t)
+    (weights : a Db.Weights.bundle) ?(env = []) (expr : a Logic.Expr.t) : a =
+  let open Semiring.Intf in
+  let n = Db.Instance.n inst in
+  let rec go env = function
+    | Logic.Expr.Const s -> s
+    | Logic.Expr.Weight (w, ts) ->
+        Db.Weights.get (Db.Weights.find weights w)
+          (List.map (Logic.Term.eval inst env) ts)
+    | Logic.Expr.Guard f -> if Logic.Formula.holds inst env f then ops.one else ops.zero
+    | Logic.Expr.Add fs -> List.fold_left (fun acc f -> ops.add acc (go env f)) ops.zero fs
+    | Logic.Expr.Mul fs -> List.fold_left (fun acc f -> ops.mul acc (go env f)) ops.one fs
+    | Logic.Expr.Sum ([], f) -> go env f
+    | Logic.Expr.Sum (x :: xs, f) ->
+        let acc = ref ops.zero in
+        for v = 0 to n - 1 do
+          acc := ops.add !acc (go ((x, v) :: env) (Logic.Expr.Sum (xs, f)))
+        done;
+        !acc
+  in
+  go env expr
+
+(** All answers of a first-order query, by exhaustive search: the free
+    variables (sorted, as everywhere in the engine) and the sorted answer
+    tuples. The baseline for [Fo_enum]. *)
+let answers (inst : Db.Instance.t) (phi : Logic.Formula.t) : string list * int list list
+    =
+  let fv = Logic.Formula.free_vars_unique phi in
+  let n = Db.Instance.n inst in
+  let rec go env = function
+    | [] ->
+        if Logic.Formula.holds inst env phi then
+          [ List.map (fun x -> List.assoc x env) fv ]
+        else []
+    | x :: rest -> List.concat_map (fun a -> go ((x, a) :: env) rest) (List.init n Fun.id)
+  in
+  (fv, List.sort compare (go [] fv))
+
+(** A reference-backed replacement for a prepared circuit: the same
+    [value]/[query]/[update] surface as [Eval], answered by re-evaluation
+    against the live instance and weights. *)
+type 'a prepared = {
+  ops : 'a Semiring.Intf.ops;
+  inst : Db.Instance.t;
+  weights : 'a Db.Weights.bundle;
+  expr : 'a Logic.Expr.t;
+  free_vars : string list;  (** in query-argument order *)
+}
+
+let prepare ops inst weights expr =
+  { ops; inst; weights; expr; free_vars = Logic.Expr.free_vars_unique expr }
+
+(** Value of a closed expression (0 for expressions with free variables,
+    matching the closure trick of the circuit path). *)
+let value r =
+  if r.free_vars = [] then eval r.ops r.inst r.weights r.expr
+  else r.ops.Semiring.Intf.zero
+
+let query r (args : int list) =
+  if List.length args <> List.length r.free_vars then
+    Robust.bad_input "Reference.query: expected %d arguments, got %d"
+      (List.length r.free_vars) (List.length args);
+  eval r.ops r.inst r.weights ~env:(List.combine r.free_vars args) r.expr
+
+(** Updates write through to the weight bundle; the next evaluation reads
+    the new value (no incremental state to maintain). *)
+let update r w tuple v = Db.Weights.set (Db.Weights.find r.weights w) tuple v

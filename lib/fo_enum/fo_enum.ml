@@ -83,7 +83,7 @@ let materialize_guarded (inst : Db.Instance.t) (f : Logic.Formula.t) :
               inst := with_unary_relation !inst r (fun a -> exists_with [ (y, a) ]);
               Logic.Formula.Rel (r, [ Logic.Term.Var y ])
           | _ ->
-              invalid_arg
+              Robust.unsupported
                 "Fo_enum: quantified subformula with 2+ free variables requires full \
                  quantifier elimination (not implemented; see DESIGN.md)")
     in
@@ -95,9 +95,10 @@ let materialize_guarded (inst : Db.Instance.t) (f : Logic.Formula.t) :
     output component order (defaults to sorted free variables);
     [dynamic:true] compiles relations as Lemma 40 weights so that
     {!set_tuple} works without recompiling (requires φ quantifier-free). *)
-let prepare ?order ?(dynamic = false) (inst : Db.Instance.t) (phi : Logic.Formula.t) : t =
+let prepare ?order ?(dynamic = false) ?budget (inst : Db.Instance.t)
+    (phi : Logic.Formula.t) : t =
   if dynamic && not (Logic.Formula.is_quantifier_free phi) then
-    invalid_arg "Fo_enum: dynamic mode requires a quantifier-free query";
+    Robust.unsupported "Fo_enum: dynamic mode requires a quantifier-free query";
   let inst = if dynamic then Db.Instance.copy inst else inst in
   let inst, phi = materialize_guarded inst phi in
   let fv =
@@ -116,7 +117,7 @@ let prepare ?order ?(dynamic = false) (inst : Db.Instance.t) (phi : Logic.Formul
     if dynamic then List.map fst (Db.Instance.schema inst).Db.Schema.rels else []
   in
   let prov =
-    Provenance.Prov_circuit.prepare ~dynamic_rels inst expr ~weight:(fun w tuple ->
+    Provenance.Prov_circuit.prepare ~dynamic_rels ?budget inst expr ~weight:(fun w tuple ->
         let starts p = String.length w >= String.length p && String.sub w 0 (String.length p) = p in
         let suffix p = String.sub w (String.length p) (String.length w - String.length p) in
         if starts "__enum" then begin
@@ -135,6 +136,21 @@ let prepare ?order ?(dynamic = false) (inst : Db.Instance.t) (phi : Logic.Formul
         else invalid_arg ("Fo_enum: unexpected weight " ^ w))
   in
   { free_vars = fv; prov; inst; dynamic }
+
+(** Checked preparation: every exception the enumeration pipeline can
+    raise — unguarded quantification, compile budgets, malformed instances
+    — comes back as a classified [Robust.error] instead of escaping. *)
+let prepare_checked ?order ?dynamic ?budget (inst : Db.Instance.t)
+    (phi : Logic.Formula.t) : (t, Robust.error) result =
+  Robust.protect
+    ~classify:(function
+      | Logic.Normal.Not_quantifier_free f ->
+          Some
+            (Robust.Unsupported_fragment
+               (Format.asprintf "quantifier inside a compiled guard: %a" Logic.Formula.pp
+                  f))
+      | _ -> None)
+    (fun () -> prepare ?order ?dynamic ?budget inst phi)
 
 let free_vars t = t.free_vars
 
@@ -164,11 +180,11 @@ let answers t = Enum.Iter.to_list (enumerate t)
     afterwards see the new data, with no recompilation. *)
 let set_tuple t ?gaifman rel tuple present =
   if not t.dynamic then
-    invalid_arg "Fo_enum.set_tuple: prepare with ~dynamic:true for updates";
+    Robust.bad_input "Fo_enum.set_tuple: prepare with ~dynamic:true for updates";
   if present then begin
     let g = match gaifman with Some g -> g | None -> Db.Instance.gaifman t.inst in
     if not (Db.Instance.clique_in g tuple) then
-      invalid_arg "Fo_enum.set_tuple: tuple would change the Gaifman graph";
+      Robust.bad_input "Fo_enum.set_tuple: tuple would change the Gaifman graph";
     Db.Instance.add t.inst rel tuple
   end
   else Db.Instance.remove t.inst rel tuple

@@ -165,31 +165,31 @@ let eliminate_guard_quantifiers (st : structure) (e : Value.t Logic.Expr.t) :
 let fresh_counter = ref 0
 
 (* Materialize every guarded connective, innermost-first. *)
-let rec materialize (st : structure) (f : formula) : structure * formula =
+let rec materialize ?budget (st : structure) (f : formula) : structure * formula =
   match f with
   | Srel _ | Const _ | Brel _ | Eq _ -> (st, f)
   | Add fs ->
-      let st, fs = materialize_list st fs in
+      let st, fs = materialize_list ?budget st fs in
       (st, Add fs)
   | Mul fs ->
-      let st, fs = materialize_list st fs in
+      let st, fs = materialize_list ?budget st fs in
       (st, Mul fs)
   | Sum (xs, f) ->
-      let st, f = materialize st f in
+      let st, f = materialize ?budget st f in
       (st, Sum (xs, f))
   | Iverson (f, d) ->
-      let st, f = materialize st f in
+      let st, f = materialize ?budget st f in
       (st, Iverson (f, d))
   | Not f ->
-      let st, f = materialize st f in
+      let st, f = materialize ?budget st f in
       (st, Not f)
   | Guarded (r, gvars, c, fs) ->
-      let st, fs = materialize_list st fs in
+      let st, fs = materialize_list ?budget st fs in
       (* evaluate each argument as a query over the guard variables *)
       let queries =
         List.map
           (fun f ->
-            let q = query_of st f ~order:gvars in
+            let q = query_of ?budget st f ~order:gvars in
             q)
           fs
       in
@@ -220,22 +220,23 @@ let rec materialize (st : structure) (f : formula) : structure * formula =
         (st, Srel (wname, List.map (fun x -> Logic.Term.Var x) gvars))
       end
 
-and materialize_list st fs =
+and materialize_list ?budget st fs =
   List.fold_left
     (fun (st, acc) f ->
-      let st, f = materialize st f in
+      let st, f = materialize ?budget st f in
       (st, acc @ [ f ]))
     (st, []) fs
 
 (* A query function for a connective-free formula with free variables
    [order]: one Theorem 8 preparation, then one O(log n) query per tuple. *)
-and query_of (st : structure) (f : formula) ~(order : string list) : int list -> Value.t =
+and query_of ?budget (st : structure) (f : formula) ~(order : string list) :
+    int list -> Value.t =
   let d = type_of st f in
   let fv = free_vars f in
   let expr = to_expr st f in
   let st, expr = eliminate_guard_quantifiers st expr in
   let ops = Value.ops_of_descr d in
-  let ev = Engine.Eval.prepare ops st.inst st.srels expr in
+  let ev = Engine.Eval.prepare ops ?budget st.inst st.srels expr in
   let positions =
     (* Engine sorts free variables; map guard-order tuples accordingly *)
     List.map (fun x -> if List.mem x fv then Some x else None) order
@@ -249,24 +250,44 @@ and query_of (st : structure) (f : formula) ~(order : string list) : int list ->
 
 (** Evaluate a closed nested weighted query; O(n log n) in general, O(n)
     when all semirings involved are rings or finite. *)
-let eval (st : structure) (f : formula) : Value.t =
+let eval ?budget (st : structure) (f : formula) : Value.t =
   let d = type_of st f in
   if free_vars f <> [] then
-    invalid_arg ("Nested.eval: formula has free variables " ^ String.concat "," (free_vars f));
-  let st, f = materialize st f in
+    Robust.bad_input "Nested.eval: formula has free variables %s"
+      (String.concat "," (free_vars f));
+  let st, f = materialize ?budget st f in
   if Value.same_sr d Value.bool_sr then begin
     (* evaluate through the boolean pipeline *)
     let expr = Logic.Expr.Guard (to_fo f) in
     let st, expr = eliminate_guard_quantifiers st expr in
     let ops = Value.ops_of_descr Value.bool_sr in
-    Engine.Eval.evaluate ops st.inst st.srels expr
+    Engine.Eval.evaluate ops ?budget st.inst st.srels expr
   end
   else begin
     let expr = to_expr st f in
     let st, expr = eliminate_guard_quantifiers st expr in
     let ops = Value.ops_of_descr d in
-    Engine.Eval.evaluate ops st.inst st.srels expr
+    Engine.Eval.evaluate ops ?budget st.inst st.srels expr
   end
+
+(* Exceptions the nested pipeline can raise, mapped into the taxonomy. *)
+let classify_nested = function
+  | Ill_typed msg -> Some (Robust.Ill_typed msg)
+  | Value.Type_error msg -> Some (Robust.Ill_typed msg)
+  | Circuits.Dyn.Poisoned msg ->
+      Some (Robust.Internal_divergence ("dynamic circuit poisoned: " ^ msg))
+  | Logic.Normal.Not_quantifier_free f ->
+      Some
+        (Robust.Unsupported_fragment
+           (Format.asprintf "quantifier inside a compiled guard: %a" Logic.Formula.pp f))
+  | _ -> None
+
+(** Checked evaluation of a closed nested query: type errors come back as
+    [Ill_typed], malformed inputs as [Bad_input], fragment and budget
+    violations as their own categories — nothing escapes unclassified. *)
+let eval_checked ?budget (st : structure) (f : formula) : (Value.t, Robust.error) result
+    =
+  Robust.protect ~classify:classify_nested (fun () -> eval ?budget st f)
 
 (** Prepare a query function for a nested weighted query with free
     variables: linear-time preprocessing, then per-tuple queries as in

@@ -52,10 +52,11 @@ type 'g t = {
 (** [prepare inst expr ~weight] compiles Σ-expression [expr] (over boolean
     constants) and installs [weight] as the initial valuation: the list of
     monomials of each weight's value (often a singleton identifier). *)
-let prepare ?(dynamic_rels = []) (inst : Db.Instance.t) (expr : bool Logic.Expr.t)
-    ~(weight : string -> int list -> 'g Free.mono list) : 'g t =
+let prepare ?(dynamic_rels = []) ?(budget = Robust.unlimited) (inst : Db.Instance.t)
+    (expr : bool Logic.Expr.t) ~(weight : string -> int list -> 'g Free.mono list) :
+    'g t =
   let circuit, meta =
-    Engine.Compile.compile ~zero:false ~one:true ~dynamic_rels inst expr
+    Engine.Compile.compile ~zero:false ~one:true ~dynamic_rels ~budget inst expr
   in
   {
     circuit;

@@ -27,11 +27,15 @@ let instance_crud () =
   check_bool "not mem reversed" false (Db.Instance.mem i "E" [ 1; 0 ]);
   Db.Instance.remove i "E" [ 0; 1 ];
   check_int "removed" 0 (Db.Instance.cardinality i "E");
-  Alcotest.check_raises "arity check" (Invalid_argument "Instance: E expects arity 2")
-    (fun () -> Db.Instance.add i "E" [ 0 ]);
+  Alcotest.check_raises "arity check"
+    (Robust.Error (Robust.Bad_input "Instance: E expects arity 2")) (fun () ->
+      Db.Instance.add i "E" [ 0 ]);
   Alcotest.check_raises "domain check"
-    (Invalid_argument "Instance: element 9 out of domain") (fun () ->
-      Db.Instance.add i "E" [ 0; 9 ])
+    (Robust.Error (Robust.Bad_input "Instance: element 9 out of domain [0, 5)"))
+    (fun () -> Db.Instance.add i "E" [ 0; 9 ]);
+  Alcotest.check_raises "unknown relation"
+    (Robust.Error (Robust.Bad_input "Instance: unknown relation Q")) (fun () ->
+      Db.Instance.add i "Q" [ 0 ])
 
 let gaifman_graph () =
   let s = Db.Schema.make [ ("R", 3) ] in
@@ -78,7 +82,7 @@ let weights_basics () =
   Db.Weights.remove w [ 1; 2 ];
   check_int "after remove" 0 (Db.Weights.get w [ 1; 2 ]);
   Alcotest.check_raises "arity check"
-    (Invalid_argument "Weights.set: w expects arity 2") (fun () ->
+    (Robust.Error (Robust.Bad_input "Weights.set: w expects arity 2")) (fun () ->
       Db.Weights.set w [ 1 ] 3)
 
 let bundle_ops () =
@@ -87,8 +91,9 @@ let bundle_ops () =
   check_bool "find" true (Db.Weights.name (Db.Weights.find b "u") = "u");
   check_bool "mem" true (Db.Weights.mem_bundle b "u");
   check_bool "not mem" false (Db.Weights.mem_bundle b "nope");
-  Alcotest.check_raises "unknown" (Invalid_argument "Weights: unknown weight symbol v")
-    (fun () -> ignore (Db.Weights.find b "v"))
+  Alcotest.check_raises "unknown"
+    (Robust.Error (Robust.Bad_input "Weights: unknown weight symbol v")) (fun () ->
+      ignore (Db.Weights.find b "v"))
 
 let instance_size_linear =
   QCheck_alcotest.to_alcotest

@@ -328,7 +328,7 @@ let error_paths () =
          (Engine.Compile.compile ~zero:0 ~one:1 inst
             (Logic.Expr.Weight ("w", [ v "x" ])));
        false
-     with Invalid_argument _ -> true);
+     with Robust.Error (Robust.Bad_input _) -> true);
   (* five-variable summand *)
   let five =
     Logic.Expr.Sum
@@ -340,7 +340,7 @@ let error_paths () =
     (try
        ignore (Engine.Compile.compile ~zero:0 ~one:1 inst five);
        false
-     with Invalid_argument _ -> true);
+     with Robust.Error (Robust.Unsupported_fragment _) -> true);
   (* quantifier inside a guard at the compile layer *)
   let quantified =
     Logic.Expr.Sum

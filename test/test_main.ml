@@ -12,4 +12,5 @@ let () =
       ("shapes", Test_shapes.suite);
       ("fo", Test_fo.suite);
       ("nested", Test_nested.suite);
+      ("robust", Test_robust.suite);
     ]

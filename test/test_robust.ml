@@ -1,0 +1,406 @@
+(* Tests for the robustness layer: the error taxonomy, compile budgets,
+   graceful degradation to the reference evaluator, self-checking, and
+   fault-injected dynamic updates. *)
+
+open Semiring
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let v x = Logic.Term.Var x
+let e x y = Logic.Formula.Rel ("E", [ v x; v y ])
+let nat_ops = Intf.ops_of_module (module Instances.Nat)
+let int_ops = Intf.ops_of_ring (module Instances.Int_ring)
+
+module Z4 = Zmod.Make (struct
+  let modulus = 4
+end)
+
+let z4_ops = { (Intf.ops_of_finite (module Z4)) with Intf.neg = Some Z4.neg }
+
+let triangle = Logic.Formula.And [ e "x" "y"; e "y" "z"; e "z" "x" ]
+let path2 = Logic.Formula.And [ e "x" "y"; e "y" "z"; Logic.Formula.neq (v "x") (v "z") ]
+
+let count_expr phi =
+  Logic.Expr.Sum (Logic.Formula.free_vars_unique phi, Logic.Expr.Guard phi)
+
+(* Σ_{x,y} [E(x,y)] · w(x) · w(y): a closed weighted expression whose
+   circuit reads every unary weight, so updates and faults reach it. *)
+let edge_weight_expr =
+  Logic.Expr.Sum
+    ( [ "x"; "y" ],
+      Logic.Expr.Mul
+        [
+          Logic.Expr.Guard (e "x" "y");
+          Logic.Expr.Weight ("w", [ v "x" ]);
+          Logic.Expr.Weight ("w", [ v "y" ]);
+        ] )
+
+let weighted_setup ~of_int g =
+  let inst = Db.Instance.of_graph g in
+  let w = Db.Weights.create ~name:"w" ~arity:1 ~zero:(of_int 0) in
+  Db.Weights.fill_unary w ~n:(Db.Instance.n inst) (fun i -> of_int (((i * 5) + 2) mod 11));
+  (inst, w, Db.Weights.bundle [ w ])
+
+let unwrap what = function
+  | Ok x -> x
+  | Error e -> Alcotest.failf "%s: unexpected error %s" what (Robust.to_string e)
+
+(* --- taxonomy basics --- *)
+
+let taxonomy () =
+  check_bool "budget degradable" true (Robust.degradable (Robust.Budget_exceeded "b"));
+  check_bool "fragment degradable" true (Robust.degradable (Robust.Unsupported_fragment "f"));
+  check_bool "bad input is not" false (Robust.degradable (Robust.Bad_input "i"));
+  check_bool "ill-typed is not" false (Robust.degradable (Robust.Ill_typed "t"));
+  check_bool "divergence is not" false (Robust.degradable (Robust.Internal_divergence "d"));
+  (match Robust.protect (fun () -> invalid_arg "quantifier depth not supported") with
+  | Error (Robust.Unsupported_fragment _) -> ()
+  | _ -> Alcotest.fail "expected Unsupported_fragment from the message classifier");
+  (match Robust.protect (fun () -> raise Not_found) with
+  | Error (Robust.Bad_input _) -> ()
+  | _ -> Alcotest.fail "expected Bad_input for Not_found");
+  check_int "protect passes values" 7 (unwrap "protect" (Robust.protect (fun () -> 7)));
+  (* unclassifiable exceptions are re-raised, not swallowed *)
+  match Robust.protect (fun () -> raise Exit) with
+  | exception Exit -> ()
+  | _ -> Alcotest.fail "expected Exit to escape protect"
+
+(* --- budgets and graceful degradation --- *)
+
+let budget_degrades () =
+  let inst = Db.Instance.of_graph (Graphs.Gen.triangulated_grid 4 4) in
+  let weights = Db.Weights.bundle [] in
+  let expr = count_expr triangle in
+  let full = Engine.Eval.evaluate nat_ops ~tfa_rounds:1 inst weights expr in
+  check_bool "workload has triangles" true (full > 0);
+  (* a 1-gate budget cannot fit any circuit: the checked path must degrade
+     to the reference evaluator and still return the same value *)
+  let budget = Robust.budget ~max_gates:1 () in
+  let ck =
+    unwrap "prepare under budget"
+      (Engine.Eval.prepare_checked nat_ops ~tfa_rounds:1 ~budget inst weights expr)
+  in
+  (match Engine.Eval.degraded ck with
+  | Some (Robust.Budget_exceeded _) -> ()
+  | Some err -> Alcotest.failf "wrong degradation reason: %s" (Robust.to_string err)
+  | None -> Alcotest.fail "expected a degraded backend under a 1-gate budget");
+  check_int "reference value = circuit value" full
+    (unwrap "value_checked" (Engine.Eval.value_checked ck));
+  (* one-shot checked evaluation reports the degradation reason *)
+  (match
+     Engine.Eval.evaluate_checked nat_ops ~tfa_rounds:1 ~budget inst weights expr
+   with
+  | Ok (value, Some (Robust.Budget_exceeded _)) ->
+      check_int "evaluate_checked fallback value" full value
+  | Ok (_, reason) ->
+      Alcotest.failf "expected a budget reason, got %s"
+        (match reason with None -> "none" | Some e -> Robust.to_string e)
+  | Error e -> Alcotest.failf "unexpected error %s" (Robust.to_string e));
+  (* ~fallback:`Fail surfaces the error instead of degrading *)
+  (match
+     Engine.Eval.prepare_checked nat_ops ~tfa_rounds:1 ~budget ~fallback:`Fail inst
+       weights expr
+   with
+  | Error (Robust.Budget_exceeded _) -> ()
+  | Error e -> Alcotest.failf "wrong error under `Fail: %s" (Robust.to_string e)
+  | Ok _ -> Alcotest.fail "expected Budget_exceeded under ~fallback:`Fail");
+  (* a generous budget compiles normally — no spurious degradation *)
+  let roomy = Robust.budget ~max_gates:10_000_000 ~timeout_ms:600_000 () in
+  let ck =
+    unwrap "prepare under roomy budget"
+      (Engine.Eval.prepare_checked nat_ops ~tfa_rounds:1 ~budget:roomy inst weights expr)
+  in
+  check_bool "not degraded" true (Engine.Eval.degraded ck = None);
+  check_int "same value" full (unwrap "value" (Engine.Eval.value_checked ck))
+
+(* Degraded backends must answer open queries too, identically to the
+   circuit path (acceptance: budget path = circuit path on queries). *)
+let degraded_queries_agree () =
+  let inst, _, weights = weighted_setup ~of_int:Fun.id (Graphs.Gen.grid 3 3) in
+  (* deg(x) weighted by w: Σ_y [E(x,y)]·w(y), free variable x *)
+  let expr =
+    Logic.Expr.Sum
+      ( [ "y" ],
+        Logic.Expr.Mul
+          [ Logic.Expr.Guard (e "x" "y"); Logic.Expr.Weight ("w", [ v "y" ]) ] )
+  in
+  let circuit =
+    unwrap "circuit prepare"
+      (Engine.Eval.prepare_checked nat_ops ~tfa_rounds:1 inst weights expr)
+  in
+  let degraded =
+    unwrap "degraded prepare"
+      (Engine.Eval.prepare_checked nat_ops ~tfa_rounds:1
+         ~budget:(Robust.budget ~max_gates:1 ())
+         inst weights expr)
+  in
+  check_bool "is degraded" true (Engine.Eval.degraded degraded <> None);
+  for x = 0 to Db.Instance.n inst - 1 do
+    check_int
+      (Printf.sprintf "query %d agrees" x)
+      (unwrap "circuit query" (Engine.Eval.query_checked circuit [ x ]))
+      (unwrap "degraded query" (Engine.Eval.query_checked degraded [ x ]))
+  done;
+  (* updates hit the degraded backend through the shared weight bundle *)
+  let () = unwrap "degraded update" (Engine.Eval.update_checked degraded "w" [ 0 ] 100) in
+  let () = unwrap "circuit update" (Engine.Eval.update_checked circuit "w" [ 0 ] 100) in
+  for x = 0 to Db.Instance.n inst - 1 do
+    check_int
+      (Printf.sprintf "query %d agrees after update" x)
+      (unwrap "circuit query" (Engine.Eval.query_checked circuit [ x ]))
+      (unwrap "degraded query" (Engine.Eval.query_checked degraded [ x ]))
+  done
+
+(* --- differential fuzzing: circuit pipeline vs reference evaluator --- *)
+
+let differential_fuzz (type a) ~name (ops : a Intf.ops) ~of_int =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count:25
+       QCheck.(triple (int_range 0 1000) (int_range 2 14) (int_range 0 2))
+       (fun (seed, n, which) ->
+         let g =
+           if seed mod 2 = 0 then Graphs.Gen.random_sparse ~seed ~n ~avg_deg:3
+           else Graphs.Gen.random_bounded_degree ~seed ~n ~max_deg:3
+         in
+         let inst, _, weights = weighted_setup ~of_int g in
+         let expr =
+           match which with
+           | 0 -> count_expr triangle
+           | 1 -> count_expr path2
+           | _ -> edge_weight_expr
+         in
+         let got = Engine.Eval.evaluate ops ~tfa_rounds:1 inst weights expr in
+         let want = Engine.Reference.eval ops inst weights expr in
+         ops.Intf.equal got want))
+
+(* The prepared/dynamic path must track the reference under random update
+   sequences (every semiring exercises a different Dyn strategy). *)
+let dynamic_fuzz (type a) ~name (ops : a Intf.ops) ~of_int =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count:20
+       QCheck.(
+         triple (int_range 0 1000) (int_range 2 12)
+           (small_list (pair (int_range 0 11) (int_range 0 10))))
+       (fun (seed, n, updates) ->
+         let g = Graphs.Gen.random_sparse ~seed ~n ~avg_deg:3 in
+         let inst, _, weights = weighted_setup ~of_int g in
+         let ck =
+           match
+             Engine.Eval.prepare_checked ops ~tfa_rounds:1 inst weights edge_weight_expr
+           with
+           | Ok ck -> ck
+           | Error e -> QCheck.Test.fail_reportf "prepare: %s" (Robust.to_string e)
+         in
+         List.for_all
+           (fun (x, value) ->
+             let x = x mod Db.Instance.n inst in
+             (match Engine.Eval.update_checked ck "w" [ x ] (of_int value) with
+             | Ok () -> ()
+             | Error e -> QCheck.Test.fail_reportf "update: %s" (Robust.to_string e));
+             let got =
+               match Engine.Eval.value_checked ck with
+               | Ok got -> got
+               | Error e -> QCheck.Test.fail_reportf "value: %s" (Robust.to_string e)
+             in
+             ops.Intf.equal got
+               (Engine.Reference.eval ops inst weights edge_weight_expr))
+           updates))
+
+(* --- fault injection: updates never leave silent corruption --- *)
+
+let fault_poisons () =
+  let inst, _, weights = weighted_setup ~of_int:Fun.id (Graphs.Gen.path 6) in
+  let ck =
+    unwrap "prepare"
+      (Engine.Eval.prepare_checked nat_ops ~tfa_rounds:1 inst weights edge_weight_expr)
+  in
+  let before = unwrap "initial value" (Engine.Eval.value_checked ck) in
+  check_int "healthy update works" before
+    (let () = unwrap "update" (Engine.Eval.update_checked ck "w" [ 0 ] 2) in
+     let () = unwrap "restore" (Engine.Eval.update_checked ck "w" [ 0 ] 2) in
+     unwrap "value" (Engine.Eval.value_checked ck));
+  Engine.Eval.set_fault_hook ck (Some (fun _ -> failwith "injected fault"));
+  (match Engine.Eval.update_checked ck "w" [ 1 ] 9 with
+  | Error (Robust.Internal_divergence _) -> ()
+  | Error e -> Alcotest.failf "wrong classification: %s" (Robust.to_string e)
+  | Ok () -> Alcotest.fail "faulted update must not report success");
+  (* the circuit is poisoned: every later read fails loudly, even after
+     the fault hook is removed *)
+  Engine.Eval.set_fault_hook ck None;
+  (match Engine.Eval.value_checked ck with
+  | Error (Robust.Internal_divergence _) -> ()
+  | Error e -> Alcotest.failf "wrong classification: %s" (Robust.to_string e)
+  | Ok _ -> Alcotest.fail "poisoned circuit must not answer value");
+  match Engine.Eval.update_checked ck "w" [ 0 ] 1 with
+  | Error (Robust.Internal_divergence _) -> ()
+  | Error e -> Alcotest.failf "wrong classification: %s" (Robust.to_string e)
+  | Ok () -> Alcotest.fail "poisoned circuit must not accept updates"
+
+(* Fuzzed fault schedules: inject a fault after a random number of gate
+   recomputations, run a random update sequence, and assert the invariant
+   "consistent or poisoned" — every update either succeeds with the circuit
+   agreeing with the reference, or fails with Internal_divergence and all
+   subsequent operations keep failing the same way. *)
+let fault_schedule_fuzz =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"fault schedules: consistent or poisoned" ~count:30
+       QCheck.(
+         triple (int_range 0 1000) (int_range 1 25)
+           (small_list (pair (int_range 0 11) (int_range 0 10))))
+       (fun (seed, fuse, updates) ->
+         let g = Graphs.Gen.random_sparse ~seed ~n:8 ~avg_deg:3 in
+         let inst, _, weights = weighted_setup ~of_int:Fun.id g in
+         let ck =
+           match
+             Engine.Eval.prepare_checked nat_ops ~tfa_rounds:1 inst weights
+               edge_weight_expr
+           with
+           | Ok ck -> ck
+           | Error e -> QCheck.Test.fail_reportf "prepare: %s" (Robust.to_string e)
+         in
+         let ticks = ref 0 in
+         Engine.Eval.set_fault_hook ck
+           (Some
+              (fun _ ->
+                incr ticks;
+                if !ticks >= fuse then failwith "scheduled fault"));
+         let poisoned = ref false in
+         List.for_all
+           (fun (x, value) ->
+             let x = x mod Db.Instance.n inst in
+             match (Engine.Eval.update_checked ck "w" [ x ] value, !poisoned) with
+             | Ok (), true ->
+                 QCheck.Test.fail_report "poisoned circuit accepted an update"
+             | Ok (), false -> (
+                 match Engine.Eval.value_checked ck with
+                 | Ok got ->
+                     got = Engine.Reference.eval nat_ops inst weights edge_weight_expr
+                 | Error e -> QCheck.Test.fail_reportf "value: %s" (Robust.to_string e))
+             | Error (Robust.Internal_divergence _), _ ->
+                 poisoned := true;
+                 (match Engine.Eval.value_checked ck with
+                 | Error (Robust.Internal_divergence _) -> ()
+                 | Error e ->
+                     QCheck.Test.fail_reportf "poisoned value misclassified: %s"
+                       (Robust.to_string e)
+                 | Ok _ -> QCheck.Test.fail_report "poisoned circuit answered value");
+                 true
+             | Error e, _ ->
+                 QCheck.Test.fail_reportf "wrong classification: %s" (Robust.to_string e))
+           updates))
+
+(* --- self-check: circuit cross-validated against the reference --- *)
+
+let self_check_divergence () =
+  let inst, w, weights = weighted_setup ~of_int:Fun.id (Graphs.Gen.grid 3 3) in
+  let ck =
+    unwrap "prepare with self-check"
+      (Engine.Eval.prepare_checked nat_ops ~tfa_rounds:1 ~self_check:true inst weights
+         edge_weight_expr)
+  in
+  let v0 = unwrap "self-checked value" (Engine.Eval.value_checked ck) in
+  (* write-through updates keep the circuit and the reference in sync *)
+  let () = unwrap "checked update" (Engine.Eval.update_checked ck "w" [ 0 ] 9) in
+  let v1 = unwrap "value after update" (Engine.Eval.value_checked ck) in
+  check_bool "update changed the value" true (v0 <> v1);
+  (* mutating the weights behind the circuit's back makes the two disagree:
+     the self-check must catch it and report Internal_divergence *)
+  Db.Weights.set w [ 0 ] 1000;
+  (match Engine.Eval.value_checked ck with
+  | Error (Robust.Internal_divergence _) -> ()
+  | Error e -> Alcotest.failf "wrong classification: %s" (Robust.to_string e)
+  | Ok _ -> Alcotest.fail "self-check missed the divergence");
+  (* restoring consistency through the checked API heals it *)
+  let () = unwrap "healing update" (Engine.Eval.update_checked ck "w" [ 0 ] 9) in
+  check_int "healed" v1 (unwrap "value" (Engine.Eval.value_checked ck))
+
+let self_check_open_query () =
+  let inst, w, weights = weighted_setup ~of_int:Fun.id (Graphs.Gen.grid 3 3) in
+  let expr =
+    Logic.Expr.Sum
+      ( [ "y" ],
+        Logic.Expr.Mul
+          [ Logic.Expr.Guard (e "x" "y"); Logic.Expr.Weight ("w", [ v "y" ]) ] )
+  in
+  let ck =
+    unwrap "prepare"
+      (Engine.Eval.prepare_checked nat_ops ~tfa_rounds:1 ~self_check:true inst weights
+         expr)
+  in
+  check_int "query 0"
+    (Engine.Reference.eval nat_ops inst weights ~env:[ ("x", 0) ] expr)
+    (unwrap "query_checked" (Engine.Eval.query_checked ck [ 0 ]));
+  Db.Weights.set w [ 1 ] 1000;
+  match Engine.Eval.query_checked ck [ 0 ] with
+  | Error (Robust.Internal_divergence _) -> ()
+  | Error e -> Alcotest.failf "wrong classification: %s" (Robust.to_string e)
+  | Ok _ -> Alcotest.fail "open-query self-check missed the divergence"
+
+(* --- classification across the engine surfaces --- *)
+
+let classification_surfaces () =
+  let inst = Db.Instance.of_graph (Graphs.Gen.grid 3 3) in
+  (* unknown weight symbol → Bad_input (not degradable, so no fallback) *)
+  (match
+     Engine.Eval.prepare_checked nat_ops ~tfa_rounds:1 inst (Db.Weights.bundle [])
+       (Logic.Expr.Sum
+          ( [ "x"; "y" ],
+            Logic.Expr.Mul
+              [ Logic.Expr.Guard (e "x" "y"); Logic.Expr.Weight ("nope", [ v "x" ]) ] ))
+   with
+  | Error (Robust.Bad_input _) -> ()
+  | Error e -> Alcotest.failf "wrong classification: %s" (Robust.to_string e)
+  | Ok _ -> Alcotest.fail "unknown weight symbol must be Bad_input");
+  (* a quantified subformula with two free variables is outside the
+     supported enumeration fragment *)
+  (match
+     Fo_enum.prepare_checked inst
+       (Logic.Formula.Exists
+          ("y", Logic.Formula.And [ e "x" "y"; e "y" "w" ]))
+   with
+  | Error (Robust.Unsupported_fragment _) -> ()
+  | Error e -> Alcotest.failf "wrong classification: %s" (Robust.to_string e)
+  | Ok _ -> Alcotest.fail "expected Unsupported_fragment from Fo_enum");
+  (* a supported query still prepares fine through the checked surface *)
+  let t = unwrap "fo_enum" (Fo_enum.prepare_checked inst triangle) in
+  let _, want = Engine.Reference.answers inst triangle in
+  check_int "checked enum agrees with reference" (List.length want)
+    (List.length (Fo_enum.answers t));
+  (* nested queries: type errors come back as Ill_typed *)
+  let st = Nested.make_structure inst [] in
+  (match Nested.eval_checked st (Nested.Add []) with
+  | Error (Robust.Ill_typed _) -> ()
+  | Error e -> Alcotest.failf "wrong classification: %s" (Robust.to_string e)
+  | Ok _ -> Alcotest.fail "empty connective must be Ill_typed");
+  (* nested queries: budgets thread through to Budget_exceeded *)
+  match
+    Nested.eval_checked
+      ~budget:(Robust.budget ~max_gates:1 ())
+      st
+      (Nested.Sum
+         ( [ "x"; "y" ],
+           Nested.Iverson (Nested.Brel ("E", [ v "x"; v "y" ]), Value.nat_sr) ))
+  with
+  | Error (Robust.Budget_exceeded _) -> ()
+  | Error e -> Alcotest.failf "wrong classification: %s" (Robust.to_string e)
+  | Ok _ -> Alcotest.fail "expected Budget_exceeded through Nested.eval_checked"
+
+let suite =
+  [
+    Alcotest.test_case "error taxonomy" `Quick taxonomy;
+    Alcotest.test_case "budgets degrade to reference" `Quick budget_degrades;
+    Alcotest.test_case "degraded queries agree with circuit" `Quick degraded_queries_agree;
+    differential_fuzz ~name:"differential: nat semiring (General)" nat_ops
+      ~of_int:(fun i -> i);
+    differential_fuzz ~name:"differential: int ring (Ring)" int_ops ~of_int:(fun i -> i);
+    differential_fuzz ~name:"differential: Z/4Z (Finite)" z4_ops ~of_int:Z4.of_int;
+    dynamic_fuzz ~name:"dynamic updates track reference: nat" nat_ops ~of_int:(fun i -> i);
+    dynamic_fuzz ~name:"dynamic updates track reference: int ring" int_ops
+      ~of_int:(fun i -> i);
+    dynamic_fuzz ~name:"dynamic updates track reference: Z/4Z" z4_ops ~of_int:Z4.of_int;
+    Alcotest.test_case "fault poisons the circuit" `Quick fault_poisons;
+    fault_schedule_fuzz;
+    Alcotest.test_case "self-check catches divergence" `Quick self_check_divergence;
+    Alcotest.test_case "self-check on open queries" `Quick self_check_open_query;
+    Alcotest.test_case "classification across surfaces" `Quick classification_surfaces;
+  ]
