@@ -104,15 +104,37 @@ let fallback_arg =
           "On budget exhaustion or an unsupported fragment: $(b,naive) degrades to the \
            brute-force reference evaluator, $(b,fail) reports the error.")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some `Human) (some (enum [ ("json", `Json); ("human", `Human) ])) None
+    & info [ "metrics" ] ~docv:"FORMAT"
+        ~doc:
+          "Print the engine metrics snapshot (counters, gauges, latency histograms) \
+           after the run, as $(b,human) text or $(b,json). Printed even when the run \
+           fails, so budget violations leave a trace.")
+
+let print_metrics = function
+  | None -> ()
+  | Some `Json -> print_endline (Obs.snapshot ())
+  | Some `Human -> print_string (Obs.snapshot_human ())
+
 (* Unwrap a checked result inside a run function; the uniform handler below
    turns the raise into a Cmdliner error with exit code 1. *)
 let ok = function Ok x -> x | Error e -> raise (Robust.Error e)
 
 (* Wrap a run function so classified engine errors become Cmdliner-reported
-   errors (nonzero exit) rather than raw backtraces. *)
+   errors (nonzero exit) rather than raw backtraces; the metrics snapshot
+   (when requested) is emitted on both paths. *)
 let guarded run =
- fun a b c d e f ->
-  try `Ok (run a b c d e f) with Robust.Error err -> `Error (false, Robust.to_string err)
+ fun metrics a b c d e f ->
+  match run a b c d e f with
+  | v ->
+      print_metrics metrics;
+      `Ok v
+  | exception Robust.Error err ->
+      print_metrics metrics;
+      `Error (false, Robust.to_string err)
 
 let setup kind n seed =
   let g = make_graph kind n seed in
@@ -128,24 +150,73 @@ let note_degraded = function
 
 (* --- stats --- *)
 
+(* Exact quantile of a sorted sample array (used for the update-latency
+   report; same definition as the bench harness). *)
+let sample_quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (Float.of_int n *. q)))
+
 let stats_cmd =
-  let run kind n seed qname budget () =
+  let updates_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "updates" ] ~docv:"K"
+          ~doc:"Random weight updates to time on the dynamic circuit (0 = skip).")
+  in
+  let run kind n seed qname budget updates =
     let _, inst = setup kind n seed in
     let phi = make_query qname in
     let fv = Logic.Formula.free_vars_unique phi in
     let expr = Logic.Expr.Sum (fv, Logic.Expr.Guard phi) in
-    let t0 = Sys.time () in
+    let t0 = Unix.gettimeofday () in
     let c, m = Engine.Compile.compile ~tfa_rounds:1 ~budget ~zero:0 ~one:1 inst expr in
-    let dt = Sys.time () -. t0 in
+    let dt = Unix.gettimeofday () -. t0 in
+    let cs = Circuits.Circuit.stats c in
     Format.printf "compiled %s in %.3fs@." qname dt;
     Format.printf "pipeline: %a@." Engine.Compile.pp_meta m;
-    Format.printf "circuit: %a@." Circuits.Circuit.pp_stats (Circuits.Circuit.stats c)
+    Format.printf "circuit: %a@." Circuits.Circuit.pp_stats cs;
+    (* Theorem 8 update latency: the weighted variant Σ_x̄ [φ]·w(x₁) is
+       prepared as a dynamic circuit and hit with random weight updates. *)
+    if updates > 0 && fv <> [] then begin
+      let nat_ops = Intf.ops_of_module (module Instances.Nat) in
+      let nn = Db.Instance.n inst in
+      let w = Db.Weights.create ~name:"w" ~arity:1 ~zero:0 in
+      Db.Weights.fill_unary w ~n:nn (fun _ -> 1);
+      let wexpr =
+        Logic.Expr.Sum
+          ( fv,
+            Logic.Expr.Mul
+              [ Logic.Expr.Guard phi; Logic.Expr.Weight ("w", [ v (List.hd fv) ]) ] )
+      in
+      let ev =
+        Engine.Eval.prepare nat_ops ~tfa_rounds:1 ~budget inst (Db.Weights.bundle [ w ])
+          wexpr
+      in
+      let rng = Random.State.make [| seed; 0x5eed |] in
+      let samples = Array.make updates 0. in
+      for i = 0 to updates - 1 do
+        let x = Random.State.int rng nn in
+        let u0 = Unix.gettimeofday () in
+        Engine.Eval.update ev "w" [ x ] (Random.State.int rng 5);
+        samples.(i) <- (Unix.gettimeofday () -. u0) *. 1e9
+      done;
+      Array.sort compare samples;
+      Format.printf "updates: %d  p50 %.0fns  p99 %.0fns  (value now %d)@." updates
+        (sample_quantile samples 0.5)
+        (sample_quantile samples 0.99)
+        (Engine.Eval.value ev)
+    end
   in
-  Cmd.v (Cmd.info "stats" ~doc:"Compile a query and print circuit statistics.")
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Compile a query, print circuit statistics, and time dynamic updates \
+          (Theorems 6 and 8).")
     Term.(
       ret
-        (const (guarded run) $ graph_arg $ n_arg $ seed_arg $ query_arg $ budget_term
-       $ const ()))
+        (const (guarded run) $ metrics_arg $ graph_arg $ n_arg $ seed_arg $ query_arg
+       $ budget_term $ updates_arg))
 
 (* --- count --- *)
 
@@ -168,8 +239,8 @@ let count_cmd =
   Cmd.v (Cmd.info "count" ~doc:"Count the answers of a query through the circuit pipeline.")
     Term.(
       ret
-        (const (guarded run) $ graph_arg $ n_arg $ seed_arg $ query_arg $ budget_term
-       $ fallback_arg))
+        (const (guarded run) $ metrics_arg $ graph_arg $ n_arg $ seed_arg $ query_arg
+       $ budget_term $ fallback_arg))
 
 (* --- enum --- *)
 
@@ -209,7 +280,9 @@ let enum_cmd =
   Cmd.v
     (Cmd.info "enum" ~doc:"Enumerate query answers with constant delay (Theorem 24).")
     Term.(
-      ret (const (guarded run) $ graph_arg $ n_arg $ seed_arg $ query_arg $ limit_arg $ pair))
+      ret
+        (const (guarded run) $ metrics_arg $ graph_arg $ n_arg $ seed_arg $ query_arg
+       $ limit_arg $ pair))
 
 (* --- pagerank --- *)
 
@@ -268,8 +341,8 @@ let pagerank_cmd =
     (Cmd.info "pagerank" ~doc:"PageRank rounds as a dynamic weighted query (Example 9).")
     Term.(
       ret
-        (const (guarded run) $ graph_arg $ n_arg $ seed_arg $ rounds_arg $ budget_term
-       $ fallback_arg))
+        (const (guarded run) $ metrics_arg $ graph_arg $ n_arg $ seed_arg $ rounds_arg
+       $ budget_term $ fallback_arg))
 
 let () =
   let info =

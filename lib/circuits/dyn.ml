@@ -18,6 +18,18 @@
 
 type mode = General | Ring | Finite
 
+(* Update reach-out metrics (scope "dyn"): Corollary 13 claims O(3ᵏ log n)
+   touched gates per update for general semirings, Corollaries 17/20 claim
+   O(1) for rings and finite semirings. [touched_per_update] is the direct
+   observable for those bounds; [update_ns] its wall-clock shadow. *)
+let m_creates_general = Obs.counter ~scope:"dyn" "creates_general"
+let m_creates_ring = Obs.counter ~scope:"dyn" "creates_ring"
+let m_creates_finite = Obs.counter ~scope:"dyn" "creates_finite"
+let m_updates = Obs.counter ~scope:"dyn" "updates"
+let m_touched = Obs.counter ~scope:"dyn" "touched_gates"
+let h_touched = Obs.histogram ~scope:"dyn" "touched_per_update"
+let h_update_ns = Obs.histogram ~scope:"dyn" "update_ns"
+
 (** Raised by every read/update once a fault mid-update has left the
     incremental state inconsistent; carries the original failure. *)
 exception Poisoned of string
@@ -146,6 +158,11 @@ let create ?mode (ops : 'a Semiring.Intf.ops) (c : 'a Circuit.t)
             | PRing s -> Perm.Ring.perm s
             | PFin s -> Perm.Finite.perm s))
     c.Circuit.nodes;
+  Obs.Counter.incr
+    (match mode with
+    | General -> m_creates_general
+    | Ring -> m_creates_ring
+    | Finite -> m_creates_finite);
   {
     ops;
     mode;
@@ -239,7 +256,10 @@ let set_input t (key : Circuit.input_key) v =
   | Some id ->
       let old_v = t.values.(id) in
       if not (t.ops.Semiring.Intf.equal old_v v) then begin
-        try
+        let instrumented = Obs.is_enabled () in
+        let t0 = if instrumented then Obs.now_ns () else 0. in
+        let ops0 = t.update_ops in
+        (try
           t.values.(id) <- v;
           let queue = ref IQ.empty in
           let snapshots = Hashtbl.create 16 in
@@ -268,7 +288,14 @@ let set_input t (key : Circuit.input_key) v =
           done
         with e ->
           t.poisoned <- Some (Printexc.to_string e);
-          raise e
+          raise e);
+        if instrumented then begin
+          let touched = t.update_ops - ops0 in
+          Obs.Counter.incr m_updates;
+          Obs.Counter.add m_touched touched;
+          Obs.Histogram.observe h_touched (float_of_int touched);
+          Obs.Histogram.observe h_update_ns (Obs.now_ns () -. t0)
+        end
       end
 
 (** Current value of an input gate. *)

@@ -31,6 +31,25 @@ let pp_meta fmt m =
 
 let color_rel c = Printf.sprintf "__color_%d" c
 
+(* Compilation metrics (scope "compile"): per-phase wall time through the
+   Figure 2 pipeline, plus the circuit parameters Theorem 6 bounds. The
+   gauges hold the most recent compile's values; histograms accumulate
+   across compiles. *)
+let m_runs = Obs.counter ~scope:"compile" "runs"
+let m_shapes = Obs.counter ~scope:"compile" "shapes"
+let m_subsets = Obs.counter ~scope:"compile" "subsets"
+let h_total_ns = Obs.histogram ~scope:"compile" "total_ns"
+let h_normalize_ns = Obs.histogram ~scope:"compile" "normalize_ns"
+let h_orientation_ns = Obs.histogram ~scope:"compile" "orientation_ns"
+let h_decompose_ns = Obs.histogram ~scope:"compile" "decompose_ns"
+let h_emit_ns = Obs.histogram ~scope:"compile" "emit_ns"
+let g_gates = Obs.gauge ~scope:"compile" "gates"
+let g_depth = Obs.gauge ~scope:"compile" "depth"
+let g_fan_out = Obs.gauge ~scope:"compile" "max_fan_out"
+let g_perm_rows = Obs.gauge ~scope:"compile" "max_perm_rows"
+let g_num_perm = Obs.gauge ~scope:"compile" "num_perm"
+let g_inputs = Obs.gauge ~scope:"compile" "num_inputs"
+
 (* all subsets of [colors present] with size in [1, p] *)
 let rec subsets_up_to p = function
   | [] -> [ [] ]
@@ -66,12 +85,25 @@ let compile (type a) ~(zero : a) ~(one : a) ?(tfa_rounds = -1) ?(max_depth = 10)
     ?(budget = Robust.unlimited) ?(dynamic_rels = []) (inst : Db.Instance.t)
     (expr : a Logic.Expr.t) : a Circuits.Circuit.t * meta =
   let monitor = if Robust.is_unlimited budget then None else Some (Robust.start budget) in
+  let instrumented = Obs.is_enabled () in
+  let t_start = if instrumented then Obs.now_ns () else 0. in
+  let t_decomp = ref 0. and t_emit = ref 0. in
+  let timed acc f =
+    if instrumented then begin
+      let t0 = Obs.now_ns () in
+      let r = f () in
+      acc := !acc +. (Obs.now_ns () -. t0);
+      r
+    end
+    else f ()
+  in
   (match Logic.Expr.free_vars_unique expr with
   | [] -> ()
   | fv ->
       Robust.bad_input "Compile: expression must be closed; free: %s"
         (String.concat "," fv));
-  let nf = Logic.Normal.of_expr expr in
+  let t_norm = ref 0. in
+  let nf = timed t_norm (fun () -> Logic.Normal.of_expr expr) in
   let num_summands = List.length nf in
   let p =
     List.fold_left
@@ -82,9 +114,11 @@ let compile (type a) ~(zero : a) ~(one : a) ?(tfa_rounds = -1) ?(max_depth = 10)
     Robust.unsupported "Compile: %d variables per summand; at most 4 supported" p;
   let n = Db.Instance.n inst in
   let g = Db.Instance.gaifman inst in
+  let t_orient = ref 0. in
   let coloring =
-    if p = 0 then { Graphs.Tfa.color = Array.make n 0; num_colors = min 1 n; rounds = 0 }
-    else Graphs.Tfa.low_treedepth_coloring ~rounds:tfa_rounds g ~p
+    timed t_orient (fun () ->
+        if p = 0 then { Graphs.Tfa.color = Array.make n 0; num_colors = min 1 n; rounds = 0 }
+        else Graphs.Tfa.low_treedepth_coloring ~rounds:tfa_rounds g ~p)
   in
   let color = coloring.Graphs.Tfa.color in
   let holds r tuple =
@@ -147,19 +181,22 @@ let compile (type a) ~(zero : a) ~(one : a) ?(tfa_rounds = -1) ?(max_depth = 10)
             let verts = List.sort compare verts in
             let orig = Array.of_list verts in
             Array.iteri (fun i v -> old_to_new.(v) <- i) orig;
-            let sub_edges =
-              List.concat_map
-                (fun v ->
-                  List.filter_map
-                    (fun w ->
-                      if w > v && old_to_new.(w) >= 0 then
-                        Some (old_to_new.(v), old_to_new.(w))
-                      else None)
-                    (Graphs.Graph.neighbors g v))
-                verts
+            let forest =
+              timed t_decomp (fun () ->
+                  let sub_edges =
+                    List.concat_map
+                      (fun v ->
+                        List.filter_map
+                          (fun w ->
+                            if w > v && old_to_new.(w) >= 0 then
+                              Some (old_to_new.(v), old_to_new.(w))
+                            else None)
+                          (Graphs.Graph.neighbors g v))
+                      verts
+                  in
+                  let sub_g = Graphs.Graph.of_edges ~n:(Array.length orig) sub_edges in
+                  Graphs.Treedepth.best_forest sub_g)
             in
-            let sub_g = Graphs.Graph.of_edges ~n:(Array.length orig) sub_edges in
-            let forest = Graphs.Treedepth.best_forest sub_g in
             let d = Graphs.Forest.max_depth forest in
             if d > max_depth then
               Robust.unsupported
@@ -199,10 +236,13 @@ let compile (type a) ~(zero : a) ~(one : a) ?(tfa_rounds = -1) ?(max_depth = 10)
                       }
                     in
                     let d' = Graphs.Forest.max_depth forest in
-                    let shapes = Shapes.Shape.enumerate ~d:d' ~summand:s' () in
+                    let shapes =
+                      timed t_decomp (fun () -> Shapes.Shape.enumerate ~d:d' ~summand:s' ())
+                    in
                     num_shapes := !num_shapes + List.length shapes;
                     let sgates =
-                      List.map (Shapes.Forest_compile.compile_shape b fs ~zero ~one) shapes
+                      timed t_emit (fun () ->
+                          List.map (Shapes.Forest_compile.compile_shape b fs ~zero ~one) shapes)
                     in
                     let body =
                       match sgates with
@@ -231,6 +271,23 @@ let compile (type a) ~(zero : a) ~(one : a) ?(tfa_rounds = -1) ?(max_depth = 10)
   in
   check_budget ();
   let circuit = Circuits.Circuit.finish b ~output in
+  if instrumented then begin
+    Obs.Counter.incr m_runs;
+    Obs.Counter.add m_shapes !num_shapes;
+    Obs.Counter.add m_subsets !num_subsets;
+    Obs.Histogram.observe h_normalize_ns !t_norm;
+    Obs.Histogram.observe h_orientation_ns !t_orient;
+    Obs.Histogram.observe h_decompose_ns !t_decomp;
+    Obs.Histogram.observe h_emit_ns !t_emit;
+    Obs.Histogram.observe h_total_ns (Obs.now_ns () -. t_start);
+    let s = Circuits.Circuit.stats circuit in
+    Obs.Gauge.set_int g_gates s.Circuits.Circuit.gates;
+    Obs.Gauge.set_int g_depth s.Circuits.Circuit.depth;
+    Obs.Gauge.set_int g_fan_out s.Circuits.Circuit.max_fan_out;
+    Obs.Gauge.set_int g_perm_rows s.Circuits.Circuit.max_perm_rows;
+    Obs.Gauge.set_int g_num_perm s.Circuits.Circuit.num_perm;
+    Obs.Gauge.set_int g_inputs s.Circuits.Circuit.num_inputs
+  end;
   ( circuit,
     {
       p;

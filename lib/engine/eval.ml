@@ -22,8 +22,18 @@ type 'a t = {
 
 let query_weight i = Printf.sprintf "__qv%d" i
 
+(* Theorem 8 observables (scope "engine"): preparation is linear-time,
+   per-tuple queries cost 2|x̄| temporary updates, and degradations to the
+   reference evaluator are counted — not just raised. *)
+let h_prepare_ns = Obs.histogram ~scope:"engine" "prepare_ns"
+let h_query_ns = Obs.histogram ~scope:"engine" "query_ns"
+let m_queries = Obs.counter ~scope:"engine" "queries"
+let m_updates = Obs.counter ~scope:"engine" "updates"
+let m_degraded = Obs.counter ~scope:"engine" "degraded"
+
 let prepare (type a) (ops : a Semiring.Intf.ops) ?mode ?tfa_rounds ?max_depth ?budget
     (inst : Db.Instance.t) (weights : a Db.Weights.bundle) (expr : a Logic.Expr.t) : a t =
+  Obs.Timer.time h_prepare_ns @@ fun () ->
   let open Semiring.Intf in
   let fv = Logic.Expr.free_vars_unique expr in
   let expr_closed =
@@ -57,6 +67,8 @@ let value t = Circuits.Dyn.value t.dyn
 let query (type a) (t : a t) (args : int list) : a =
   if List.length args <> List.length t.free_vars then
     invalid_arg "Eval.query: wrong number of arguments";
+  Obs.Counter.incr m_queries;
+  Obs.Timer.time h_query_ns @@ fun () ->
   let assignments =
     List.mapi (fun i a -> ((query_weight i, [ a ]), t.ops.Semiring.Intf.one)) args
   in
@@ -66,6 +78,7 @@ let query (type a) (t : a t) (args : int list) : a =
     is never read by the circuit) are ignored. *)
 let update t w tuple v =
   let key = (w, tuple) in
+  Obs.Counter.incr m_updates;
   if Circuits.Dyn.has_input t.dyn key then Circuits.Dyn.set_input t.dyn key v
 
 let meta t = t.meta
@@ -223,6 +236,7 @@ let prepare_checked (type a) (ops : a Semiring.Intf.ops) ?mode ?tfa_rounds ?max_
             ck)
       else Ok ck
   | Error e when Robust.degradable e && fallback = `Naive ->
+      Obs.Counter.incr m_degraded;
       Robust.protect (fun () -> mk (Degraded (Reference.prepare ops inst weights expr)) (Some e))
   | Error e -> Error e
 
@@ -292,5 +306,6 @@ let evaluate_checked (type a) (ops : a Semiring.Intf.ops) ?tfa_rounds ?max_depth
   with
   | Ok v -> Ok (v, None)
   | Error e when Robust.degradable e && fallback = `Naive ->
+      Obs.Counter.incr m_degraded;
       Robust.protect (fun () -> (Reference.eval ops inst weights expr, Some e))
   | Error e -> Error e

@@ -18,6 +18,15 @@ type 'a t = {
   is_empty : unit -> bool;  (** true iff the sequence has no elements *)
 }
 
+(** Global work counter: every primitive movement of every combinator
+    bumps it once, so the tick delta across one top-level [next] measures
+    the touched work of producing one element — the observable behind the
+    constant-delay claims of Theorems 22/24. A plain increment, cheap
+    enough to leave unconditional. *)
+let ticks = ref 0
+
+let tick () = incr ticks
+
 let current t = t.current ()
 let next t = t.next ()
 let prev t = t.prev ()
@@ -40,8 +49,8 @@ let of_array arr =
   let pos = ref 0 in
   {
     current = (fun () -> if !pos = 0 then None else Some arr.(!pos - 1));
-    next = (fun () -> pos := (!pos + 1) mod (l + 1));
-    prev = (fun () -> pos := (!pos + l) mod (l + 1));
+    next = (fun () -> tick (); pos := (!pos + 1) mod (l + 1));
+    prev = (fun () -> tick (); pos := (!pos + l) mod (l + 1));
     reset = (fun () -> pos := 0);
     is_empty = (fun () -> l = 0);
   }
@@ -63,9 +72,11 @@ let of_dll (d : 'a Dll.t) =
     current = (fun () -> Option.map (fun (n : 'a Dll.node) -> n.Dll.value) !pos);
     next =
       (fun () ->
+        tick ();
         pos := (match !pos with None -> Dll.first d | Some n -> n.Dll.next));
     prev =
       (fun () ->
+        tick ();
         pos := (match !pos with None -> Dll.last d | Some n -> n.Dll.prev));
     reset = (fun () -> pos := None);
     is_empty = (fun () -> Dll.is_empty d);
@@ -105,6 +116,7 @@ let concat (parts : 'a t list) =
       (fun () -> if !active < 0 then None else parts.(!active).current ());
     next =
       (fun () ->
+        tick ();
         if !active < 0 then advance_from 0
         else begin
           let j = !active in
@@ -115,6 +127,7 @@ let concat (parts : 'a t list) =
         end);
     prev =
       (fun () ->
+        tick ();
         if !active < 0 then retreat_from (k - 1)
         else begin
           let j = !active in
@@ -166,6 +179,7 @@ let product (a : 'a t) (b : 'b t) : ('a * 'b) t =
     current = cur;
     next =
       (fun () ->
+        tick ();
         if !at_bot then enter_first ()
         else begin
           b.next ();
@@ -179,6 +193,7 @@ let product (a : 'a t) (b : 'b t) : ('a * 'b) t =
         end);
     prev =
       (fun () ->
+        tick ();
         if !at_bot then enter_last ()
         else begin
           b.prev ();
@@ -229,6 +244,7 @@ let dep_product (outer : 'a t) (mk : 'a -> 'b t) : ('a * 'b) t =
           | _ -> None);
     next =
       (fun () ->
+        tick ();
         if !at_bot then begin
           outer.reset ();
           enter `Fwd
@@ -239,6 +255,7 @@ let dep_product (outer : 'a t) (mk : 'a -> 'b t) : ('a * 'b) t =
         end);
     prev =
       (fun () ->
+        tick ();
         if !at_bot then begin
           outer.reset ();
           enter `Bwd
@@ -270,8 +287,8 @@ let suspend (make : unit -> 'a t) =
   in
   {
     current = (fun () -> match !state with None -> None | Some it -> it.current ());
-    next = (fun () -> (force ()).next ());
-    prev = (fun () -> (force ()).prev ());
+    next = (fun () -> tick (); (force ()).next ());
+    prev = (fun () -> tick (); (force ()).prev ());
     reset = (fun () -> state := None);
     is_empty = (fun () -> (force ()).is_empty ());
   }

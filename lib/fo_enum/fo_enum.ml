@@ -33,6 +33,17 @@ type t = {
 
 let weight_sym i = Printf.sprintf "__enum%d" i
 
+(* Theorem 24 observables (scope "fo_enum"): linear-time preprocessing and
+   constant per-answer delay. [answer_work] is the per-answer iterator
+   tick delta — the machine-independent form of the constant-delay claim;
+   [answer_ns] its wall-clock shadow. *)
+let m_prepares = Obs.counter ~scope:"fo_enum" "prepares"
+let m_answers = Obs.counter ~scope:"fo_enum" "answers"
+let m_updates = Obs.counter ~scope:"fo_enum" "updates"
+let h_prepare_ns = Obs.histogram ~scope:"fo_enum" "prepare_ns"
+let h_answer_ns = Obs.histogram ~scope:"fo_enum" "answer_ns"
+let h_answer_work = Obs.histogram ~scope:"fo_enum" "answer_work"
+
 (* Copy [inst] with one extra unary relation [r] filled by [holds]. *)
 let with_unary_relation inst r holds =
   let n = Db.Instance.n inst in
@@ -97,6 +108,8 @@ let materialize_guarded (inst : Db.Instance.t) (f : Logic.Formula.t) :
     {!set_tuple} works without recompiling (requires φ quantifier-free). *)
 let prepare ?order ?(dynamic = false) ?budget (inst : Db.Instance.t)
     (phi : Logic.Formula.t) : t =
+  Obs.Counter.incr m_prepares;
+  Obs.Timer.time h_prepare_ns @@ fun () ->
   if dynamic && not (Logic.Formula.is_quantifier_free phi) then
     Robust.unsupported "Fo_enum: dynamic mode requires a quantifier-free query";
   let inst = if dynamic then Db.Instance.copy inst else inst in
@@ -159,16 +172,46 @@ let instance t = t.inst
 
 let meta t = Provenance.Prov_circuit.meta t.prov
 
+(** Circuit parameters of the Theorem 22 preprocessing output (gate
+    count, depth, permanent rows), for observability surfaces. *)
+let stats t = Provenance.Prov_circuit.circuit_stats t.prov
+
 (* decode a monomial into an answer tuple *)
 let decode k (m : gen Provenance.Free.mono) : int array =
   let ans = Array.make k (-1) in
   List.iter (fun (i, a) -> ans.(i) <- a) m;
   ans
 
+(* Wrap an answer iterator so each movement that lands on an answer
+   records its delay and its iterator-tick work into the "fo_enum"
+   histograms. Only built when metrics are enabled; the unobserved path
+   is the raw iterator. *)
+let observe_iter (it : 'a Enum.Iter.t) : 'a Enum.Iter.t =
+  let observed move () =
+    let t0 = Obs.now_ns () in
+    let ticks0 = !Enum.Iter.ticks in
+    move ();
+    match it.Enum.Iter.current () with
+    | Some _ ->
+        Obs.Counter.incr m_answers;
+        Obs.Histogram.observe h_answer_ns (Obs.now_ns () -. t0);
+        Obs.Histogram.observe h_answer_work
+          (float_of_int (!Enum.Iter.ticks - ticks0))
+    | None -> ()
+  in
+  {
+    it with
+    Enum.Iter.next = observed it.Enum.Iter.next;
+    prev = observed it.Enum.Iter.prev;
+  }
+
 (** A fresh constant-delay enumerator over the answers (each exactly
     once). *)
 let enumerate t : int array Enum.Iter.t =
-  Enum.Iter.map (decode (List.length t.free_vars)) (Provenance.Prov_circuit.enumerate t.prov)
+  let it =
+    Enum.Iter.map (decode (List.length t.free_vars)) (Provenance.Prov_circuit.enumerate t.prov)
+  in
+  if Obs.is_enabled () then observe_iter it else it
 
 (** All answers as a list (a full enumeration pass, for tests and small
     outputs). *)
@@ -181,6 +224,7 @@ let answers t = Enum.Iter.to_list (enumerate t)
 let set_tuple t ?gaifman rel tuple present =
   if not t.dynamic then
     Robust.bad_input "Fo_enum.set_tuple: prepare with ~dynamic:true for updates";
+  Obs.Counter.incr m_updates;
   if present then begin
     let g = match gaifman with Some g -> g | None -> Db.Instance.gaifman t.inst in
     if not (Db.Instance.clique_in g tuple) then

@@ -162,6 +162,12 @@ let eliminate_guard_quantifiers (st : structure) (e : Value.t Logic.Expr.t) :
 
 (* --- the Theorem 26 induction --- *)
 
+(* Theorem 26 observables (scope "nested"): evaluations run and guarded
+   connectives replaced by materialized relations/weights. *)
+let m_evals = Obs.counter ~scope:"nested" "evals"
+let m_connectives = Obs.counter ~scope:"nested" "connectives_materialized"
+let h_eval_ns = Obs.histogram ~scope:"nested" "eval_ns"
+
 let fresh_counter = ref 0
 
 (* Materialize every guarded connective, innermost-first. *)
@@ -184,6 +190,7 @@ let rec materialize ?budget (st : structure) (f : formula) : structure * formula
       let st, f = materialize ?budget st f in
       (st, Not f)
   | Guarded (r, gvars, c, fs) ->
+      Obs.Counter.incr m_connectives;
       let st, fs = materialize_list ?budget st fs in
       (* evaluate each argument as a query over the guard variables *)
       let queries =
@@ -251,6 +258,8 @@ and query_of ?budget (st : structure) (f : formula) ~(order : string list) :
 (** Evaluate a closed nested weighted query; O(n log n) in general, O(n)
     when all semirings involved are rings or finite. *)
 let eval ?budget (st : structure) (f : formula) : Value.t =
+  Obs.Counter.incr m_evals;
+  Obs.Timer.time h_eval_ns @@ fun () ->
   let d = type_of st f in
   if free_vars f <> [] then
     Robust.bad_input "Nested.eval: formula has free variables %s"

@@ -110,6 +110,11 @@ let type_entry ctx tidx r =
   let rec go t i = if i = 0 then t mod ne else go (t / ne) (i - 1) in
   ctx.elems.(go tidx r)
 
+(* Gate-strategy counters (scope "perm"): the constant-update counting
+   strategy of Corollary 20. *)
+let m_creates = Obs.counter ~scope:"perm" "finite_creates"
+let m_sets = Obs.counter ~scope:"perm" "finite_sets"
+
 let create (ops : 'a Semiring.Intf.ops) (m : 'a array array) : 'a t =
   let ctx = make_ctx ops in
   let k = Array.length m in
@@ -118,12 +123,14 @@ let create (ops : 'a Semiring.Intf.ops) (m : 'a array array) : 'a t =
   let entries = Array.init n (fun c -> Array.init k (fun r -> index_of ctx m.(r).(c))) in
   let col_type = Array.map (type_index ctx) entries in
   Array.iter (fun t -> counts.(t) <- counts.(t) + 1) col_type;
+  Obs.Counter.incr m_creates;
   { ctx; k; n; counts; col_type; entries }
 
 (** O(1)-per-entry update (Corollary 20). *)
 let set t ~row ~col v =
   if row < 0 || row >= t.k then invalid_arg "Finite_perm.set: bad row";
   if col < 0 || col >= t.n then invalid_arg "Finite_perm.set: bad col";
+  Obs.Counter.incr m_sets;
   let old_t = t.col_type.(col) in
   t.entries.(col).(row) <- index_of t.ctx v;
   let new_t = type_index t.ctx t.entries.(col) in

@@ -9,6 +9,11 @@
     sums containing that row (constant for fixed k), and the permanent is
     recomputed from the power sums in O_k(1). *)
 
+(* Gate-strategy counters (scope "perm"): the constant-update power-sum
+   strategy of Corollary 17. *)
+let m_creates = Obs.counter ~scope:"perm" "ring_creates"
+let m_sets = Obs.counter ~scope:"perm" "ring_sets"
+
 type 'a t = {
   ops : 'a Semiring.Intf.ops;
   neg : 'a -> 'a;
@@ -59,6 +64,7 @@ let create (ops : 'a Semiring.Intf.ops) (m : 'a array array) : 'a t =
       (fun blocks -> List.map (fun b -> (b, block_coeff b)) blocks)
       (Subsets.partitions k)
   in
+  Obs.Counter.incr m_creates;
   { ops; neg; k; n; sums; columns; parts }
 
 (** Permanent from the power sums: O(Bell(k) · k), independent of n. *)
@@ -81,6 +87,7 @@ let set t ~row ~col v =
   let open Semiring.Intf in
   if row < 0 || row >= t.k then invalid_arg "Ring_perm.set: bad row";
   if col < 0 || col >= t.n then invalid_arg "Ring_perm.set: bad col";
+  Obs.Counter.incr m_sets;
   let old_col = Array.copy t.columns.(col) in
   t.columns.(col).(row) <- v;
   for mask = 1 to (1 lsl t.k) - 1 do

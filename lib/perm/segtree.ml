@@ -20,6 +20,11 @@ type 'a t = {
   columns : 'a array array;  (** current column vectors, n × k *)
 }
 
+(* Gate-strategy counters (scope "perm"): how often the logarithmic
+   segment-tree strategy is instantiated and hit by updates. *)
+let m_creates = Obs.counter ~scope:"perm" "segtree_creates"
+let m_sets = Obs.counter ~scope:"perm" "segtree_sets"
+
 let full t = (1 lsl t.k) - 1
 
 let leaf_vector ops k col =
@@ -70,6 +75,7 @@ let create (ops : 'a Semiring.Intf.ops) (m : 'a array array) : 'a t =
   for i = size - 1 downto 1 do
     nodes.(i) <- merge ops k nodes.(2 * i) nodes.((2 * i) + 1)
   done;
+  Obs.Counter.incr m_creates;
   { ops; k; n; size; nodes; columns }
 
 (** Current permanent: O(1) read at the root. *)
@@ -82,6 +88,7 @@ let perm_rows t mask = t.nodes.(1).(mask land full t)
 let set t ~row ~col v =
   if row < 0 || row >= t.k then invalid_arg "Segtree.set: bad row";
   if col < 0 || col >= t.n then invalid_arg "Segtree.set: bad col";
+  Obs.Counter.incr m_sets;
   t.columns.(col).(row) <- v;
   let i = ref (t.size + col) in
   t.nodes.(!i) <- leaf_vector t.ops t.k t.columns.(col);

@@ -79,3 +79,7 @@ let enumerate t : 'g Free.mono Enum.Iter.t =
   eval t.circuit ~leaf:(fun key -> Enum.Iter.of_list (current t key))
 
 let meta t = t.meta
+
+(** Parameters of the compiled circuit the enumerators walk (the
+    Theorem 22 preprocessing output), for observability surfaces. *)
+let circuit_stats t = Circuits.Circuit.stats t.circuit

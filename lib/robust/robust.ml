@@ -55,7 +55,25 @@ let () =
     | Error e -> Some ("Robust.Error (" ^ to_string e ^ ")")
     | _ -> None)
 
-let error e = raise (Error e)
+(* Every classified failure is counted per category under the "robust"
+   scope, so budget hits and degradations show up in metric snapshots
+   rather than only as raised exceptions. *)
+let raised_counters =
+  List.map
+    (fun e -> (constructor_name e, Obs.counter ~scope:"robust" ("raised_" ^ constructor_name e)))
+    [
+      Unsupported_fragment "";
+      Budget_exceeded "";
+      Ill_typed "";
+      Bad_input "";
+      Internal_divergence "";
+    ]
+
+let count_error e = Obs.Counter.incr (List.assoc (constructor_name e) raised_counters)
+
+let error e =
+  count_error e;
+  raise (Error e)
 let bad_input fmt = Printf.ksprintf (fun s -> error (Bad_input s)) fmt
 let unsupported fmt = Printf.ksprintf (fun s -> error (Unsupported_fragment s)) fmt
 let budget_exceeded fmt = Printf.ksprintf (fun s -> error (Budget_exceeded s)) fmt
@@ -81,8 +99,11 @@ type monitor = { b : budget; started : float }
 
 let start b = { b; started = Unix.gettimeofday () }
 
+let budget_checks = Obs.counter ~scope:"robust" "budget_checks"
+
 (** Cooperative check-point; raises [Error (Budget_exceeded _)]. *)
 let check m ~gates =
+  Obs.Counter.incr budget_checks;
   (match m.b.max_gates with
   | Some limit when gates > limit ->
       budget_exceeded "compilation emitted %d gates, budget is %d" gates limit
@@ -132,9 +153,12 @@ let classify_exn : exn -> error option = function
 let protect ?(classify = fun _ -> None) (f : unit -> 'a) : ('a, error) result =
   try Ok (f ()) with
   | e -> (
+      (* [Error _] was already counted at its raise site; count the legacy
+         exceptions the classifiers convert here. *)
+      let counted err = (match e with Error _ -> () | _ -> count_error err); Result.Error err in
       match classify e with
-      | Some err -> Result.Error err
+      | Some err -> counted err
       | None -> (
           match classify_exn e with
-          | Some err -> Result.Error err
+          | Some err -> counted err
           | None -> raise e))

@@ -13,4 +13,6 @@ let () =
       ("fo", Test_fo.suite);
       ("nested", Test_nested.suite);
       ("robust", Test_robust.suite);
+      ("obs", Test_obs.suite);
+      ("props", Test_props.suite);
     ]

@@ -1,0 +1,224 @@
+(* Tests for the observability layer: histogram bucket geometry, registry
+   scoping and reset semantics, snapshot JSON well-formedness (checked by
+   an actual parser, not string poking), the enabled-flag gate, and the
+   invariant that the compile gauges equal the real circuit parameters. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- histogram geometry --- *)
+
+let bucket_boundaries () =
+  let open Obs.Histogram in
+  check_int "0 -> bucket 0" 0 (bucket_of 0.);
+  check_int "0.5 -> bucket 0" 0 (bucket_of 0.5);
+  check_int "1 -> bucket 1" 1 (bucket_of 1.);
+  check_int "1.5 -> bucket 1" 1 (bucket_of 1.5);
+  check_int "2 -> bucket 2" 2 (bucket_of 2.);
+  check_int "3 -> bucket 2" 2 (bucket_of 3.);
+  check_int "4 -> bucket 3" 3 (bucket_of 4.);
+  check_int "nan -> bucket 0" 0 (bucket_of Float.nan);
+  check_int "huge clamps to last" (nbuckets - 1) (bucket_of 1e300);
+  check_float "lower of 0" 0. (bucket_lower 0);
+  check_float "upper of 0" 1. (bucket_upper 0);
+  check_float "lower of 3" 4. (bucket_lower 3);
+  check_float "upper of 3" 8. (bucket_upper 3);
+  (* every value lands inside its bucket's [lower, upper) range *)
+  List.iter
+    (fun v ->
+      let i = bucket_of v in
+      check (Printf.sprintf "%g within bucket %d" v i) true
+        (v >= bucket_lower i && v < bucket_upper i))
+    [ 0.; 0.3; 1.; 1.9; 2.; 5.; 1023.; 1024.; 123456789. ]
+
+let histogram_stats () =
+  let h = Obs.Histogram.make "t" in
+  List.iter (Obs.Histogram.observe h) [ 1.; 2.; 3.; 100. ];
+  check_int "count" 4 (Obs.Histogram.count h);
+  check_float "sum" 106. (Obs.Histogram.sum h);
+  check_float "min" 1. (Obs.Histogram.min_value h);
+  check_float "max" 100. (Obs.Histogram.max_value h);
+  (* p50: rank 2 of {1,2,3,100} is the value 2, which lives in bucket
+     [2,4) — the quantile reports that bucket's upper bound *)
+  check_float "p50" 4. (Obs.Histogram.p50 h);
+  (* p99: rank 4; bucket upper is 128, clamped to the exact max 100 *)
+  check_float "p99 clamps to max" 100. (Obs.Histogram.p99 h);
+  check_float "negative clamps to 0" 0.
+    (let h2 = Obs.Histogram.make "t2" in
+     Obs.Histogram.observe h2 (-5.);
+     Obs.Histogram.min_value h2);
+  Obs.Histogram.reset h;
+  check_int "reset clears" 0 (Obs.Histogram.count h);
+  check_float "reset quantile" 0. (Obs.Histogram.p99 h)
+
+(* --- registry scoping and reset --- *)
+
+let registry_scoping () =
+  let c1 = Obs.counter ~scope:"test_obs_a" "hits" in
+  let c2 = Obs.counter ~scope:"test_obs_a" "hits" in
+  let c3 = Obs.counter ~scope:"test_obs_b" "hits" in
+  Obs.Counter.reset c1;
+  Obs.Counter.reset c3;
+  Obs.Counter.incr c1;
+  Obs.Counter.incr c2;
+  check_int "same (scope,name) is the same metric" 2 (Obs.Counter.get c1);
+  check_int "other scope isolated" 0 (Obs.Counter.get c3);
+  Obs.Counter.incr c3;
+  Obs.reset_scope "test_obs_a";
+  check_int "reset_scope zeroes its metrics" 0 (Obs.Counter.get c1);
+  check_int "reset_scope leaves other scopes" 1 (Obs.Counter.get c3);
+  check "kind mismatch rejected" true
+    (match Obs.gauge ~scope:"test_obs_a" "hits" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check "find sees registered metric" true
+    (Obs.find ~scope:"test_obs_a" "hits" <> None);
+  check "scopes lists both" true
+    (List.mem "test_obs_a" (Obs.scopes ()) && List.mem "test_obs_b" (Obs.scopes ()))
+
+let enabled_gate () =
+  let c = Obs.counter ~scope:"test_obs_a" "gated" in
+  let h = Obs.histogram ~scope:"test_obs_a" "gated_h" in
+  Obs.Counter.reset c;
+  Obs.set_enabled false;
+  Obs.Counter.incr c;
+  Obs.Histogram.observe h 5.;
+  let ran = ref false in
+  let r = Obs.Timer.time h (fun () -> ran := true; 42) in
+  Obs.set_enabled true;
+  check_int "disabled counter frozen" 0 (Obs.Counter.get c);
+  check_int "disabled histogram frozen" 0 (Obs.Histogram.count h);
+  check "disabled timer still runs the thunk" true (!ran && r = 42)
+
+(* --- snapshot JSON well-formedness (recursive-descent parser) --- *)
+
+(* minimal JSON reader: returns () having consumed one valid value, or
+   fails; enough to prove the snapshot is machine-parseable *)
+let parse_json s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = Alcotest.failf "JSON parse error at %d: %s" !pos msg in
+  let skip_ws () =
+    while !pos < len && (s.[!pos] = ' ' || s.[!pos] = '\n' || s.[!pos] = '\t') do
+      advance ()
+    done
+  in
+  let expect c =
+    if peek () = Some c then advance () else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal lit =
+    String.iter (fun c -> expect c) lit
+  in
+  let string_lit () =
+    expect '"';
+    let continue = ref true in
+    while !continue do
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance (); continue := false
+      | Some '\\' -> advance (); advance ()
+      | Some _ -> advance ()
+    done
+  in
+  let number () =
+    let is_num c = (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E' in
+    let start = !pos in
+    while (match peek () with Some c when is_num c -> true | _ -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some _ -> ()
+    | None -> fail "bad number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then advance ()
+        else begin
+          let continue = ref true in
+          while !continue do
+            skip_ws ();
+            string_lit ();
+            skip_ws ();
+            expect ':';
+            value ();
+            skip_ws ();
+            if peek () = Some ',' then advance () else (expect '}'; continue := false)
+          done
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then advance ()
+        else begin
+          let continue = ref true in
+          while !continue do
+            value ();
+            skip_ws ();
+            if peek () = Some ',' then advance () else (expect ']'; continue := false)
+          done
+        end
+    | Some '"' -> string_lit ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some _ -> number ()
+    | None -> fail "empty input"
+  in
+  value ();
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage"
+
+let snapshot_well_formed () =
+  (* populate a few metrics, including a name needing escaping *)
+  Obs.Counter.incr (Obs.counter ~scope:"test_obs_a" "with \"quote\"");
+  Obs.Histogram.observe (Obs.histogram ~scope:"test_obs_a" "lat") 123.;
+  parse_json (Obs.snapshot ());
+  (* special floats must not leak as bare nan/inf tokens *)
+  let j =
+    Obs.Json.to_string
+      (Obs.Json.A [ Obs.Json.F Float.nan; Obs.Json.F Float.infinity; Obs.Json.F 1.5 ])
+  in
+  Alcotest.(check string) "nan/inf serialize as null" "[null,null,1.5]" j;
+  parse_json j
+
+(* --- compile gauges match the real circuit --- *)
+
+let gauges_match_circuit () =
+  let g = Graphs.Gen.grid 6 6 in
+  let inst = Db.Instance.of_graph g in
+  let expr =
+    Logic.Expr.Sum
+      ( [ "x"; "y" ],
+        Logic.Expr.Guard (Logic.Formula.Rel ("E", [ Logic.Term.Var "x"; Logic.Term.Var "y" ]))
+      )
+  in
+  let c, _ = Engine.Compile.compile ~tfa_rounds:1 ~zero:0 ~one:1 inst expr in
+  let s = Circuits.Circuit.stats c in
+  check_int "stats gates = node count" (Array.length c.Circuits.Circuit.nodes)
+    s.Circuits.Circuit.gates;
+  let gv name = int_of_float (Obs.Gauge.get (Obs.gauge ~scope:"compile" name)) in
+  check_int "gauge gates" s.Circuits.Circuit.gates (gv "gates");
+  check_int "gauge depth" s.Circuits.Circuit.depth (gv "depth");
+  check_int "gauge max_fan_out" s.Circuits.Circuit.max_fan_out (gv "max_fan_out");
+  check_int "gauge num_perm" s.Circuits.Circuit.num_perm (gv "num_perm");
+  (* and the run counter moved *)
+  check "compile runs counted" true
+    (Obs.Counter.get (Obs.counter ~scope:"compile" "runs") > 0)
+
+let suite =
+  [
+    Alcotest.test_case "histogram bucket boundaries" `Quick bucket_boundaries;
+    Alcotest.test_case "histogram stats and quantiles" `Quick histogram_stats;
+    Alcotest.test_case "registry scoping and reset" `Quick registry_scoping;
+    Alcotest.test_case "enabled flag gates writes" `Quick enabled_gate;
+    Alcotest.test_case "snapshot JSON is parseable" `Quick snapshot_well_formed;
+    Alcotest.test_case "compile gauges match circuit stats" `Quick gauges_match_circuit;
+  ]
