@@ -9,12 +9,19 @@
    Engine.Reference evaluator; any disagreement makes the harness exit
    nonzero, so the baseline file can only come from a correct engine.
 
-   Run with: dune exec bench/main.exe -- --out BENCH_pr2.json
+   The batch_* workloads run the same hot-key write transactions through a
+   sequential-update twin and an Eval.update_many twin, require their final
+   values to agree exactly, and (in General mode) require the batched side
+   to beat the sequential loop — the PR 3 batched-propagation claim.
+
+   Run with: dune exec bench/main.exe -- --out BENCH_pr3.json
              dune exec bench/main.exe -- --smoke wdeg_ring path2_enum
 
-   The output (default BENCH_pr2.json) carries per-workload numbers, the
+   The output (default BENCH_pr3.json) carries per-workload numbers, the
    full Obs metrics snapshot, and the measured overhead of the metrics
-   layer itself (enabled vs disabled), schema "sparseq-bench/v1".         *)
+   layer itself (enabled vs disabled), schema "sparseq-bench/v1".
+   bench/compare.exe diffs two baseline files and warns on update-latency
+   regressions (CI runs it against the committed BENCH_pr2.json).         *)
 
 open Semiring
 
@@ -95,6 +102,13 @@ let wtri_expr =
           Logic.Expr.Weight ("w", [ v "x" ]);
         ] )
 
+(* closed weighted degree: Σ_xy [E(x,y)]·w(y) — closed so [value] is the
+   live answer, the observable the batched-update workloads compare on *)
+let cwdeg_expr =
+  Logic.Expr.Sum
+    ( [ "x"; "y" ],
+      Logic.Expr.Mul [ Logic.Expr.Guard (e "x" "y"); Logic.Expr.Weight ("w", [ v "y" ]) ] )
+
 let phi_path2 =
   Logic.Formula.And [ e "x" "y"; e "y" "z"; Logic.Formula.neq (v "x") (v "z") ]
 
@@ -160,6 +174,95 @@ let eval_workload (type a) ~name ~(ops : a Intf.ops) ?mode ~(mk : int -> a)
       (if !mismatches = 0 then
          Printf.sprintf "reference agreed on n=%d after 25 shared updates" nv
        else Printf.sprintf "%d reference mismatches on n=%d" !mismatches nv);
+  }
+
+(* --- the batched-update workloads (PR 3 tentpole) --- *)
+
+(* Twin evaluators on the same instance: one applies each transaction of
+   [batch] writes one propagation wave at a time (Eval.update), the other
+   as a single Eval.update_many wave. Writes hit a hot key pool
+   (|pool| ≪ batch) — the incremental-view-maintenance regime batching
+   exists for: the sequential loop pays a wave per write while the batch
+   collapses duplicate keys and dedups shared-ancestor recomputation.
+   Both twins see the byte-identical write list, so their final closed
+   values must agree exactly; the verify phase replays the protocol on a
+   small instance with write-through to the weight bundle and additionally
+   checks the final value against Engine.Reference. When
+   [require_speedup] is set, the batched side must beat the sequential
+   loop by that factor or the workload counts as failed. *)
+let batch_workload (type a) ~name ~(ops : a Intf.ops) ~mode ~(mk : int -> a)
+    ~(graph : int -> Graphs.Graph.t) ~n_perf ~n_verify ~batch ~hot ~rounds ~seed
+    ~require_speedup () : result =
+  let make n =
+    let inst = Db.Instance.of_graph (graph n) in
+    let n = Db.Instance.n inst in
+    let w = Db.Weights.create ~name:"w" ~arity:1 ~zero:ops.Intf.zero in
+    Db.Weights.fill_unary w ~n (fun i -> mk i);
+    (inst, n, w, Db.Weights.bundle [ w ])
+  in
+  let transactions n rng =
+    let pool = Array.init (min hot n) (fun _ -> Random.State.int rng n) in
+    List.init rounds (fun _ ->
+        List.init batch (fun _ ->
+            ( "w",
+              [ pool.(Random.State.int rng (Array.length pool)) ],
+              mk (Random.State.int rng 1000) )))
+  in
+  (* perf phase: same write list through both twins *)
+  let inst, n, _w, weights = make n_perf in
+  let wall_s, ev_seq =
+    time (fun () -> Engine.Eval.prepare ops ~mode ~tfa_rounds:1 inst weights cwdeg_expr)
+  in
+  let ev_batch = Engine.Eval.prepare ops ~mode ~tfa_rounds:1 inst weights cwdeg_expr in
+  let txns = transactions n (Random.State.make [| seed; 4 |]) in
+  let seq_s, () =
+    time (fun () ->
+        List.iter
+          (List.iter (fun (w, tup, value) -> Engine.Eval.update ev_seq w tup value))
+          txns)
+  in
+  let samples =
+    let arr = Array.of_list txns in
+    time_updates rounds (fun i -> Engine.Eval.update_many ev_batch arr.(i))
+  in
+  let batch_s = Array.fold_left ( +. ) 0. samples /. 1e9 in
+  let speedup = seq_s /. Float.max 1e-9 batch_s in
+  let agree = ops.Intf.equal (Engine.Eval.value ev_seq) (Engine.Eval.value ev_batch) in
+  (* verify phase: write-through on a small instance, checked against the
+     reference evaluator *)
+  let instv, nv, wv, weightsv = make n_verify in
+  let evv = Engine.Eval.prepare ops ~mode ~tfa_rounds:1 instv weightsv cwdeg_expr in
+  let txnsv = transactions nv (Random.State.make [| seed; 5 |]) in
+  List.iter
+    (fun txn ->
+      List.iter (fun (_, tup, value) -> Db.Weights.set wv tup value) txn;
+      Engine.Eval.update_many evv txn)
+    txnsv;
+  let want = Engine.Reference.eval ops instv weightsv cwdeg_expr in
+  let ref_ok = ops.Intf.equal (Engine.Eval.value evv) want in
+  let fast = match require_speedup with None -> true | Some s -> speedup >= s in
+  let s = Engine.Eval.stats ev_batch in
+  {
+    name;
+    n;
+    wall_s;
+    gates = s.Circuits.Circuit.gates;
+    depth = s.Circuits.Circuit.depth;
+    updates = rounds * batch;
+    p50_ns = quantile samples 0.5;
+    p99_ns = quantile samples 0.99;
+    verified = agree && ref_ok && fast;
+    detail =
+      Printf.sprintf
+        "speedup %.2fx (seq %.1fms vs batch %.1fms; %d txns of %d writes over %d hot \
+         keys)%s; twins %s; reference %s on n=%d"
+        speedup (seq_s *. 1e3) (batch_s *. 1e3) rounds batch (min hot n)
+        (match require_speedup with
+        | Some s when speedup < s -> Printf.sprintf " BELOW required %.1fx" s
+        | _ -> "")
+        (if agree then "agree" else "DISAGREE")
+        (if ref_ok then "agreed" else "DISAGREED")
+        nv;
   }
 
 (* --- the Theorem 24 dynamic enumeration workload --- *)
@@ -236,13 +339,13 @@ let overhead ~smoke ~seed =
 
 let () =
   let seed = ref 20260705 in
-  let out = ref "BENCH_pr2.json" in
+  let out = ref "BENCH_pr3.json" in
   let smoke = ref false in
   let only = ref [] in
   Arg.parse
     [
       ("--seed", Arg.Set_int seed, "INT  PRNG seed (default 20260705)");
-      ("--out", Arg.Set_string out, "FILE  JSON baseline output (default BENCH_pr2.json)");
+      ("--out", Arg.Set_string out, "FILE  JSON baseline output (default BENCH_pr3.json)");
       ("--smoke", Arg.Set smoke, "  small instances and fewer updates (CI mode)");
     ]
     (fun w -> only := w :: !only)
@@ -310,6 +413,38 @@ let () =
                 ])
             ~n_perf:n_pr ~n_verify:30 ~updates:k ~seed () );
       ("path2_enum", fun () -> path2_workload ~smoke ~seed ());
+      ( "batch_general",
+        fun () ->
+          batch_workload ~name:"batch_general" ~ops:nat_ops ~mode:Circuits.Dyn.General
+            ~mk:(fun i -> i mod 7)
+            ~graph:(deg3 (seed + 14))
+            ~n_perf:n_wdeg ~n_verify:40
+            ~batch:(if smoke then 256 else 1024)
+            ~hot:96
+            ~rounds:(if smoke then 8 else 32)
+            ~seed
+            ~require_speedup:(Some (if smoke then 1.2 else 2.0))
+            () );
+      ( "batch_ring",
+        fun () ->
+          batch_workload ~name:"batch_ring" ~ops:int_ops ~mode:Circuits.Dyn.Ring
+            ~mk:(fun i -> (i mod 13) - 6)
+            ~graph:(deg3 (seed + 15))
+            ~n_perf:n_wdeg ~n_verify:40
+            ~batch:(if smoke then 256 else 1024)
+            ~hot:96
+            ~rounds:(if smoke then 8 else 32)
+            ~seed ~require_speedup:None () );
+      ( "batch_finite",
+        fun () ->
+          batch_workload ~name:"batch_finite" ~ops:bool_ops ~mode:Circuits.Dyn.Finite
+            ~mk:(fun i -> i mod 3 = 0)
+            ~graph:(deg3 (seed + 16))
+            ~n_perf:n_wdeg ~n_verify:40
+            ~batch:(if smoke then 256 else 1024)
+            ~hot:96
+            ~rounds:(if smoke then 8 else 32)
+            ~seed ~require_speedup:None () );
     ]
   in
   let selected =

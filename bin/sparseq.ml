@@ -164,7 +164,15 @@ let stats_cmd =
       & info [ "updates" ] ~docv:"K"
           ~doc:"Random weight updates to time on the dynamic circuit (0 = skip).")
   in
-  let run kind n seed qname budget updates =
+  let batch_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Apply the timed updates in batches of $(docv) through the batched \
+             propagation wave (Eval.update_many); 1 = one wave per update.")
+  in
+  let run kind n seed qname budget (updates, batch) =
     let _, inst = setup kind n seed in
     let phi = make_query qname in
     let fv = Logic.Formula.free_vars_unique phi in
@@ -194,20 +202,48 @@ let stats_cmd =
           wexpr
       in
       let rng = Random.State.make [| seed; 0x5eed |] in
-      let samples = Array.make updates 0. in
-      for i = 0 to updates - 1 do
-        let x = Random.State.int rng nn in
-        let u0 = Unix.gettimeofday () in
-        Engine.Eval.update ev "w" [ x ] (Random.State.int rng 5);
-        samples.(i) <- (Unix.gettimeofday () -. u0) *. 1e9
-      done;
-      Array.sort compare samples;
-      Format.printf "updates: %d  p50 %.0fns  p99 %.0fns  (value now %d)@." updates
-        (sample_quantile samples 0.5)
-        (sample_quantile samples 0.99)
-        (Engine.Eval.value ev)
+      if batch <= 1 then begin
+        let samples = Array.make updates 0. in
+        for i = 0 to updates - 1 do
+          let x = Random.State.int rng nn in
+          let u0 = Unix.gettimeofday () in
+          Engine.Eval.update ev "w" [ x ] (Random.State.int rng 5);
+          samples.(i) <- (Unix.gettimeofday () -. u0) *. 1e9
+        done;
+        Array.sort compare samples;
+        Format.printf "updates: %d  p50 %.0fns  p99 %.0fns  (value now %d)@." updates
+          (sample_quantile samples 0.5)
+          (sample_quantile samples 0.99)
+          (Engine.Eval.value ev)
+      end
+      else begin
+        let nbatches = (updates + batch - 1) / batch in
+        let samples = Array.make nbatches 0. in
+        let total = ref 0. in
+        for i = 0 to nbatches - 1 do
+          let size = min batch (updates - (i * batch)) in
+          let writes =
+            List.init size (fun _ ->
+                ("w", [ Random.State.int rng nn ], Random.State.int rng 5))
+          in
+          let u0 = Unix.gettimeofday () in
+          Engine.Eval.update_many ev writes;
+          samples.(i) <- (Unix.gettimeofday () -. u0) *. 1e9;
+          total := !total +. samples.(i)
+        done;
+        Array.sort compare samples;
+        Format.printf
+          "updates: %d in %d batches of %d  batch p50 %.0fns  p99 %.0fns  amortized \
+           %.0fns/update  (value now %d)@."
+          updates nbatches batch
+          (sample_quantile samples 0.5)
+          (sample_quantile samples 0.99)
+          (!total /. float_of_int updates)
+          (Engine.Eval.value ev)
+      end
     end
   in
+  let updates_batch = Term.(const (fun u b -> (u, b)) $ updates_arg $ batch_arg) in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
@@ -216,7 +252,7 @@ let stats_cmd =
     Term.(
       ret
         (const (guarded run) $ metrics_arg $ graph_arg $ n_arg $ seed_arg $ query_arg
-       $ budget_term $ updates_arg))
+       $ budget_term $ updates_batch))
 
 (* --- count --- *)
 

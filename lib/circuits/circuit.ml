@@ -63,8 +63,22 @@ let add b = function [ g ] -> g | gs -> push b (Add (Array.of_list gs))
 (** Multiplication gate; a single factor collapses to the factor itself. *)
 let mul b = function [ g ] -> g | gs -> push b (Mul (Array.of_list gs))
 
-(** Permanent gate over a rows × columns matrix of gates. *)
-let perm b (rows : int array array) = push b (Perm rows)
+(** Permanent gate over a rows × columns matrix of gates. Rows must be
+    rectangular: dynamic maintenance ({!Dyn.notify}) decodes a child's
+    (row, col) position from a flat slot index as slot / ncols, which is
+    meaningless on ragged rows — so those are rejected at construction. *)
+let perm b (rows : int array array) =
+  if Array.length rows > 0 then begin
+    let ncols = Array.length rows.(0) in
+    Array.iteri
+      (fun r row ->
+        if Array.length row <> ncols then
+          Robust.bad_input
+            "Circuit.perm: ragged permanent gate (row 0 has %d columns, row %d has %d)"
+            ncols r (Array.length row))
+      rows
+  end;
+  push b (Perm rows)
 
 let finish b ~output =
   if output < 0 || output >= b.len then invalid_arg "Circuit.finish: bad output gate";

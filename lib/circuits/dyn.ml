@@ -21,7 +21,11 @@ type mode = General | Ring | Finite
 (* Update reach-out metrics (scope "dyn"): Corollary 13 claims O(3ᵏ log n)
    touched gates per update for general semirings, Corollaries 17/20 claim
    O(1) for rings and finite semirings. [touched_per_update] is the direct
-   observable for those bounds; [update_ns] its wall-clock shadow. *)
+   observable for those bounds; [update_ns] its wall-clock shadow. Batched
+   updates are tracked separately: [batch_size] is how many writes arrived
+   per {!set_inputs} call and [touched_per_batch] how many gate
+   recomputations the single shared wave needed — the ratio against
+   [batch_size] × [touched_per_update] is the ancestor-dedup win. *)
 let m_creates_general = Obs.counter ~scope:"dyn" "creates_general"
 let m_creates_ring = Obs.counter ~scope:"dyn" "creates_ring"
 let m_creates_finite = Obs.counter ~scope:"dyn" "creates_finite"
@@ -29,6 +33,10 @@ let m_updates = Obs.counter ~scope:"dyn" "updates"
 let m_touched = Obs.counter ~scope:"dyn" "touched_gates"
 let h_touched = Obs.histogram ~scope:"dyn" "touched_per_update"
 let h_update_ns = Obs.histogram ~scope:"dyn" "update_ns"
+let m_batches = Obs.counter ~scope:"dyn" "batches"
+let h_batch_size = Obs.histogram ~scope:"dyn" "batch_size"
+let h_touched_batch = Obs.histogram ~scope:"dyn" "touched_per_batch"
+let h_batch_ns = Obs.histogram ~scope:"dyn" "batch_ns"
 
 (** Raised by every read/update once a fault mid-update has left the
     incremental state inconsistent; carries the original failure. *)
@@ -54,6 +62,18 @@ type 'a t = {
   parents : (int * int) list array;  (** (parent id, slot in its child order) *)
   aux : 'a aux array;
   fin_ctx : 'a Perm.Finite.ctx option;
+  mutable wave_heap : int array;
+      (** binary min-heap of queued gate ids; reused across waves so the
+          hot loop allocates nothing *)
+  mutable wave_len : int;  (** live prefix of [wave_heap] *)
+  wave_in : bool array;
+      (** per gate: queued in the current wave (snapshot saved)? doubles as
+          the stamped-flag for inputs during {!set_inputs}' stamp phase *)
+  wave_saved : 'a array;  (** per queued gate: value before the wave *)
+  pending : (int * int * 'a) list array;
+      (** per permanent gate: (row, col, v) entry writes accumulated since
+          its last recomputation, flushed in one {!Perm.Segtree.set_many}
+          (resp. Ring/Finite) when the wave reaches the gate *)
   mutable update_ops : int;  (** gate recomputations since creation (for benches) *)
   mutable poisoned : string option;
       (** set when an exception escaped mid-propagation: gate values may be
@@ -173,6 +193,11 @@ let create ?mode (ops : 'a Semiring.Intf.ops) (c : 'a Circuit.t)
     parents;
     aux;
     fin_ctx;
+    wave_heap = Array.make 16 0;
+    wave_len = 0;
+    wave_in = Array.make n false;
+    wave_saved = Array.make n ops.zero;
+    pending = Array.make n [];
     update_ops = 0;
     poisoned = None;
     fault_hook = None;
@@ -192,10 +217,54 @@ let gate_value t id =
   check_live t;
   t.values.(id)
 
-module IQ = Set.Make (Int)
+(* Reusable binary min-heap over gate ids (creation order = topological
+   order), stored in the structure so propagation waves allocate nothing.
+   Gates are deduplicated through [wave_in] before pushing, so the heap
+   never holds duplicates. *)
+let heap_push t g =
+  let len = t.wave_len in
+  if len = Array.length t.wave_heap then begin
+    let bigger = Array.make (2 * len) 0 in
+    Array.blit t.wave_heap 0 bigger 0 len;
+    t.wave_heap <- bigger
+  end;
+  t.wave_heap.(len) <- g;
+  t.wave_len <- len + 1;
+  let i = ref len in
+  while !i > 0 && t.wave_heap.((!i - 1) / 2) > t.wave_heap.(!i) do
+    let p = (!i - 1) / 2 in
+    let tmp = t.wave_heap.(p) in
+    t.wave_heap.(p) <- t.wave_heap.(!i);
+    t.wave_heap.(!i) <- tmp;
+    i := p
+  done
+
+let heap_pop t =
+  let g = t.wave_heap.(0) in
+  t.wave_len <- t.wave_len - 1;
+  t.wave_heap.(0) <- t.wave_heap.(t.wave_len);
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let s = ref !i in
+    if l < t.wave_len && t.wave_heap.(l) < t.wave_heap.(!s) then s := l;
+    if r < t.wave_len && t.wave_heap.(r) < t.wave_heap.(!s) then s := r;
+    if !s = !i then continue := false
+    else begin
+      let tmp = t.wave_heap.(!s) in
+      t.wave_heap.(!s) <- t.wave_heap.(!i);
+      t.wave_heap.(!i) <- tmp;
+      i := !s
+    end
+  done;
+  g
 
 (* Apply the effect of a child's value change on a parent's auxiliary
-   state; cheap bookkeeping only, no recomputation. *)
+   state; cheap bookkeeping only, no recomputation. Permanent gates only
+   accumulate the entry write — the wave flushes all of a gate's pending
+   writes through one [set_many] when it recomputes the gate, so a batch
+   touching many columns pays each leaf-to-root path segment once. *)
 let notify t parent slot ~old_v ~new_v =
   let open Semiring.Intf in
   match (t.nodes.(parent), t.aux.(parent)) with
@@ -207,12 +276,9 @@ let notify t parent slot ~old_v ~new_v =
       let oi = Perm.Finite.index_of ctx old_v and ni = Perm.Finite.index_of ctx new_v in
       counts.(oi) <- counts.(oi) - 1;
       counts.(ni) <- counts.(ni) + 1
-  | Circuit.Perm _, APerm (st, ncols) ->
+  | Circuit.Perm _, APerm (_, ncols) ->
       let row = slot / ncols and col = slot mod ncols in
-      (match st with
-      | PSeg s -> Perm.Segtree.set s ~row ~col new_v
-      | PRing s -> Perm.Ring.set s ~row ~col new_v
-      | PFin s -> Perm.Finite.set s ~row ~col new_v)
+      t.pending.(parent) <- (row, col, new_v) :: t.pending.(parent)
   | _ -> ()
 
 (* Recompute a gate's value from its children/auxiliary state. *)
@@ -237,12 +303,50 @@ let recompute t id =
       !acc
   | Circuit.Add gs, _ -> Array.fold_left (fun acc g -> t.ops.add acc t.values.(g)) t.ops.zero gs
   | Circuit.Mul gs, _ -> Array.fold_left (fun acc g -> t.ops.mul acc t.values.(g)) t.ops.one gs
-  | Circuit.Perm _, APerm (st, _) -> (
-      match st with
+  | Circuit.Perm _, APerm (st, _) ->
+      (match t.pending.(id) with
+      | [] -> ()
+      | pend ->
+          t.pending.(id) <- [];
+          (* accumulated newest-first; sequential order = reverse *)
+          let writes = List.rev pend in
+          (match st with
+          | PSeg s -> Perm.Segtree.set_many s writes
+          | PRing s -> Perm.Ring.set_many s writes
+          | PFin s -> Perm.Finite.set_many s writes));
+      (match st with
       | PSeg s -> Perm.Segtree.perm s
       | PRing s -> Perm.Ring.perm s
       | PFin s -> Perm.Finite.perm s)
   | Circuit.Perm _, _ -> invalid_arg "Dyn: permanent gate without state"
+
+(* Queue [g]'s parents for recomputation (saving their pre-wave values on
+   first contact) and push the child's delta into their auxiliary state. *)
+let enqueue_parents t g ~old_v ~new_v =
+  List.iter
+    (fun (p, slot) ->
+      if not t.wave_in.(p) then begin
+        t.wave_in.(p) <- true;
+        t.wave_saved.(p) <- t.values.(p);
+        heap_push t p
+      end;
+      notify t p slot ~old_v ~new_v)
+    t.parents.(g)
+
+(* Drain the heap in topological (gate-id) order. Children always have
+   smaller ids than parents, so when a gate is popped every queued child
+   has already settled — each touched gate is recomputed exactly once per
+   wave no matter how many dirty inputs reach it. *)
+let run_wave t =
+  while t.wave_len > 0 do
+    let g = heap_pop t in
+    t.wave_in.(g) <- false;
+    let old_g = t.wave_saved.(g) in
+    let new_g = recompute t g in
+    t.values.(g) <- new_g;
+    if not (t.ops.Semiring.Intf.equal old_g new_g) then
+      enqueue_parents t g ~old_v:old_g ~new_v:new_g
+  done
 
 (** Update one input weight; propagates along all ancestor paths in
     topological order. If anything raises mid-propagation (crash, fault
@@ -261,31 +365,8 @@ let set_input t (key : Circuit.input_key) v =
         let ops0 = t.update_ops in
         (try
           t.values.(id) <- v;
-          let queue = ref IQ.empty in
-          let snapshots = Hashtbl.create 16 in
-          let enqueue_parents g ~old_v ~new_v =
-            List.iter
-              (fun (p, slot) ->
-                if not (Hashtbl.mem snapshots p) then begin
-                  Hashtbl.replace snapshots p t.values.(p);
-                  queue := IQ.add p !queue
-                end;
-                notify t p slot ~old_v ~new_v)
-              t.parents.(g)
-          in
-          enqueue_parents id ~old_v ~new_v:v;
-          while not (IQ.is_empty !queue) do
-            let g = IQ.min_elt !queue in
-            queue := IQ.remove g !queue;
-            let old_g = Hashtbl.find snapshots g in
-            Hashtbl.remove snapshots g;
-            let new_g = recompute t g in
-            if not (t.ops.Semiring.Intf.equal old_g new_g) then begin
-              t.values.(g) <- new_g;
-              enqueue_parents g ~old_v:old_g ~new_v:new_g
-            end
-            else t.values.(g) <- new_g
-          done
+          enqueue_parents t id ~old_v ~new_v:v;
+          run_wave t
         with e ->
           t.poisoned <- Some (Printexc.to_string e);
           raise e);
@@ -298,6 +379,78 @@ let set_input t (key : Circuit.input_key) v =
         end
       end
 
+(** Batched update: stamp every dirty input first, then run a {e single}
+    topological propagation wave. A gate reachable from several dirty
+    inputs is recomputed once per wave instead of once per constituent
+    update, so the per-touched-gate costs of Corollaries 13/17/20 are
+    unchanged while shared ancestors are deduplicated. Semantically
+    equivalent to applying the assignments with {!set_input} left to right
+    (later writes to the same input win). Unknown keys are rejected before
+    any mutation; an exception mid-wave poisons the structure exactly like
+    {!set_input}. *)
+let set_inputs t (assignments : (Circuit.input_key * 'a) list) =
+  check_live t;
+  match assignments with
+  | [] -> ()
+  | [ (key, v) ] -> set_input t key v
+  | _ ->
+      let resolved =
+        List.map
+          (fun (key, v) ->
+            match Hashtbl.find_opt t.input_ids key with
+            | Some id -> (id, v)
+            | None -> invalid_arg "Dyn.set_inputs: unknown input (weight symbol, tuple)")
+          assignments
+      in
+      let instrumented = Obs.is_enabled () in
+      let t0 = if instrumented then Obs.now_ns () else 0. in
+      let ops0 = t.update_ops in
+      let dirty = ref 0 in
+      (try
+        (* Stamp phase: apply every write, remembering each input's
+           pre-batch value on first contact ([wave_in] doubles as the
+           stamped flag — inputs have no children, so they are never
+           heap-queued and the flag cannot collide with the wave's use). *)
+        let stamped =
+          List.filter_map
+            (fun (id, v) ->
+              if t.wave_in.(id) then begin
+                t.values.(id) <- v;
+                None
+              end
+              else if t.ops.Semiring.Intf.equal t.values.(id) v then None
+              else begin
+                t.wave_in.(id) <- true;
+                t.wave_saved.(id) <- t.values.(id);
+                t.values.(id) <- v;
+                Some id
+              end)
+            resolved
+        in
+        (* Propagation phase: one shared wave over every net change. *)
+        List.iter
+          (fun id ->
+            t.wave_in.(id) <- false;
+            let old_v = t.wave_saved.(id) and new_v = t.values.(id) in
+            if not (t.ops.Semiring.Intf.equal old_v new_v) then begin
+              incr dirty;
+              enqueue_parents t id ~old_v ~new_v
+            end)
+          stamped;
+        run_wave t
+      with e ->
+        t.poisoned <- Some (Printexc.to_string e);
+        raise e);
+      if instrumented then begin
+        let touched = t.update_ops - ops0 in
+        Obs.Counter.incr m_batches;
+        Obs.Counter.add m_updates !dirty;
+        Obs.Counter.add m_touched touched;
+        Obs.Histogram.observe h_batch_size (float_of_int (List.length assignments));
+        Obs.Histogram.observe h_touched_batch (float_of_int touched);
+        Obs.Histogram.observe h_batch_ns (Obs.now_ns () -. t0)
+      end
+
 (** Current value of an input gate. *)
 let input_value t key =
   match Hashtbl.find_opt t.input_ids key with
@@ -307,19 +460,25 @@ let input_value t key =
 let has_input t key = Hashtbl.mem t.input_ids key
 
 (** Temporarily set some inputs, run [f], restore — the free-variable query
-    mechanism in the proof of Theorem 8. *)
+    mechanism in the proof of Theorem 8. Both directions go through
+    {!set_inputs}, so the 2·|x̄| weight flips of a tuple query cost two
+    propagation waves instead of 2·|x̄|. The restore runs under
+    [Fun.protect] (in reverse order, so duplicate keys land back on their
+    first-saved value): a raising [f] no longer leaves the temporary
+    weights stuck and silently corrupting every later read. *)
 let with_temp t (assignments : (Circuit.input_key * 'a) list) (f : unit -> 'b) : 'b =
   check_live t;
+  let known = List.filter (fun (key, _) -> has_input t key) assignments in
   let saved =
     List.filter_map
-      (fun (key, v) ->
-        match input_value t key with
-        | Some old_v ->
-            set_input t key v;
-            Some (key, old_v)
-        | None -> None)
-      assignments
+      (fun (key, _) -> Option.map (fun old_v -> (key, old_v)) (input_value t key))
+      known
   in
-  let result = f () in
-  List.iter (fun (key, old_v) -> set_input t key old_v) saved;
-  result
+  set_inputs t known;
+  Fun.protect
+    ~finally:(fun () ->
+      (* If [f] poisoned the structure the incremental state is already
+         unrecoverable and restoring would raise [Poisoned] out of
+         [~finally], masking [f]'s own exception. *)
+      if t.poisoned = None then set_inputs t (List.rev saved))
+    f

@@ -10,7 +10,17 @@ type 'a t = {
   table : (int list, 'a) Hashtbl.t;
 }
 
-let create ~name ~arity ~zero = { name; arity; zero; table = Hashtbl.create 64 }
+(** Weight symbols beginning with this prefix are reserved for the engine's
+    internal query variables (the closure trick in [Engine.Eval.prepare]),
+    whose valuation is pinned to zero — a user weight named e.g.
+    [__qv_total] would be silently dropped, so such names are rejected. *)
+let reserved_prefix = "__qv"
+
+let create ~name ~arity ~zero =
+  if String.starts_with ~prefix:reserved_prefix name then
+    Robust.bad_input "Weights.create: %s uses the reserved prefix %s (internal query variables)"
+      name reserved_prefix;
+  { name; arity; zero; table = Hashtbl.create 64 }
 
 let name w = w.name
 let arity w = w.arity

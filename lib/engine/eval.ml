@@ -20,7 +20,7 @@ type 'a t = {
   circuit : 'a Circuits.Circuit.t;
 }
 
-let query_weight i = Printf.sprintf "__qv%d" i
+let query_weight i = Printf.sprintf "%s%d" Db.Weights.reserved_prefix i
 
 (* Theorem 8 observables (scope "engine"): preparation is linear-time,
    per-tuple queries cost 2|x̄| temporary updates, and degradations to the
@@ -35,6 +35,12 @@ let prepare (type a) (ops : a Semiring.Intf.ops) ?mode ?tfa_rounds ?max_depth ?b
     (inst : Db.Instance.t) (weights : a Db.Weights.bundle) (expr : a Logic.Expr.t) : a t =
   Obs.Timer.time h_prepare_ns @@ fun () ->
   let open Semiring.Intf in
+  List.iter
+    (fun (w, _) ->
+      if String.starts_with ~prefix:Db.Weights.reserved_prefix w then
+        Robust.bad_input "Eval.prepare: weight symbol %s uses the reserved prefix %s" w
+          Db.Weights.reserved_prefix)
+    (Logic.Expr.weight_symbols expr);
   let fv = Logic.Expr.free_vars_unique expr in
   let expr_closed =
     if fv = [] then expr
@@ -52,7 +58,7 @@ let prepare (type a) (ops : a Semiring.Intf.ops) ?mode ?tfa_rounds ?max_depth ?b
       expr_closed
   in
   let valuation (w, tuple) =
-    if String.length w > 4 && String.sub w 0 4 = "__qv" then ops.zero
+    if String.starts_with ~prefix:Db.Weights.reserved_prefix w then ops.zero
     else Db.Weights.get (Db.Weights.find weights w) tuple
   in
   let dyn = Circuits.Dyn.create ?mode ops circuit valuation in
@@ -80,6 +86,22 @@ let update t w tuple v =
   let key = (w, tuple) in
   Obs.Counter.incr m_updates;
   if Circuits.Dyn.has_input t.dyn key then Circuits.Dyn.set_input t.dyn key v
+
+(** Batched weight updates: semantically equivalent to applying {!update}
+    left to right (later writes to the same weight tuple win), but every
+    circuit-relevant write propagates in a single {!Circuits.Dyn.set_inputs}
+    wave, so gates shared between the updated weights recompute once per
+    batch instead of once per update. *)
+let update_many t (updates : (string * int list * 'a) list) =
+  let relevant =
+    List.filter_map
+      (fun (w, tuple, v) ->
+        Obs.Counter.incr m_updates;
+        let key = (w, tuple) in
+        if Circuits.Dyn.has_input t.dyn key then Some (key, v) else None)
+      updates
+  in
+  Circuits.Dyn.set_inputs t.dyn relevant
 
 let meta t = t.meta
 let stats t = Circuits.Circuit.stats t.circuit
@@ -282,6 +304,26 @@ let update_checked (ck : 'a checked) (w : string) (tuple : int list) (v : 'a) :
       Db.Weights.set (Db.Weights.find ck.c_weights w) tuple v;
       (match ck.backend with
       | Circuit t -> update t w tuple v
+      | Degraded _ -> ());
+      if ck.self_check then self_check_now ck)
+
+(** Batched checked update: every write goes through to the weight bundle
+    first (so the reference fallback and the self-check observe the full
+    batch), the circuit sees one propagation wave, and the self-check —
+    when enabled — runs once per batch rather than once per update. A
+    fault mid-batch poisons the circuit and reports [Internal_divergence]
+    exactly like {!update_checked}; every subsequent read keeps failing
+    rather than returning silently corrupt values. *)
+let update_many_checked (ck : 'a checked) (updates : (string * int list * 'a) list) :
+    (unit, Robust.error) result =
+  Robust.protect
+    ~classify:(classify_engine (Some ck.backend))
+    (fun () ->
+      List.iter
+        (fun (w, tuple, v) -> Db.Weights.set (Db.Weights.find ck.c_weights w) tuple v)
+        updates;
+      (match ck.backend with
+      | Circuit t -> update_many t updates
       | Degraded _ -> ());
       if ck.self_check then self_check_now ck)
 

@@ -111,9 +111,11 @@ let type_entry ctx tidx r =
   ctx.elems.(go tidx r)
 
 (* Gate-strategy counters (scope "perm"): the constant-update counting
-   strategy of Corollary 20. *)
+   strategy of Corollary 20, and how many batched entry points amortize
+   those updates. *)
 let m_creates = Obs.counter ~scope:"perm" "finite_creates"
 let m_sets = Obs.counter ~scope:"perm" "finite_sets"
+let m_batches = Obs.counter ~scope:"perm" "finite_batches"
 
 let create (ops : 'a Semiring.Intf.ops) (m : 'a array array) : 'a t =
   let ctx = make_ctx ops in
@@ -139,6 +141,48 @@ let set t ~row ~col v =
     t.counts.(new_t) <- t.counts.(new_t) + 1;
     t.col_type.(col) <- new_t
   end
+
+(** Batched entry update: group writes by column, then adjust the type
+    counters once per touched column instead of once per entry. Later
+    entries win on duplicate (row, col) targets, matching sequential
+    application order. *)
+let set_many t (updates : (int * int * 'a) list) =
+  match updates with
+  | [] -> ()
+  | [ (row, col, v) ] -> set t ~row ~col v
+  | _ ->
+      Obs.Counter.incr m_batches;
+      List.iter
+        (fun (row, col, _) ->
+          if row < 0 || row >= t.k then invalid_arg "Finite_perm.set_many: bad row";
+          if col < 0 || col >= t.n then invalid_arg "Finite_perm.set_many: bad col")
+        updates;
+      let by_col =
+        List.stable_sort (fun (_, c1, _) (_, c2, _) -> Int.compare c1 c2) updates
+      in
+      let rec run = function
+        | [] -> ()
+        | (row, col, v) :: rest ->
+            let old_t = t.col_type.(col) in
+            Obs.Counter.incr m_sets;
+            t.entries.(col).(row) <- index_of t.ctx v;
+            let rec eat = function
+              | (r2, c2, v2) :: more when c2 = col ->
+                  Obs.Counter.incr m_sets;
+                  t.entries.(col).(r2) <- index_of t.ctx v2;
+                  eat more
+              | more -> more
+            in
+            let rest = eat rest in
+            let new_t = type_index t.ctx t.entries.(col) in
+            if new_t <> old_t then begin
+              t.counts.(old_t) <- t.counts.(old_t) - 1;
+              t.counts.(new_t) <- t.counts.(new_t) + 1;
+              t.col_type.(col) <- new_t
+            end;
+            run rest
+      in
+      run by_col
 
 let get t ~row ~col = t.ctx.elems.(t.entries.(col).(row))
 
@@ -193,5 +237,6 @@ module Make (S : Semiring.Intf.FINITE) = struct
   let create m = create ops m
   let perm = perm
   let set = set
+  let set_many = set_many
   let get = get
 end

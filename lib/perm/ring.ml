@@ -10,9 +10,11 @@
     recomputed from the power sums in O_k(1). *)
 
 (* Gate-strategy counters (scope "perm"): the constant-update power-sum
-   strategy of Corollary 17. *)
+   strategy of Corollary 17, and how many batched entry points amortize
+   those updates. *)
 let m_creates = Obs.counter ~scope:"perm" "ring_creates"
 let m_sets = Obs.counter ~scope:"perm" "ring_sets"
+let m_batches = Obs.counter ~scope:"perm" "ring_batches"
 
 type 'a t = {
   ops : 'a Semiring.Intf.ops;
@@ -98,6 +100,57 @@ let set t ~row ~col v =
     end
   done
 
+(** Batched entry update: group writes by column, then adjust each power
+    sum once per touched column — masks are visited once with the combined
+    changed-rows delta instead of once per entry. Later entries win on
+    duplicate (row, col) targets, matching sequential application order. *)
+let set_many t (updates : (int * int * 'a) list) =
+  match updates with
+  | [] -> ()
+  | [ (row, col, v) ] -> set t ~row ~col v
+  | _ ->
+      Obs.Counter.incr m_batches;
+      List.iter
+        (fun (row, col, _) ->
+          if row < 0 || row >= t.k then invalid_arg "Ring_perm.set_many: bad row";
+          if col < 0 || col >= t.n then invalid_arg "Ring_perm.set_many: bad col")
+        updates;
+      let by_col =
+        List.stable_sort (fun (_, c1, _) (_, c2, _) -> Int.compare c1 c2) updates
+      in
+      let flush col old_col changed =
+        for mask = 1 to (1 lsl t.k) - 1 do
+          if mask land changed <> 0 then begin
+            let old_term = column_contrib t.ops t.k old_col mask in
+            let new_term = column_contrib t.ops t.k t.columns.(col) mask in
+            t.sums.(mask) <-
+              t.ops.Semiring.Intf.add
+                (t.ops.Semiring.Intf.add t.sums.(mask) (t.neg old_term))
+                new_term
+          end
+        done
+      in
+      let rec run = function
+        | [] -> ()
+        | (row, col, v) :: rest ->
+            let old_col = Array.copy t.columns.(col) in
+            Obs.Counter.incr m_sets;
+            t.columns.(col).(row) <- v;
+            let changed = ref (1 lsl row) in
+            let rec eat = function
+              | (r2, c2, v2) :: more when c2 = col ->
+                  Obs.Counter.incr m_sets;
+                  t.columns.(col).(r2) <- v2;
+                  changed := !changed lor (1 lsl r2);
+                  eat more
+              | more -> more
+            in
+            let rest = eat rest in
+            flush col old_col !changed;
+            run rest
+      in
+      run by_col
+
 let get t ~row ~col = t.columns.(col).(row)
 
 (** Functor sugar over a statically-known ring. *)
@@ -108,5 +161,6 @@ module Make (R : Semiring.Intf.RING) = struct
   let create m = create ops m
   let perm = perm
   let set = set
+  let set_many = set_many
   let get = get
 end

@@ -135,6 +135,92 @@ let with_temp_restores () =
   check_int "temp changes value" ((100 + 2) * (3 + 5)) inside;
   check_int "restored" before (Circuits.Dyn.value d)
 
+exception Boom
+
+(* regression: with_temp used to skip the restore when [f] raised, leaving
+   the temporary weights permanently applied to the circuit *)
+let with_temp_exception_restores () =
+  let c = small_circuit () in
+  let d =
+    Circuits.Dyn.create ~mode:Circuits.Dyn.Ring int_ops c (function "w", [ i ] -> i | _ -> 0)
+  in
+  let before = Circuits.Dyn.value d in
+  (match
+     Circuits.Dyn.with_temp d
+       [ (("w", [ 1 ]), 100); (("w", [ 3 ]), 50) ]
+       (fun () -> raise Boom)
+   with
+  | _ -> Alcotest.fail "with_temp swallowed the exception"
+  | exception Boom -> ());
+  check_bool "not poisoned" true (Circuits.Dyn.poisoned d = None);
+  check_int "w1 restored" 1 (Option.get (Circuits.Dyn.input_value d ("w", [ 1 ])));
+  check_int "w3 restored" 3 (Option.get (Circuits.Dyn.input_value d ("w", [ 3 ])));
+  check_int "value restored after raise" before (Circuits.Dyn.value d)
+
+(* one set_inputs wave per batch must equal both sequential set_input
+   application and a from-scratch re-evaluation, in every mode *)
+let batch_matches_sequential mode ops name =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count:30
+       QCheck.(
+         pair (int_range 0 1000)
+           (small_list (small_list (pair (int_range 0 7) (int_range 0 3)))))
+       (fun (seed, batches) ->
+         let c = random_circuit seed 8 in
+         let vals = Array.make 8 1 in
+         let valuation = function "w", [ i ] -> vals.(i) | _ -> 0 in
+         let d_batch = Circuits.Dyn.create ~mode ops c valuation in
+         let d_seq = Circuits.Dyn.create ~mode ops c valuation in
+         List.for_all
+           (fun batch ->
+             let assignments = List.map (fun (i, v) -> (("w", [ i ]), v)) batch in
+             List.iter (fun (i, v) -> vals.(i) <- v) batch;
+             Circuits.Dyn.set_inputs d_batch assignments;
+             List.iter (fun (key, v) -> Circuits.Dyn.set_input d_seq key v) assignments;
+             let expected =
+               Circuits.Circuit.eval ops c (function "w", [ j ] -> vals.(j) | _ -> 0)
+             in
+             Circuits.Dyn.value d_batch = expected && Circuits.Dyn.value d_seq = expected)
+           batches))
+
+(* a fault in the middle of a batch wave must poison the structure: the
+   batch raises and every later read or update raises Poisoned *)
+let fault_mid_batch_poisons () =
+  let c = small_circuit () in
+  let d =
+    Circuits.Dyn.create ~mode:Circuits.Dyn.General nat_ops c
+      (function "w", [ i ] -> i | _ -> 0)
+  in
+  let calls = ref 0 in
+  Circuits.Dyn.set_fault_hook d
+    (Some
+       (fun _ ->
+         incr calls;
+         if !calls = 2 then failwith "mid-batch fault"));
+  (match Circuits.Dyn.set_inputs d [ (("w", [ 1 ]), 50); (("w", [ 3 ]), 60) ] with
+  | () -> Alcotest.fail "faulted batch must not return normally"
+  | exception Failure _ -> ());
+  Circuits.Dyn.set_fault_hook d None;
+  check_bool "poisoned" true (Circuits.Dyn.poisoned d <> None);
+  (match Circuits.Dyn.value d with
+  | _ -> Alcotest.fail "poisoned circuit answered value"
+  | exception Circuits.Dyn.Poisoned _ -> ());
+  (match Circuits.Dyn.set_inputs d [ (("w", [ 1 ]), 1) ] with
+  | () -> Alcotest.fail "poisoned circuit accepted a batch"
+  | exception Circuits.Dyn.Poisoned _ -> ());
+  match Circuits.Dyn.set_input d ("w", [ 2 ]) 9 with
+  | () -> Alcotest.fail "poisoned circuit accepted an update"
+  | exception Circuits.Dyn.Poisoned _ -> ()
+
+(* permanent gates are k × n matrices; ragged rows must be rejected at
+   construction with a structured error, not fail later in the strategies *)
+let ragged_perm_rejected () =
+  let b = Circuits.Circuit.builder () in
+  let w i = Circuits.Circuit.input b ("w", [ i ]) in
+  match Circuits.Circuit.perm b [| [| w 0; w 1 |]; [| w 2 |] |] with
+  | _ -> Alcotest.fail "ragged permanent gate accepted"
+  | exception Robust.Error (Robust.Bad_input _) -> ()
+
 let balance_preserves_value () =
   let c = random_circuit 42 8 in
   let v = function "w", [ i ] -> i + 1 | _ -> 0 in
@@ -157,5 +243,13 @@ let suite =
     Alcotest.test_case "dyn boolean perm" `Quick dyn_bool;
     Alcotest.test_case "dyn tropical perm" `Quick dyn_tropical;
     Alcotest.test_case "with_temp restores" `Quick with_temp_restores;
+    Alcotest.test_case "with_temp restores on exception" `Quick with_temp_exception_restores;
+    batch_matches_sequential Circuits.Dyn.General nat_ops "set_inputs = sequential (general)";
+    batch_matches_sequential Circuits.Dyn.Ring int_ops "set_inputs = sequential (ring)";
+    batch_matches_sequential Circuits.Dyn.Finite
+      (Intf.ops_of_finite (module Zmod.Z4))
+      "set_inputs = sequential (finite Z4)";
+    Alcotest.test_case "fault mid-batch poisons" `Quick fault_mid_batch_poisons;
+    Alcotest.test_case "ragged perm rejected" `Quick ragged_perm_rejected;
     Alcotest.test_case "balance preserves value" `Quick balance_preserves_value;
   ]

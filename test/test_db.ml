@@ -83,7 +83,14 @@ let weights_basics () =
   check_int "after remove" 0 (Db.Weights.get w [ 1; 2 ]);
   Alcotest.check_raises "arity check"
     (Robust.Error (Robust.Bad_input "Weights.set: w expects arity 2")) (fun () ->
-      Db.Weights.set w [ 1 ] 3)
+      Db.Weights.set w [ 1 ] 3);
+  (* names under the reserved "__qv" prefix would collide with the engine's
+     internal query-variable weights: reject at creation, loudly *)
+  check_bool "reserved prefix rejected" true
+    (try
+       ignore (Db.Weights.create ~name:"__qv0" ~arity:1 ~zero:0);
+       false
+     with Robust.Error (Robust.Bad_input _) -> true)
 
 let bundle_ops () =
   let u = Db.Weights.create ~name:"u" ~arity:1 ~zero:0 in

@@ -197,6 +197,46 @@ let dynamic_updates mode ops_name ops () =
       end)
     (List.init 12 Fun.id)
 
+(* one update_many call per batch = the same writes applied one at a time,
+   and both = the reference evaluator, in every dynamic mode *)
+let batched_engine_updates mode ops () =
+  let g = Graphs.Gen.triangulated_grid 3 3 in
+  let inst = Db.Instance.of_graph g in
+  let w = Db.Weights.create ~name:"w" ~arity:2 ~zero:0 in
+  Db.Weights.fill_from_relation w inst "E" (fun _ -> 1);
+  let weights = Db.Weights.bundle [ w ] in
+  let batch_t = Engine.Eval.prepare ops ~mode inst weights path2_weight in
+  let seq_t = Engine.Eval.prepare ops ~mode inst weights path2_weight in
+  let edges = Db.Instance.tuples inst "E" in
+  let rng = Graphs.Rand.create 4242 in
+  for round = 1 to 6 do
+    let batch =
+      List.init 8 (fun _ ->
+          let tup = List.nth edges (Graphs.Rand.int rng (List.length edges)) in
+          ("w", tup, Graphs.Rand.int rng 4))
+    in
+    List.iter (fun (_, tup, nv) -> Db.Weights.set w tup nv) batch;
+    Engine.Eval.update_many batch_t batch;
+    List.iter (fun (sym, tup, nv) -> Engine.Eval.update seq_t sym tup nv) batch;
+    let expected = Engine.Reference.eval ops inst weights path2_weight in
+    check_int (Printf.sprintf "round %d batched" round) expected (Engine.Eval.value batch_t);
+    check_int (Printf.sprintf "round %d sequential" round) expected (Engine.Eval.value seq_t)
+  done
+
+(* weight symbols starting with the reserved "__qv" prefix collide with the
+   engine's internal query-variable weights and must be rejected loudly *)
+let reserved_prefix_rejected () =
+  let inst = Db.Instance.of_graph (Graphs.Gen.path 4) in
+  (match
+     Engine.Eval.prepare nat_ops inst (Db.Weights.bundle [])
+       (Logic.Expr.Sum ([ "x" ], Logic.Expr.Weight ("__qv1", [ v "x" ])))
+   with
+  | _ -> Alcotest.fail "reserved weight symbol accepted by prepare"
+  | exception Robust.Error (Robust.Bad_input _) -> ());
+  match Db.Weights.create ~name:"__qv0" ~arity:1 ~zero:0 with
+  | _ -> Alcotest.fail "reserved weight name accepted by Weights.create"
+  | exception Robust.Error (Robust.Bad_input _) -> ()
+
 (* property: compiled = reference on random sparse graphs for the triangle
    and path queries over ℕ *)
 let qcheck_compiled_matches =
@@ -398,6 +438,13 @@ let suite =
       (dynamic_updates Circuits.Dyn.General "nat" nat_ops);
     Alcotest.test_case "updates (ring mode)" `Quick
       (dynamic_updates Circuits.Dyn.Ring "int" int_ops);
+    Alcotest.test_case "batched updates (general mode)" `Quick
+      (batched_engine_updates Circuits.Dyn.General nat_ops);
+    Alcotest.test_case "batched updates (ring mode)" `Quick
+      (batched_engine_updates Circuits.Dyn.Ring int_ops);
+    Alcotest.test_case "batched updates (finite mode, Z4)" `Quick
+      (batched_engine_updates Circuits.Dyn.Finite (Intf.ops_of_finite (module Z4)));
+    Alcotest.test_case "reserved weight prefix rejected" `Quick reserved_prefix_rejected;
     qcheck_compiled_matches;
     more_semirings;
     Alcotest.test_case "updates (finite mode, Z4)" `Quick finite_engine_updates;

@@ -127,6 +127,31 @@ let update_agreement =
          let expected = Nat_naive.perm cur in
          Nat_seg.perm seg = expected && Int_ring_perm.perm ring = expected))
 
+(* batched entry updates: one set_many call must leave every dynamic
+   structure in the same state as sequential sets (later entries win on
+   duplicate targets), judged against the naive baseline *)
+let set_many_agreement =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"set_many = sequential sets" ~count:50
+       QCheck.(
+         pair (matrix_gen ~k:3 ~maxn:6 ~maxv:3)
+           (small_list (triple (int_range 0 2) (int_range 0 5) (int_range 0 3))))
+       (fun (m, updates) ->
+         QCheck.assume (Array.length m.(0) > 0);
+         let n = Array.length m.(0) in
+         let updates = List.map (fun (r, c, v) -> (r, c mod n, v)) updates in
+         let cur = Array.map Array.copy m in
+         List.iter (fun (r, c, v) -> cur.(r).(c) <- v) updates;
+         let seg = Nat_seg.create m in
+         let ring = Int_ring_perm.create m in
+         let z4 = Z4_fin.create m in
+         Nat_seg.set_many seg updates;
+         Int_ring_perm.set_many ring updates;
+         Z4_fin.set_many z4 updates;
+         Nat_seg.perm seg = Nat_naive.perm cur
+         && Int_ring_perm.perm ring = Int_naive.perm cur
+         && Z4_fin.perm z4 = Z4_naive.perm cur))
+
 let finite_updates () =
   let m = Array.map (Array.map (fun v -> v = 1)) [| [| 1; 0; 1; 0 |]; [| 0; 1; 0; 1 |] |] in
   let t = Bool_fin.create m in
@@ -245,6 +270,7 @@ let suite =
     finite_z4_vs_naive 2;
     Alcotest.test_case "tropical permanents" `Quick tropical_matches;
     update_agreement;
+    set_many_agreement;
     Alcotest.test_case "finite semiring updates" `Quick finite_updates;
     Alcotest.test_case "lasso with large counts" `Quick lasso_large_counts;
     Alcotest.test_case "enum perm: simple" `Quick enum_perm_simple;

@@ -289,6 +289,29 @@ let fault_schedule_fuzz =
                  QCheck.Test.fail_reportf "wrong classification: %s" (Robust.to_string e))
            updates))
 
+(* --- batched checked updates: write-through + one wave + self-check --- *)
+
+let batched_checked_updates () =
+  let inst, _, weights = weighted_setup ~of_int:Fun.id (Graphs.Gen.grid 3 3) in
+  let ck =
+    unwrap "prepare"
+      (Engine.Eval.prepare_checked nat_ops ~tfa_rounds:1 ~self_check:true inst weights
+         edge_weight_expr)
+  in
+  (* duplicate targets in one batch: later write wins, like sequential *)
+  let () =
+    unwrap "update_many"
+      (Engine.Eval.update_many_checked ck [ ("w", [ 0 ], 9); ("w", [ 1 ], 3); ("w", [ 0 ], 4) ])
+  in
+  check_int "batched checked value"
+    (Engine.Reference.eval nat_ops inst weights edge_weight_expr)
+    (unwrap "value" (Engine.Eval.value_checked ck));
+  (* unknown symbols in a batch are Bad_input, reported not raised *)
+  match Engine.Eval.update_many_checked ck [ ("nope", [ 0 ], 1) ] with
+  | Error (Robust.Bad_input _) -> ()
+  | Error e -> Alcotest.failf "wrong classification: %s" (Robust.to_string e)
+  | Ok () -> Alcotest.fail "unknown weight symbol in batch must be Bad_input"
+
 (* --- self-check: circuit cross-validated against the reference --- *)
 
 let self_check_divergence () =
@@ -400,6 +423,7 @@ let suite =
     dynamic_fuzz ~name:"dynamic updates track reference: Z/4Z" z4_ops ~of_int:Z4.of_int;
     Alcotest.test_case "fault poisons the circuit" `Quick fault_poisons;
     fault_schedule_fuzz;
+    Alcotest.test_case "batched checked updates" `Quick batched_checked_updates;
     Alcotest.test_case "self-check catches divergence" `Quick self_check_divergence;
     Alcotest.test_case "self-check on open queries" `Quick self_check_open_query;
     Alcotest.test_case "classification across surfaces" `Quick classification_surfaces;
