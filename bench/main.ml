@@ -312,6 +312,27 @@ let path2_workload ~smoke ~seed () : result =
 
 (* --- metrics-layer overhead (the ≤5% budget) --- *)
 
+(* Per-span cost of the tracer itself, measured on a no-op body: enabled
+   spans pay the clock reads plus the flight-ring write; disabled spans
+   must be a single flag check (the ≤5% budget applies to the whole
+   observability layer, spans included). *)
+let span_overhead ~smoke =
+  let k = if smoke then 50_000 else 200_000 in
+  let sink = ref 0 in
+  let run () =
+    let t0 = Unix.gettimeofday () in
+    for i = 1 to k do
+      Obs.Trace.span ~scope:"bench" "noop" (fun () -> sink := !sink + i)
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int k
+  in
+  ignore (run ());
+  let enabled_ns = run () in
+  Obs.set_enabled false;
+  let disabled_ns = run () in
+  Obs.set_enabled true;
+  (enabled_ns, disabled_ns)
+
 let overhead ~smoke ~seed =
   let n = if smoke then 400 else 2000 in
   let k = if smoke then 5000 else 20000 in
@@ -341,16 +362,23 @@ let () =
   let seed = ref 20260705 in
   let out = ref "BENCH_pr3.json" in
   let smoke = ref false in
+  let trace = ref "" in
   let only = ref [] in
   Arg.parse
     [
       ("--seed", Arg.Set_int seed, "INT  PRNG seed (default 20260705)");
       ("--out", Arg.Set_string out, "FILE  JSON baseline output (default BENCH_pr3.json)");
       ("--smoke", Arg.Set smoke, "  small instances and fewer updates (CI mode)");
+      ( "--trace",
+        Arg.Set_string trace,
+        "FILE  record a span trace of the run as Chrome trace-event JSON" );
     ]
     (fun w -> only := w :: !only)
-    "bench [--seed INT] [--out FILE] [--smoke] [workload ...]";
+    "bench [--seed INT] [--out FILE] [--smoke] [--trace FILE] [workload ...]";
   let smoke = !smoke and seed = !seed in
+  if Sys.getenv_opt "SPARSEQ_FLIGHT" = None then
+    Obs.Trace.set_flight_dest Obs.Trace.Stderr;
+  if !trace <> "" then Obs.Trace.start_recording ();
   let n_wdeg = if smoke then 400 else 2000 in
   let k = if smoke then 200 else 1000 in
   let deg3 seed n = Graphs.Gen.random_bounded_degree ~seed ~n ~max_deg:3 in
@@ -477,6 +505,9 @@ let () =
   Printf.printf "metrics overhead: %.0f ns/update enabled, %.0f disabled (ratio %.3f)\n"
     enabled_ns disabled_ns
     (enabled_ns /. Float.max 1e-9 disabled_ns);
+  let span_enabled_ns, span_disabled_ns = span_overhead ~smoke in
+  Printf.printf "span overhead: %.1f ns/span enabled, %.1f disabled\n" span_enabled_ns
+    span_disabled_ns;
   let json =
     Obs.Json.O
       [
@@ -490,6 +521,8 @@ let () =
               ("enabled_ns_per_update", Obs.Json.F enabled_ns);
               ("disabled_ns_per_update", Obs.Json.F disabled_ns);
               ("ratio", Obs.Json.F (enabled_ns /. Float.max 1e-9 disabled_ns));
+              ("span_enabled_ns", Obs.Json.F span_enabled_ns);
+              ("span_disabled_ns", Obs.Json.F span_disabled_ns);
             ] );
         ("metrics", Obs.snapshot_json ());
       ]
@@ -499,6 +532,14 @@ let () =
   output_char oc '\n';
   close_out oc;
   Printf.printf "baseline written to %s\n" !out;
+  if !trace <> "" then begin
+    let records = Obs.Trace.stop_recording () in
+    let oc = open_out !trace in
+    output_string oc (Obs.Json.to_string (Obs.Trace.to_chrome records));
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "trace written to %s (%d records)\n" !trace (List.length records)
+  end;
   let failed = List.filter (fun r -> not r.verified) results in
   if failed <> [] then begin
     List.iter (fun r -> Printf.eprintf "FAIL %s: %s\n" r.name r.detail) failed;

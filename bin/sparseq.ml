@@ -119,21 +119,45 @@ let print_metrics = function
   | Some `Json -> print_endline (Obs.snapshot ())
   | Some `Human -> print_string (Obs.snapshot_human ())
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a hierarchical span trace of the run and write it to $(docv) as \
+           Chrome trace-event JSON (open in Perfetto or chrome://tracing). Written \
+           even when the run fails, so a budget violation leaves its trace behind.")
+
+let write_trace path records =
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string (Obs.Trace.to_chrome records));
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "trace written to %s (%d records)\n%!" path (List.length records)
+
 (* Unwrap a checked result inside a run function; the uniform handler below
    turns the raise into a Cmdliner error with exit code 1. *)
 let ok = function Ok x -> x | Error e -> raise (Robust.Error e)
 
 (* Wrap a run function so classified engine errors become Cmdliner-reported
    errors (nonzero exit) rather than raw backtraces; the metrics snapshot
-   (when requested) is emitted on both paths. *)
+   and the span trace (when requested) are emitted on both paths. *)
 let guarded run =
- fun metrics a b c d e f ->
+ fun metrics trace a b c d e f ->
+  if trace <> None then Obs.Trace.start_recording ();
+  let finish () =
+    (match trace with
+    | Some path -> write_trace path (Obs.Trace.stop_recording ())
+    | None -> ());
+    print_metrics metrics
+  in
   match run a b c d e f with
   | v ->
-      print_metrics metrics;
+      finish ();
       `Ok v
   | exception Robust.Error err ->
-      print_metrics metrics;
+      finish ();
       `Error (false, Robust.to_string err)
 
 let setup kind n seed =
@@ -251,7 +275,7 @@ let stats_cmd =
           (Theorems 6 and 8).")
     Term.(
       ret
-        (const (guarded run) $ metrics_arg $ graph_arg $ n_arg $ seed_arg $ query_arg
+        (const (guarded run) $ metrics_arg $ trace_arg $ graph_arg $ n_arg $ seed_arg $ query_arg
        $ budget_term $ updates_batch))
 
 (* --- count --- *)
@@ -275,7 +299,7 @@ let count_cmd =
   Cmd.v (Cmd.info "count" ~doc:"Count the answers of a query through the circuit pipeline.")
     Term.(
       ret
-        (const (guarded run) $ metrics_arg $ graph_arg $ n_arg $ seed_arg $ query_arg
+        (const (guarded run) $ metrics_arg $ trace_arg $ graph_arg $ n_arg $ seed_arg $ query_arg
        $ budget_term $ fallback_arg))
 
 (* --- enum --- *)
@@ -317,7 +341,7 @@ let enum_cmd =
     (Cmd.info "enum" ~doc:"Enumerate query answers with constant delay (Theorem 24).")
     Term.(
       ret
-        (const (guarded run) $ metrics_arg $ graph_arg $ n_arg $ seed_arg $ query_arg
+        (const (guarded run) $ metrics_arg $ trace_arg $ graph_arg $ n_arg $ seed_arg $ query_arg
        $ limit_arg $ pair))
 
 (* --- pagerank --- *)
@@ -377,12 +401,67 @@ let pagerank_cmd =
     (Cmd.info "pagerank" ~doc:"PageRank rounds as a dynamic weighted query (Example 9).")
     Term.(
       ret
-        (const (guarded run) $ metrics_arg $ graph_arg $ n_arg $ seed_arg $ rounds_arg
+        (const (guarded run) $ metrics_arg $ trace_arg $ graph_arg $ n_arg $ seed_arg $ rounds_arg
        $ budget_term $ fallback_arg))
 
+(* --- explain --- *)
+
+let explain_cmd =
+  let semiring_arg =
+    Arg.(
+      value
+      & opt (enum [ ("nat", `Nat); ("int", `Int); ("bool", `Bool) ]) `Nat
+      & info [ "semiring" ] ~docv:"S"
+          ~doc:
+            "Semiring to compile under: $(b,nat), $(b,int) (a ring), or $(b,bool) (a \
+             finite semiring). Determines which constant-update permanent-gate \
+             strategy the dynamic circuit would pick.")
+  in
+  let run kind n seed qname budget semiring =
+    let _, inst = setup kind n seed in
+    let phi = make_query qname in
+    let fv = Logic.Formula.free_vars_unique phi in
+    let expr = Logic.Expr.Sum (fv, Logic.Expr.Guard phi) in
+    (* One compile under a recording; the span tree of the pipeline phases
+       (normalize → gaifman → orientation → subsets → finish) is the plan. *)
+    let explain (type a) (ops : a Semiring.Intf.ops) =
+      let (ev : a Engine.Eval.t), records =
+        Obs.Trace.with_recording (fun () ->
+            Engine.Eval.prepare ops ~tfa_rounds:1 ~budget inst (Db.Weights.bundle [])
+              expr)
+      in
+      print_string (Obs.Trace.render_forest (Obs.Trace.forest_of records));
+      Format.printf "pipeline: %a@." Engine.Compile.pp_meta ev.Engine.Eval.meta;
+      Format.printf "circuit:  %a@." Circuits.Circuit.pp_stats
+        (Circuits.Circuit.stats ev.Engine.Eval.circuit);
+      Printf.printf "permanent-gate strategy: %s\n"
+        (Circuits.Dyn.mode_name (Circuits.Dyn.pick_mode ops))
+    in
+    match semiring with
+    | `Nat -> explain (Intf.ops_of_module (module Instances.Nat))
+    | `Int -> explain (Intf.ops_of_ring (module Instances.Int_ring))
+    | `Bool -> explain (Intf.ops_of_finite (module Instances.Bool))
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Compile a query and print its explain plan: the hierarchical span tree of \
+          the compilation phases with wall-clock timings and coverage, the circuit \
+          statistics, and the permanent-gate update strategy the chosen semiring \
+          selects.")
+    Term.(
+      ret
+        (const (guarded run) $ metrics_arg $ trace_arg $ graph_arg $ n_arg $ seed_arg $ query_arg
+       $ budget_term $ semiring_arg))
+
 let () =
+  (* Interactive runs want the post-mortem flight recorder on stderr; the
+     SPARSEQ_FLIGHT env var (unset = silent, for the test suite) still wins. *)
+  if Sys.getenv_opt "SPARSEQ_FLIGHT" = None then
+    Obs.Trace.set_flight_dest Obs.Trace.Stderr;
   let info =
     Cmd.info "sparseq" ~version:"1.0.0"
       ~doc:"Aggregate queries on sparse databases (Torunczyk, PODS 2020)."
   in
-  exit (Cmd.eval (Cmd.group info [ stats_cmd; count_cmd; enum_cmd; pagerank_cmd ]))
+  exit
+    (Cmd.eval (Cmd.group info [ stats_cmd; count_cmd; enum_cmd; explain_cmd; pagerank_cmd ]))

@@ -122,10 +122,19 @@ let pick_mode (ops : 'a Semiring.Intf.ops) =
   | None, Some _ -> Ring
   | None, None -> General
 
+let mode_name = function General -> "general" | Ring -> "ring" | Finite -> "finite"
+
 let create ?mode (ops : 'a Semiring.Intf.ops) (c : 'a Circuit.t)
     (valuation : Circuit.input_key -> 'a) : 'a t =
   let open Semiring.Intf in
   let mode = match mode with Some m -> m | None -> pick_mode ops in
+  Obs.Trace.span ~scope:"dyn" "create"
+    ~attrs:
+      [
+        ("mode", Obs.Trace.S (mode_name mode));
+        ("gates", Obs.Trace.I (Array.length c.Circuit.nodes));
+      ]
+  @@ fun () ->
   let c = if mode = General then balance c else c in
   let n = Array.length c.Circuit.nodes in
   let values = Array.make n ops.zero in
@@ -364,18 +373,26 @@ let set_input t (key : Circuit.input_key) v =
         let t0 = if instrumented then Obs.now_ns () else 0. in
         let ops0 = t.update_ops in
         (try
-          t.values.(id) <- v;
-          enqueue_parents t id ~old_v ~new_v:v;
-          run_wave t
+          (* The wave span finishes (and lands in the flight recorder)
+             during unwinding, before the poisoning handler below fires —
+             so a post-mortem dump always contains the fatal wave. *)
+          Obs.Trace.span ~scope:"dyn" "update" (fun () ->
+              t.values.(id) <- v;
+              enqueue_parents t id ~old_v ~new_v:v;
+              run_wave t;
+              Obs.Trace.add_attr "touched" (Obs.Trace.I (t.update_ops - ops0)))
         with e ->
           t.poisoned <- Some (Printexc.to_string e);
+          Obs.Trace.dump_flight
+            ~reason:("Circuits.Dyn poisoned mid-wave: " ^ Printexc.to_string e)
+            ();
           raise e);
         if instrumented then begin
           let touched = t.update_ops - ops0 in
           Obs.Counter.incr m_updates;
           Obs.Counter.add m_touched touched;
           Obs.Histogram.observe h_touched (float_of_int touched);
-          Obs.Histogram.observe h_update_ns (Obs.now_ns () -. t0)
+          Obs.Histogram.observe h_update_ns (Obs.elapsed_ns t0)
         end
       end
 
@@ -407,39 +424,47 @@ let set_inputs t (assignments : (Circuit.input_key * 'a) list) =
       let ops0 = t.update_ops in
       let dirty = ref 0 in
       (try
-        (* Stamp phase: apply every write, remembering each input's
-           pre-batch value on first contact ([wave_in] doubles as the
-           stamped flag — inputs have no children, so they are never
-           heap-queued and the flag cannot collide with the wave's use). *)
-        let stamped =
-          List.filter_map
-            (fun (id, v) ->
-              if t.wave_in.(id) then begin
-                t.values.(id) <- v;
-                None
-              end
-              else if t.ops.Semiring.Intf.equal t.values.(id) v then None
-              else begin
-                t.wave_in.(id) <- true;
-                t.wave_saved.(id) <- t.values.(id);
-                t.values.(id) <- v;
-                Some id
-              end)
-            resolved
-        in
-        (* Propagation phase: one shared wave over every net change. *)
-        List.iter
-          (fun id ->
-            t.wave_in.(id) <- false;
-            let old_v = t.wave_saved.(id) and new_v = t.values.(id) in
-            if not (t.ops.Semiring.Intf.equal old_v new_v) then begin
-              incr dirty;
-              enqueue_parents t id ~old_v ~new_v
-            end)
-          stamped;
-        run_wave t
+        Obs.Trace.span ~scope:"dyn" "batch"
+          ~attrs:[ ("writes", Obs.Trace.I (List.length assignments)) ]
+          (fun () ->
+            (* Stamp phase: apply every write, remembering each input's
+               pre-batch value on first contact ([wave_in] doubles as the
+               stamped flag — inputs have no children, so they are never
+               heap-queued and the flag cannot collide with the wave's use). *)
+            let stamped =
+              List.filter_map
+                (fun (id, v) ->
+                  if t.wave_in.(id) then begin
+                    t.values.(id) <- v;
+                    None
+                  end
+                  else if t.ops.Semiring.Intf.equal t.values.(id) v then None
+                  else begin
+                    t.wave_in.(id) <- true;
+                    t.wave_saved.(id) <- t.values.(id);
+                    t.values.(id) <- v;
+                    Some id
+                  end)
+                resolved
+            in
+            (* Propagation phase: one shared wave over every net change. *)
+            List.iter
+              (fun id ->
+                t.wave_in.(id) <- false;
+                let old_v = t.wave_saved.(id) and new_v = t.values.(id) in
+                if not (t.ops.Semiring.Intf.equal old_v new_v) then begin
+                  incr dirty;
+                  enqueue_parents t id ~old_v ~new_v
+                end)
+              stamped;
+            run_wave t;
+            Obs.Trace.add_attr "dirty" (Obs.Trace.I !dirty);
+            Obs.Trace.add_attr "touched" (Obs.Trace.I (t.update_ops - ops0)))
       with e ->
         t.poisoned <- Some (Printexc.to_string e);
+        Obs.Trace.dump_flight
+          ~reason:("Circuits.Dyn poisoned mid-wave: " ^ Printexc.to_string e)
+          ();
         raise e);
       if instrumented then begin
         let touched = t.update_ops - ops0 in
@@ -448,7 +473,7 @@ let set_inputs t (assignments : (Circuit.input_key * 'a) list) =
         Obs.Counter.add m_touched touched;
         Obs.Histogram.observe h_batch_size (float_of_int (List.length assignments));
         Obs.Histogram.observe h_touched_batch (float_of_int touched);
-        Obs.Histogram.observe h_batch_ns (Obs.now_ns () -. t0)
+        Obs.Histogram.observe h_batch_ns (Obs.elapsed_ns t0)
       end
 
 (** Current value of an input gate. *)

@@ -84,6 +84,7 @@ let surjective_maps vars subset =
 let compile (type a) ~(zero : a) ~(one : a) ?(tfa_rounds = -1) ?(max_depth = 10)
     ?(budget = Robust.unlimited) ?(dynamic_rels = []) (inst : Db.Instance.t)
     (expr : a Logic.Expr.t) : a Circuits.Circuit.t * meta =
+  Obs.Trace.span ~scope:"compile" "compile" @@ fun () ->
   let monitor = if Robust.is_unlimited budget then None else Some (Robust.start budget) in
   let instrumented = Obs.is_enabled () in
   let t_start = if instrumented then Obs.now_ns () else 0. in
@@ -92,7 +93,7 @@ let compile (type a) ~(zero : a) ~(one : a) ?(tfa_rounds = -1) ?(max_depth = 10)
     if instrumented then begin
       let t0 = Obs.now_ns () in
       let r = f () in
-      acc := !acc +. (Obs.now_ns () -. t0);
+      acc := !acc +. Obs.elapsed_ns t0;
       r
     end
     else f ()
@@ -103,7 +104,12 @@ let compile (type a) ~(zero : a) ~(one : a) ?(tfa_rounds = -1) ?(max_depth = 10)
       Robust.bad_input "Compile: expression must be closed; free: %s"
         (String.concat "," fv));
   let t_norm = ref 0. in
-  let nf = timed t_norm (fun () -> Logic.Normal.of_expr expr) in
+  let nf =
+    Obs.Trace.span ~scope:"compile" "normalize" (fun () ->
+        let nf = timed t_norm (fun () -> Logic.Normal.of_expr expr) in
+        Obs.Trace.add_attr "summands" (Obs.Trace.I (List.length nf));
+        nf)
+  in
   let num_summands = List.length nf in
   let p =
     List.fold_left
@@ -113,12 +119,19 @@ let compile (type a) ~(zero : a) ~(one : a) ?(tfa_rounds = -1) ?(max_depth = 10)
   if p > 4 then
     Robust.unsupported "Compile: %d variables per summand; at most 4 supported" p;
   let n = Db.Instance.n inst in
-  let g = Db.Instance.gaifman inst in
+  let g = Obs.Trace.span ~scope:"compile" "gaifman" (fun () -> Db.Instance.gaifman inst) in
   let t_orient = ref 0. in
   let coloring =
-    timed t_orient (fun () ->
-        if p = 0 then { Graphs.Tfa.color = Array.make n 0; num_colors = min 1 n; rounds = 0 }
-        else Graphs.Tfa.low_treedepth_coloring ~rounds:tfa_rounds g ~p)
+    Obs.Trace.span ~scope:"compile" "orientation" (fun () ->
+        let c =
+          timed t_orient (fun () ->
+              if p = 0 then
+                { Graphs.Tfa.color = Array.make n 0; num_colors = min 1 n; rounds = 0 }
+              else Graphs.Tfa.low_treedepth_coloring ~rounds:tfa_rounds g ~p)
+        in
+        Obs.Trace.add_attr "colors" (Obs.Trace.I c.Graphs.Tfa.num_colors);
+        Obs.Trace.add_attr "rounds" (Obs.Trace.I c.Graphs.Tfa.rounds);
+        c)
   in
   let color = coloring.Graphs.Tfa.color in
   let holds r tuple =
@@ -152,6 +165,7 @@ let compile (type a) ~(zero : a) ~(one : a) ?(tfa_rounds = -1) ?(max_depth = 10)
         check_budget ()
       end)
     nf;
+  Obs.Trace.span ~scope:"compile" "subsets" (fun () ->
   if p > 0 && n > 0 then begin
     let colors_present =
       List.sort_uniq compare (Array.to_list (Array.sub color 0 n))
@@ -176,6 +190,16 @@ let compile (type a) ~(zero : a) ~(one : a) ?(tfa_rounds = -1) ?(max_depth = 10)
               nf
           in
           if relevant <> [] then begin
+            Obs.Trace.span ~scope:"compile" "subset"
+              ~attrs:
+                [
+                  ( "colors",
+                    Obs.Trace.S (String.concat "," (List.map string_of_int subset)) );
+                  ("verts", Obs.Trace.I (List.length verts));
+                ]
+            @@ fun () ->
+            let gates0 = Circuits.Circuit.builder_len b in
+            let shapes0 = !num_shapes in
             check_budget ();
             incr num_subsets;
             let verts = List.sort compare verts in
@@ -261,16 +285,27 @@ let compile (type a) ~(zero : a) ~(one : a) ?(tfa_rounds = -1) ?(max_depth = 10)
                   (surjective_maps vars subset))
               relevant;
             (* reset the shared index map *)
-            Array.iter (fun v -> old_to_new.(v) <- -1) orig
+            Array.iter (fun v -> old_to_new.(v) <- -1) orig;
+            Obs.Trace.add_attr "depth" (Obs.Trace.I d);
+            Obs.Trace.add_attr "shapes" (Obs.Trace.I (!num_shapes - shapes0));
+            Obs.Trace.add_attr "gates_emitted"
+              (Obs.Trace.I (Circuits.Circuit.builder_len b - gates0))
           end
         end)
       subsets
   end;
-  let output =
-    match !gates with [] -> Circuits.Circuit.const b zero | gs -> Circuits.Circuit.add b gs
+  Obs.Trace.add_attr "subsets" (Obs.Trace.I !num_subsets);
+  Obs.Trace.add_attr "shapes" (Obs.Trace.I !num_shapes));
+  let circuit =
+    Obs.Trace.span ~scope:"compile" "finish" (fun () ->
+        let output =
+          match !gates with
+          | [] -> Circuits.Circuit.const b zero
+          | gs -> Circuits.Circuit.add b gs
+        in
+        check_budget ();
+        Circuits.Circuit.finish b ~output)
   in
-  check_budget ();
-  let circuit = Circuits.Circuit.finish b ~output in
   if instrumented then begin
     Obs.Counter.incr m_runs;
     Obs.Counter.add m_shapes !num_shapes;
@@ -279,14 +314,20 @@ let compile (type a) ~(zero : a) ~(one : a) ?(tfa_rounds = -1) ?(max_depth = 10)
     Obs.Histogram.observe h_orientation_ns !t_orient;
     Obs.Histogram.observe h_decompose_ns !t_decomp;
     Obs.Histogram.observe h_emit_ns !t_emit;
-    Obs.Histogram.observe h_total_ns (Obs.now_ns () -. t_start);
+    Obs.Histogram.observe h_total_ns (Obs.elapsed_ns t_start);
     let s = Circuits.Circuit.stats circuit in
     Obs.Gauge.set_int g_gates s.Circuits.Circuit.gates;
     Obs.Gauge.set_int g_depth s.Circuits.Circuit.depth;
     Obs.Gauge.set_int g_fan_out s.Circuits.Circuit.max_fan_out;
     Obs.Gauge.set_int g_perm_rows s.Circuits.Circuit.max_perm_rows;
     Obs.Gauge.set_int g_num_perm s.Circuits.Circuit.num_perm;
-    Obs.Gauge.set_int g_inputs s.Circuits.Circuit.num_inputs
+    Obs.Gauge.set_int g_inputs s.Circuits.Circuit.num_inputs;
+    Obs.Trace.add_attr "p" (Obs.Trace.I p);
+    Obs.Trace.add_attr "colors" (Obs.Trace.I coloring.Graphs.Tfa.num_colors);
+    Obs.Trace.add_attr "gates" (Obs.Trace.I s.Circuits.Circuit.gates);
+    Obs.Trace.add_attr "depth" (Obs.Trace.I s.Circuits.Circuit.depth);
+    Obs.Trace.add_attr "num_perm" (Obs.Trace.I s.Circuits.Circuit.num_perm);
+    Obs.Trace.add_attr "max_perm_rows" (Obs.Trace.I s.Circuits.Circuit.max_perm_rows)
   end;
   ( circuit,
     {

@@ -33,6 +33,7 @@ let m_degraded = Obs.counter ~scope:"engine" "degraded"
 
 let prepare (type a) (ops : a Semiring.Intf.ops) ?mode ?tfa_rounds ?max_depth ?budget
     (inst : Db.Instance.t) (weights : a Db.Weights.bundle) (expr : a Logic.Expr.t) : a t =
+  Obs.Trace.span ~scope:"engine" "prepare" @@ fun () ->
   Obs.Timer.time h_prepare_ns @@ fun () ->
   let open Semiring.Intf in
   List.iter
@@ -74,6 +75,7 @@ let query (type a) (t : a t) (args : int list) : a =
   if List.length args <> List.length t.free_vars then
     invalid_arg "Eval.query: wrong number of arguments";
   Obs.Counter.incr m_queries;
+  Obs.Trace.span ~scope:"engine" "query" @@ fun () ->
   Obs.Timer.time h_query_ns @@ fun () ->
   let assignments =
     List.mapi (fun i a -> ((query_weight i, [ a ]), t.ops.Semiring.Intf.one)) args

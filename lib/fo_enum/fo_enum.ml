@@ -109,6 +109,9 @@ let materialize_guarded (inst : Db.Instance.t) (f : Logic.Formula.t) :
 let prepare ?order ?(dynamic = false) ?budget (inst : Db.Instance.t)
     (phi : Logic.Formula.t) : t =
   Obs.Counter.incr m_prepares;
+  Obs.Trace.span ~scope:"fo_enum" "prepare"
+    ~attrs:[ ("dynamic", Obs.Trace.B dynamic) ]
+  @@ fun () ->
   Obs.Timer.time h_prepare_ns @@ fun () ->
   if dynamic && not (Logic.Formula.is_quantifier_free phi) then
     Robust.unsupported "Fo_enum: dynamic mode requires a quantifier-free query";
@@ -184,8 +187,13 @@ let decode k (m : gen Provenance.Free.mono) : int array =
 
 (* Wrap an answer iterator so each movement that lands on an answer
    records its delay and its iterator-tick work into the "fo_enum"
-   histograms. Only built when metrics are enabled; the unobserved path
-   is the raw iterator. *)
+   histograms, and every [answer_sample_every]-th answer also as a trace
+   span (sampled: a full enumeration can yield millions of answers, and
+   the constant-delay claim needs only a sample to show up in Perfetto).
+   Only built when metrics are enabled; the unobserved path is the raw
+   iterator. *)
+let answer_sample_every = 64
+
 let observe_iter (it : 'a Enum.Iter.t) : 'a Enum.Iter.t =
   let observed move () =
     let t0 = Obs.now_ns () in
@@ -194,9 +202,12 @@ let observe_iter (it : 'a Enum.Iter.t) : 'a Enum.Iter.t =
     match it.Enum.Iter.current () with
     | Some _ ->
         Obs.Counter.incr m_answers;
-        Obs.Histogram.observe h_answer_ns (Obs.now_ns () -. t0);
-        Obs.Histogram.observe h_answer_work
-          (float_of_int (!Enum.Iter.ticks - ticks0))
+        let work = !Enum.Iter.ticks - ticks0 in
+        Obs.Histogram.observe h_answer_ns (Obs.elapsed_ns t0);
+        Obs.Histogram.observe h_answer_work (float_of_int work);
+        if Obs.Counter.get m_answers mod answer_sample_every = 0 then
+          Obs.Trace.complete ~scope:"fo_enum" "answer" ~start_ns:t0
+            ~attrs:[ ("work", Obs.Trace.I work) ]
     | None -> ()
   in
   {

@@ -191,6 +191,14 @@ let rec materialize ?budget (st : structure) (f : formula) : structure * formula
       (st, Not f)
   | Guarded (r, gvars, c, fs) ->
       Obs.Counter.incr m_connectives;
+      Obs.Trace.span ~scope:"nested" "connective"
+        ~attrs:
+          [
+            ("name", Obs.Trace.S c.Value.cname);
+            ("guard", Obs.Trace.S r);
+            ("args", Obs.Trace.I (List.length fs));
+          ]
+      @@ fun () ->
       let st, fs = materialize_list ?budget st fs in
       (* evaluate each argument as a query over the guard variables *)
       let queries =
@@ -259,6 +267,7 @@ and query_of ?budget (st : structure) (f : formula) ~(order : string list) :
     when all semirings involved are rings or finite. *)
 let eval ?budget (st : structure) (f : formula) : Value.t =
   Obs.Counter.incr m_evals;
+  Obs.Trace.span ~scope:"nested" "eval" @@ fun () ->
   Obs.Timer.time h_eval_ns @@ fun () ->
   let d = type_of st f in
   if free_vars f <> [] then

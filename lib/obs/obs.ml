@@ -25,8 +25,22 @@ let set_enabled b = enabled_flag := b
 let is_enabled () = !enabled_flag
 
 (** Wall-clock nanoseconds (µs resolution; the finest portable clock the
-    sealed environment provides). *)
-let now_ns () = Unix.gettimeofday () *. 1e9
+    sealed environment provides). The clock is indirect so tests can
+    simulate a non-monotonic wall clock ({!set_clock}). *)
+let default_clock () = Unix.gettimeofday () *. 1e9
+
+let clock = ref default_clock
+let now_ns () = !clock ()
+
+(** Override the clock (tests only); [None] restores the wall clock. *)
+let set_clock c = clock := Option.value ~default:default_clock c
+
+(** Nanoseconds elapsed since [t0], clamped to 0: the wall clock is not
+    monotonic, and a backwards step mid-measurement must not record a
+    negative (or, once bucketed, garbage) duration. *)
+let elapsed_ns t0 =
+  let d = now_ns () -. t0 in
+  if Float.is_nan d || d < 0. then 0. else d
 
 (* --- hand-rolled JSON (the environment has no Yojson) --- *)
 
@@ -53,14 +67,21 @@ module Json = struct
         | c -> Buffer.add_char buf c)
       s
 
+  (** The token a float serializes to. NaN (no meaningful magnitude) maps
+      to [null]; infinities clamp to the largest finite float, so a
+      diverging gauge still shows up as a number rather than poisoning the
+      document with a bare [inf] token. Every emitted token re-parses. *)
+  let float_token f =
+    if Float.is_nan f then "null"
+    else if f = Float.infinity then Printf.sprintf "%.17g" Float.max_float
+    else if f = Float.neg_infinity then Printf.sprintf "%.17g" (-.Float.max_float)
+    else Printf.sprintf "%.12g" f
+
   let rec write buf = function
     | Null -> Buffer.add_string buf "null"
     | B b -> Buffer.add_string buf (if b then "true" else "false")
     | I i -> Buffer.add_string buf (string_of_int i)
-    | F f ->
-        (* NaN and infinities are not JSON numbers *)
-        if Float.is_nan f || Float.abs f = Float.infinity then Buffer.add_string buf "null"
-        else Buffer.add_string buf (Printf.sprintf "%.12g" f)
+    | F f -> Buffer.add_string buf (float_token f)
     | S s ->
         Buffer.add_char buf '"';
         escape buf s;
@@ -203,12 +224,14 @@ module Timer = struct
   type t = Histogram.t
 
   (** Run [f], recording its wall-clock duration (also on exceptions, so a
-      failing phase still shows up in the dump). *)
+      failing phase still shows up in the dump). Durations are clamped at 0
+      ({!elapsed_ns}): a backwards wall-clock step mid-call records an empty
+      duration, not a garbage magnitude. *)
   let time (t : t) f =
     if not !enabled_flag then f ()
     else begin
       let t0 = now_ns () in
-      Fun.protect ~finally:(fun () -> Histogram.observe t (now_ns () -. t0)) f
+      Fun.protect ~finally:(fun () -> Histogram.observe t (elapsed_ns t0)) f
     end
 
   let observe_ns = Histogram.observe
@@ -319,6 +342,421 @@ let snapshot_json () =
   Json.O scope_objs
 
 let snapshot () = Json.to_string (snapshot_json ())
+
+(* --- hierarchical span tracing + the post-mortem flight recorder --- *)
+
+(** Zero-dependency hierarchical tracer. A {e span} is a named, scoped
+    wall-clock interval with key/value attributes and a parent (the span
+    that was open when it started); an {e event} is an instant record.
+    Both are gated on the same single {!set_enabled} flag as the metrics,
+    so the disabled cost of an instrumented operation stays one load and
+    one branch.
+
+    Finished records flow into two sinks:
+
+    - an optional in-memory {e recording} ({!with_recording},
+      {!start_recording}/{!stop_recording}), exported as Chrome
+      trace-event JSON ({!to_chrome}, loadable in Perfetto /
+      [chrome://tracing]) or folded into a span tree ({!forest_of}) for
+      explain plans;
+    - an always-on fixed-size ring — the {e flight recorder} — retaining
+      the last N records for post-mortem dumps ({!dump_flight}), fired
+      automatically when [Robust] raises a structured error or a dynamic
+      circuit is poisoned mid-wave. *)
+module Trace = struct
+  type attr = I of int | F of float | S of string | B of bool
+
+  type span = {
+    id : int;
+    parent : int;  (** id of the enclosing span, or -1 for roots *)
+    name : string;
+    scope : string;
+    start_ns : float;
+    mutable end_ns : float;
+    mutable attrs : (string * attr) list;
+    mutable err : string option;  (** the exception that ended the span *)
+  }
+
+  type event = {
+    ev_parent : int;
+    ev_name : string;
+    ev_scope : string;
+    ts_ns : float;
+    ev_attrs : (string * attr) list;
+  }
+
+  type record = RSpan of span | REvent of event
+
+  let record_ts = function RSpan s -> s.start_ns | REvent e -> e.ts_ns
+
+  let next_id = ref 0
+  let stack : span list ref = ref []
+
+  (* --- sinks --- *)
+
+  let collecting : record list ref option ref = ref None
+
+  (* The flight ring: [flight_buf.(i)] for i < capacity, written at
+     [flight_total mod capacity]; [flight_total] counts every record ever
+     written, so tests can observe the wrap. *)
+  let flight_buf = ref (Array.make 256 None)
+  let flight_total = ref 0
+
+  let flight_capacity () = Array.length !flight_buf
+
+  (** Resize the ring (dropping its current contents). *)
+  let set_flight_capacity n =
+    let n = max 1 n in
+    flight_buf := Array.make n None;
+    flight_total := 0
+
+  let reset_flight () =
+    Array.fill !flight_buf 0 (Array.length !flight_buf) None;
+    flight_total := 0
+
+  let emit r =
+    (match !collecting with Some acc -> acc := r :: !acc | None -> ());
+    let buf = !flight_buf in
+    buf.(!flight_total mod Array.length buf) <- Some r;
+    incr flight_total
+
+  (** The ring's current contents, oldest first. *)
+  let flight_records () =
+    let buf = !flight_buf in
+    let cap = Array.length buf in
+    let live = min !flight_total cap in
+    let start = !flight_total - live in
+    List.filter_map (fun i -> buf.((start + i) mod cap)) (List.init live Fun.id)
+
+  (* --- span lifecycle --- *)
+
+  let current_parent () = match !stack with s :: _ -> s.id | [] -> -1
+
+  (* Pop [s] off the open-span stack; tolerate (and discard) deeper spans
+     left open by a non-local exit, so one leaked span cannot misparent
+     every later record. *)
+  let pop_span s =
+    let rec drop = function
+      | top :: rest when top == s -> rest
+      | _ :: rest -> drop rest
+      | [] -> []
+    in
+    stack := drop !stack
+
+  (** Run [f] inside a span. The span is finished (and recorded) even when
+      [f] raises — the exception is noted on the span and re-raised. End
+      times are clamped to the start time, so a backwards wall-clock step
+      yields a zero-length span, not a negative one. *)
+  let span ?(attrs = []) ~scope name f =
+    if not !enabled_flag then f ()
+    else begin
+      incr next_id;
+      let s =
+        {
+          id = !next_id;
+          parent = current_parent ();
+          name;
+          scope;
+          start_ns = now_ns ();
+          end_ns = 0.;
+          attrs;
+          err = None;
+        }
+      in
+      stack := s :: !stack;
+      Fun.protect
+        ~finally:(fun () ->
+          let e = now_ns () in
+          s.end_ns <- (if e < s.start_ns then s.start_ns else e);
+          pop_span s;
+          emit (RSpan s))
+        (fun () ->
+          try f ()
+          with e ->
+            let bt = Printexc.get_raw_backtrace () in
+            s.err <- Some (Printexc.to_string e);
+            Printexc.raise_with_backtrace e bt)
+    end
+
+  (** Attach an attribute to the innermost open span (no-op when disabled
+      or outside every span). *)
+  let add_attr key v =
+    if !enabled_flag then
+      match !stack with s :: _ -> s.attrs <- (key, v) :: s.attrs | [] -> ()
+
+  (** Record an instant event under the innermost open span. *)
+  let event ?(attrs = []) ~scope name =
+    if !enabled_flag then
+      emit
+        (REvent
+           {
+             ev_parent = current_parent ();
+             ev_name = name;
+             ev_scope = scope;
+             ts_ns = now_ns ();
+             ev_attrs = attrs;
+           })
+
+  (** Record an already-measured interval (a span whose start was sampled
+      by the caller, e.g. one enumeration step) without entering it. *)
+  let complete ?(attrs = []) ~scope name ~start_ns =
+    if !enabled_flag then begin
+      incr next_id;
+      let e = now_ns () in
+      emit
+        (RSpan
+           {
+             id = !next_id;
+             parent = current_parent ();
+             name;
+             scope;
+             start_ns;
+             end_ns = (if e < start_ns then start_ns else e);
+             attrs;
+             err = None;
+           })
+    end
+
+  (* --- recordings --- *)
+
+  let start_recording () = collecting := Some (ref [])
+
+  (** Stop collecting; returns the recorded records in chronological
+      (completion) order. Without a matching {!start_recording}: []. *)
+  let stop_recording () =
+    match !collecting with
+    | None -> []
+    | Some acc ->
+        collecting := None;
+        List.rev !acc
+
+  (** [with_recording f] runs [f] with collection on; returns the result
+      and the records. The previous recording (if any) is restored, and
+      records collected here are also teed into it, so an enclosing
+      recording (e.g. the CLI's [--trace] capture) still sees them. *)
+  let with_recording f =
+    let saved = !collecting in
+    collecting := Some (ref []);
+    let finish () =
+      let records = stop_recording () in
+      collecting := saved;
+      (match saved with
+      | Some acc -> acc := List.rev_append records !acc
+      | None -> ());
+      records
+    in
+    match f () with
+    | r -> (r, finish ())
+    | exception e ->
+        ignore (finish ());
+        raise e
+
+  (* --- Chrome trace-event export --- *)
+
+  let attr_json = function
+    | I i -> Json.I i
+    | F f -> Json.F f
+    | S s -> Json.S s
+    | B b -> Json.B b
+
+  let args_json ~ids attrs err =
+    Json.O
+      (ids
+      @ (match err with Some m -> [ ("raised", Json.S m) ] | None -> [])
+      @ List.rev_map (fun (k, v) -> (k, attr_json v)) attrs)
+
+  (** Records as a Chrome trace-event document (the JSON object form, with
+      complete "X" events for spans and instant "i" events), loadable in
+      Perfetto or [chrome://tracing]. Timestamps are microseconds, as the
+      format requires. *)
+  let to_chrome (records : record list) : Json.t =
+    let one = function
+      | RSpan s ->
+          Json.O
+            [
+              ("name", Json.S s.name);
+              ("cat", Json.S s.scope);
+              ("ph", Json.S "X");
+              ("ts", Json.F (s.start_ns /. 1e3));
+              ("dur", Json.F ((s.end_ns -. s.start_ns) /. 1e3));
+              ("pid", Json.I 1);
+              ("tid", Json.I 1);
+              ( "args",
+                args_json
+                  ~ids:[ ("span_id", Json.I s.id); ("parent", Json.I s.parent) ]
+                  s.attrs s.err );
+            ]
+      | REvent e ->
+          Json.O
+            [
+              ("name", Json.S e.ev_name);
+              ("cat", Json.S e.ev_scope);
+              ("ph", Json.S "i");
+              ("s", Json.S "t");
+              ("ts", Json.F (e.ts_ns /. 1e3));
+              ("pid", Json.I 1);
+              ("tid", Json.I 1);
+              ("args", args_json ~ids:[ ("parent", Json.I e.ev_parent) ] e.ev_attrs None);
+            ]
+    in
+    Json.O
+      [
+        ("traceEvents", Json.A (List.map one records));
+        ("displayTimeUnit", Json.S "ns");
+      ]
+
+  (* --- span trees (explain plans) --- *)
+
+  type tree = { sp : span; children : tree list }
+
+  (** Fold a recording into its span forest: roots are the spans whose
+      parent is not in the recording; children are ordered by start time.
+      Events are dropped (they carry no duration). *)
+  let forest_of (records : record list) : tree list =
+    let spans = List.filter_map (function RSpan s -> Some s | REvent _ -> None) records in
+    let ids = Hashtbl.create 64 in
+    List.iter (fun s -> Hashtbl.replace ids s.id ()) spans;
+    let by_parent = Hashtbl.create 64 in
+    List.iter
+      (fun s ->
+        if Hashtbl.mem ids s.parent then
+          Hashtbl.replace by_parent s.parent
+            (s :: Option.value ~default:[] (Hashtbl.find_opt by_parent s.parent)))
+      spans;
+    let rec build s =
+      let kids =
+        List.sort
+          (fun a b -> compare a.start_ns b.start_ns)
+          (Option.value ~default:[] (Hashtbl.find_opt by_parent s.id))
+      in
+      { sp = s; children = List.map build kids }
+    in
+    spans
+    |> List.filter (fun s -> not (Hashtbl.mem ids s.parent))
+    |> List.sort (fun a b -> compare a.start_ns b.start_ns)
+    |> List.map build
+
+  let duration_ns s = s.end_ns -. s.start_ns
+
+  let attr_to_string = function
+    | I i -> string_of_int i
+    | F f -> Printf.sprintf "%.12g" f
+    | S s -> s
+    | B b -> string_of_bool b
+
+  let attrs_to_string attrs =
+    String.concat " "
+      (List.rev_map (fun (k, v) -> Printf.sprintf "%s=%s" k (attr_to_string v)) attrs)
+
+  (** Human-readable span tree — the explain-plan surface. Each line is
+      one span with its duration and attributes; nodes with children also
+      report {e coverage}: how much of the parent interval its children
+      account for. *)
+  let render_forest ?(max_children = 12) (forest : tree list) : string =
+    let buf = Buffer.create 1024 in
+    let rec go indent { sp; children } =
+      Buffer.add_string buf
+        (Printf.sprintf "%s%-*s %10.3fms  %s%s\n" indent
+           (max 1 (32 - String.length indent))
+           (sp.scope ^ "/" ^ sp.name)
+           (duration_ns sp /. 1e6)
+           (attrs_to_string sp.attrs)
+           (match sp.err with Some m -> "  RAISED " ^ m | None -> ""));
+      let shown, hidden =
+        if List.length children <= max_children then (children, [])
+        else begin
+          let by_dur =
+            List.sort (fun a b -> compare (duration_ns b.sp) (duration_ns a.sp)) children
+          in
+          let top = List.filteri (fun i _ -> i < max_children) by_dur in
+          ( List.filter (fun c -> List.memq c top) children,
+            List.filteri (fun i _ -> i >= max_children) by_dur )
+        end
+      in
+      List.iter (go (indent ^ "  ")) shown;
+      if hidden <> [] then
+        Buffer.add_string buf
+          (Printf.sprintf "%s  … %d more spans (%.3fms)\n" indent (List.length hidden)
+             (List.fold_left (fun a c -> a +. duration_ns c.sp) 0. hidden /. 1e6));
+      if children <> [] && duration_ns sp > 0. then
+        Buffer.add_string buf
+          (Printf.sprintf "%s  (children cover %.1f%% of %s)\n" indent
+             (100.
+             *. List.fold_left (fun a c -> a +. duration_ns c.sp) 0. children
+             /. duration_ns sp)
+             sp.name)
+    in
+    List.iter (go "") forest;
+    Buffer.contents buf
+
+  (* --- the post-mortem dump --- *)
+
+  type dump_dest = Silent | Stderr | File of string
+
+  (* Where automatic dumps go. Library-embedding default: Silent (tests
+     raise classified errors on purpose); the CLI and the bench harness
+     arm Stderr. SPARSEQ_FLIGHT=stderr|PATH overrides either way. *)
+  let flight_dest =
+    ref
+      (match Sys.getenv_opt "SPARSEQ_FLIGHT" with
+      | Some "stderr" -> Stderr
+      | Some "" | None -> Silent
+      | Some path -> File path)
+
+  let set_flight_dest d = flight_dest := d
+
+  (** The flight recorder's contents as a report: the last N records,
+      oldest first, timestamps relative to the first retained record. *)
+  let flight_report ~reason () =
+    let records = flight_records () in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (Printf.sprintf "=== sparseq flight recorder: %s (last %d of %d records) ===\n" reason
+         (List.length records) !flight_total);
+    (match records with
+    | [] -> Buffer.add_string buf "  (no records; tracing disabled or nothing ran)\n"
+    | first :: _ ->
+        let t0 = record_ts first in
+        List.iter
+          (fun r ->
+            match r with
+            | RSpan s ->
+                Buffer.add_string buf
+                  (Printf.sprintf "  [+%10.3fms] span  %s/%s (id %d, parent %d) %.3fms %s%s\n"
+                     ((s.start_ns -. t0) /. 1e6)
+                     s.scope s.name s.id s.parent (duration_ns s /. 1e6)
+                     (attrs_to_string s.attrs)
+                     (match s.err with Some m -> "  RAISED " ^ m | None -> ""))
+            | REvent e ->
+                Buffer.add_string buf
+                  (Printf.sprintf "  [+%10.3fms] event %s/%s (parent %d) %s\n"
+                     ((e.ts_ns -. t0) /. 1e6)
+                     e.ev_scope e.ev_name e.ev_parent (attrs_to_string e.ev_attrs)))
+          records);
+    Buffer.add_string buf "=== end of flight recorder ===\n";
+    Buffer.contents buf
+
+  (** Dump the flight recorder to the configured destination. Called
+      automatically on structured errors and mid-wave poisonings; safe to
+      call by hand after any failure. *)
+  let dump_flight ~reason () =
+    match !flight_dest with
+    | Silent -> ()
+    | Stderr -> prerr_string (flight_report ~reason ())
+    | File path ->
+        let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (flight_report ~reason ()))
+
+  (** Hook for [Robust]: record the structured error as an event and fire
+      the post-mortem dump. *)
+  let note_error ~kind msg =
+    if !enabled_flag then begin
+      event ~scope:"robust" ~attrs:[ ("kind", S kind); ("msg", S msg) ] "error";
+      dump_flight ~reason:(kind ^ ": " ^ msg) ()
+    end
+end
 
 (** Plain-text dump, one metric per line. *)
 let snapshot_human () =

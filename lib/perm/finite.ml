@@ -152,6 +152,9 @@ let set_many t (updates : (int * int * 'a) list) =
   | [ (row, col, v) ] -> set t ~row ~col v
   | _ ->
       Obs.Counter.incr m_batches;
+      Obs.Trace.span ~scope:"perm" "finite.flush"
+        ~attrs:[ ("writes", Obs.Trace.I (List.length updates)); ("k", Obs.Trace.I t.k) ]
+      @@ fun () ->
       List.iter
         (fun (row, col, _) ->
           if row < 0 || row >= t.k then invalid_arg "Finite_perm.set_many: bad row";

@@ -113,6 +113,9 @@ let set_many t (updates : (int * int * 'a) list) =
   | [ (row, col, v) ] -> set t ~row ~col v
   | _ ->
       Obs.Counter.incr m_batches;
+      Obs.Trace.span ~scope:"perm" "segtree.flush"
+        ~attrs:[ ("writes", Obs.Trace.I (List.length updates)); ("k", Obs.Trace.I t.k) ]
+      @@ fun () ->
       List.iter
         (fun (row, col, v) ->
           if row < 0 || row >= t.k then invalid_arg "Segtree.set_many: bad row";

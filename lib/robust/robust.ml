@@ -73,6 +73,9 @@ let count_error e = Obs.Counter.incr (List.assoc (constructor_name e) raised_cou
 
 let error e =
   count_error e;
+  (* Post-mortem hook: record the failure in the trace stream and flush
+     the flight recorder (a no-op unless a dump destination is armed). *)
+  Obs.Trace.note_error ~kind:(constructor_name e) (message e);
   raise (Error e)
 let bad_input fmt = Printf.ksprintf (fun s -> error (Bad_input s)) fmt
 let unsupported fmt = Printf.ksprintf (fun s -> error (Unsupported_fragment s)) fmt

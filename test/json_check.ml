@@ -1,0 +1,31 @@
+(* json_check FILE... — validate that each file is exactly one
+   well-formed JSON value using the same parser the test suite applies
+   to metrics snapshots and traces. CI runs this over the emitted
+   .trace.json artifacts; any failure exits nonzero. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if args = [] then begin
+    prerr_endline "usage: json_check FILE...";
+    exit 2
+  end;
+  let failed = ref false in
+  List.iter
+    (fun path ->
+      match Json_parse.validate (String.trim (read_file path)) with
+      | Ok () -> Printf.printf "%s: ok\n" path
+      | Error msg ->
+          Printf.eprintf "%s: %s\n" path msg;
+          failed := true
+      | exception Sys_error msg ->
+          Printf.eprintf "%s\n" msg;
+          failed := true)
+    args;
+  if !failed then exit 1

@@ -1,0 +1,109 @@
+(* Minimal recursive-descent JSON validator, shared between the test
+   suite (snapshot / trace well-formedness checks) and the json_check
+   executable CI runs over emitted trace files. It consumes exactly one
+   JSON value and reports the first syntax error with its offset; no
+   Alcotest dependency so the standalone checker stays tiny. *)
+
+exception Bad of int * string
+
+(** [validate s] returns [Ok ()] if [s] is exactly one well-formed JSON
+    value (numbers must be accepted by [float_of_string]), or
+    [Error message] pointing at the offending byte offset. *)
+let validate s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (!pos, msg)) in
+  let skip_ws () =
+    while
+      !pos < len && (s.[!pos] = ' ' || s.[!pos] = '\n' || s.[!pos] = '\r' || s.[!pos] = '\t')
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    if peek () = Some c then advance () else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal lit = String.iter (fun c -> expect c) lit in
+  let string_lit () =
+    expect '"';
+    let continue = ref true in
+    while !continue do
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' ->
+          advance ();
+          continue := false
+      | Some '\\' ->
+          advance ();
+          advance ()
+      | Some _ -> advance ()
+    done
+  in
+  let number () =
+    let is_num c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    let start = !pos in
+    while match peek () with Some c when is_num c -> true | _ -> false do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some _ -> ()
+    | None -> fail "bad number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then advance ()
+        else begin
+          let continue = ref true in
+          while !continue do
+            skip_ws ();
+            string_lit ();
+            skip_ws ();
+            expect ':';
+            value ();
+            skip_ws ();
+            if peek () = Some ',' then advance ()
+            else begin
+              expect '}';
+              continue := false
+            end
+          done
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then advance ()
+        else begin
+          let continue = ref true in
+          while !continue do
+            value ();
+            skip_ws ();
+            if peek () = Some ',' then advance ()
+            else begin
+              expect ']';
+              continue := false
+            end
+          done
+        end
+    | Some '"' -> string_lit ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some _ -> number ()
+    | None -> fail "empty input"
+  in
+  match
+    value ();
+    skip_ws ();
+    if !pos <> len then fail "trailing garbage"
+  with
+  | () -> Ok ()
+  | exception Bad (at, msg) -> Error (Printf.sprintf "JSON parse error at %d: %s" at msg)

@@ -14,5 +14,6 @@ let () =
       ("nested", Test_nested.suite);
       ("robust", Test_robust.suite);
       ("obs", Test_obs.suite);
+      ("trace", Test_trace.suite);
       ("props", Test_props.suite);
     ]

@@ -91,103 +91,35 @@ let enabled_gate () =
   check_int "disabled histogram frozen" 0 (Obs.Histogram.count h);
   check "disabled timer still runs the thunk" true (!ran && r = 42)
 
-(* --- snapshot JSON well-formedness (recursive-descent parser) --- *)
+(* --- snapshot JSON well-formedness (shared recursive-descent parser) --- *)
 
-(* minimal JSON reader: returns () having consumed one valid value, or
-   fails; enough to prove the snapshot is machine-parseable *)
 let parse_json s =
-  let pos = ref 0 in
-  let len = String.length s in
-  let peek () = if !pos < len then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let fail msg = Alcotest.failf "JSON parse error at %d: %s" !pos msg in
-  let skip_ws () =
-    while !pos < len && (s.[!pos] = ' ' || s.[!pos] = '\n' || s.[!pos] = '\t') do
-      advance ()
-    done
-  in
-  let expect c =
-    if peek () = Some c then advance () else fail (Printf.sprintf "expected %c" c)
-  in
-  let literal lit =
-    String.iter (fun c -> expect c) lit
-  in
-  let string_lit () =
-    expect '"';
-    let continue = ref true in
-    while !continue do
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance (); continue := false
-      | Some '\\' -> advance (); advance ()
-      | Some _ -> advance ()
-    done
-  in
-  let number () =
-    let is_num c = (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E' in
-    let start = !pos in
-    while (match peek () with Some c when is_num c -> true | _ -> false) do
-      advance ()
-    done;
-    if !pos = start then fail "expected number";
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some _ -> ()
-    | None -> fail "bad number"
-  in
-  let rec value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then advance ()
-        else begin
-          let continue = ref true in
-          while !continue do
-            skip_ws ();
-            string_lit ();
-            skip_ws ();
-            expect ':';
-            value ();
-            skip_ws ();
-            if peek () = Some ',' then advance () else (expect '}'; continue := false)
-          done
-        end
-    | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then advance ()
-        else begin
-          let continue = ref true in
-          while !continue do
-            value ();
-            skip_ws ();
-            if peek () = Some ',' then advance () else (expect ']'; continue := false)
-          done
-        end
-    | Some '"' -> string_lit ()
-    | Some 't' -> literal "true"
-    | Some 'f' -> literal "false"
-    | Some 'n' -> literal "null"
-    | Some _ -> number ()
-    | None -> fail "empty input"
-  in
-  value ();
-  skip_ws ();
-  if !pos <> len then fail "trailing garbage"
+  match Json_parse.validate s with Ok () -> () | Error msg -> Alcotest.fail msg
 
 let snapshot_well_formed () =
   (* populate a few metrics, including a name needing escaping *)
   Obs.Counter.incr (Obs.counter ~scope:"test_obs_a" "with \"quote\"");
   Obs.Histogram.observe (Obs.histogram ~scope:"test_obs_a" "lat") 123.;
   parse_json (Obs.snapshot ());
-  (* special floats must not leak as bare nan/inf tokens *)
+  (* special floats must not leak as bare nan/inf tokens: nan becomes
+     null, infinities clamp to the finite float range *)
   let j =
     Obs.Json.to_string
-      (Obs.Json.A [ Obs.Json.F Float.nan; Obs.Json.F Float.infinity; Obs.Json.F 1.5 ])
+      (Obs.Json.A
+         [
+           Obs.Json.F Float.nan;
+           Obs.Json.F Float.infinity;
+           Obs.Json.F Float.neg_infinity;
+           Obs.Json.F 1.5;
+         ])
   in
-  Alcotest.(check string) "nan/inf serialize as null" "[null,null,1.5]" j;
-  parse_json j
+  parse_json j;
+  check "nan serializes as null" true (String.sub j 1 4 = "null");
+  check "no bare inf token leaks" true
+    (not
+       (String.exists (fun c -> c = 'i') j
+       || String.exists (fun c -> c = 'I') j
+       || String.exists (fun c -> c = 'n') (String.sub j 5 (String.length j - 5))))
 
 (* --- compile gauges match the real circuit --- *)
 
