@@ -147,7 +147,15 @@ let to_float = function F f -> f | _ -> nan
 let to_bool = function B b -> b | _ -> false
 let to_string = function S s -> s | _ -> ""
 
-type workload = { w_name : string; p50 : float; p99 : float; verified : bool }
+type workload = {
+  w_name : string;
+  p50 : float;
+  p99 : float;
+  verified : bool;
+  gates : float;
+  gates_pre : float;  (** nan when the baseline predates the optimizer fields *)
+  shrink : float;  (** opt_shrink_pct; nan when absent *)
+}
 
 let load path =
   let ic = open_in_bin path in
@@ -170,6 +178,9 @@ let load path =
               p50 = to_float (member "update_p50_ns" w);
               p99 = to_float (member "update_p99_ns" w);
               verified = to_bool (member "verified" w);
+              gates = to_float (member "gates" w);
+              gates_pre = to_float (member "gates_pre_opt" w);
+              shrink = to_float (member "opt_shrink_pct" w);
             })
           ws
     | _ -> []
@@ -227,6 +238,17 @@ let () =
   if !warnings > 0 then
     Printf.printf "%d workload(s) above the %.0f%% regression threshold\n" !warnings !threshold
   else if comparable then Printf.printf "no regressions above %.0f%%\n" !threshold;
+  (* informational: optimizer shrink, for baselines that record it (older
+     baselines without the pre/post-opt fields simply skip this listing) *)
+  let with_opt = List.filter (fun w -> not (Float.is_nan w.shrink)) new_ws in
+  if with_opt <> [] then begin
+    Printf.printf "optimizer shrink (%s):\n" new_path;
+    List.iter
+      (fun w ->
+        Printf.printf "  %-16s gates %.0f -> %.0f  (%.1f%%)\n" w.w_name w.gates_pre
+          w.gates w.shrink)
+      with_opt
+  end;
   if !unverified > 0 then begin
     Printf.eprintf "%d unverified workload result(s)\n" !unverified;
     exit 1

@@ -14,14 +14,21 @@
    values to agree exactly, and (in General mode) require the batched side
    to beat the sequential loop — the PR 3 batched-propagation claim.
 
-   Run with: dune exec bench/main.exe -- --out BENCH_pr3.json
+   The eval workloads also prepare a twin with the optimizer disabled
+   (--opt=none path) and record pre/post-opt gate counts plus the eval and
+   per-update-p50 speedups the default pipeline buys; on triangle_nat and
+   path2_enum the shrink must reach 20% with eval and p50 no worse than
+   the unoptimized twin, and both twins must agree (and match the
+   reference) or the workload counts as failed.
+
+   Run with: dune exec bench/main.exe -- --out BENCH_pr5.json
              dune exec bench/main.exe -- --smoke wdeg_ring path2_enum
 
-   The output (default BENCH_pr3.json) carries per-workload numbers, the
+   The output (default BENCH_pr5.json) carries per-workload numbers, the
    full Obs metrics snapshot, and the measured overhead of the metrics
    layer itself (enabled vs disabled), schema "sparseq-bench/v1".
    bench/compare.exe diffs two baseline files and warns on update-latency
-   regressions (CI runs it against the committed BENCH_pr2.json).         *)
+   regressions (CI runs it against the committed BENCH_pr3.json).         *)
 
 open Semiring
 
@@ -54,6 +61,10 @@ let quantile sorted q =
   let n = Array.length sorted in
   if n = 0 then 0. else sorted.(min (n - 1) (int_of_float (float_of_int n *. q)))
 
+(* unoptimized-p50 / optimized-p50; an optimized p50 of 0 (below the ~1µs
+   wall-clock resolution) counts as parity, not a division blow-up *)
+let p50_ratio ~raw ~opt = if opt <= 0. then 1. else raw /. opt
+
 (* --- per-workload results --- *)
 
 type result = {
@@ -67,22 +78,47 @@ type result = {
   p99_ns : float;
   verified : bool;  (** small instance agrees with Engine.Reference *)
   detail : string;
+  opt_cmp : opt_cmp option;  (** optimizer twin comparison, when measured *)
+}
+
+(* Default-pipeline vs --opt=none twin on the same instance and weights:
+   gate shrink, full-evaluation speedup, per-update p50 speedup, and exact
+   value agreement between the two circuits. *)
+and opt_cmp = {
+  gates_pre : int;
+  shrink : float;  (** percent of gates removed by the default pipeline *)
+  eval_speedup : float;  (** unoptimized eval wall / optimized eval wall *)
+  p50_speedup : float;  (** unoptimized update p50 / optimized update p50 *)
+  opt_ok : bool;  (** twins agree (and enforcement thresholds hold, if any) *)
+  opt_detail : string;
 }
 
 let result_json r =
   Obs.Json.O
-    [
-      ("name", Obs.Json.S r.name);
-      ("n", Obs.Json.I r.n);
-      ("wall_s", Obs.Json.F r.wall_s);
-      ("gates", Obs.Json.I r.gates);
-      ("depth", Obs.Json.I r.depth);
-      ("updates", Obs.Json.I r.updates);
-      ("update_p50_ns", Obs.Json.F r.p50_ns);
-      ("update_p99_ns", Obs.Json.F r.p99_ns);
-      ("verified", Obs.Json.B r.verified);
-      ("detail", Obs.Json.S r.detail);
-    ]
+    ([
+       ("name", Obs.Json.S r.name);
+       ("n", Obs.Json.I r.n);
+       ("wall_s", Obs.Json.F r.wall_s);
+       ("gates", Obs.Json.I r.gates);
+       ("depth", Obs.Json.I r.depth);
+       ("updates", Obs.Json.I r.updates);
+       ("update_p50_ns", Obs.Json.F r.p50_ns);
+       ("update_p99_ns", Obs.Json.F r.p99_ns);
+       ("verified", Obs.Json.B r.verified);
+       ("detail", Obs.Json.S r.detail);
+     ]
+    @
+    match r.opt_cmp with
+    | None -> []
+    | Some o ->
+        [
+          ("gates_pre_opt", Obs.Json.I o.gates_pre);
+          ("opt_shrink_pct", Obs.Json.F o.shrink);
+          ("opt_eval_speedup", Obs.Json.F o.eval_speedup);
+          ("opt_p50_speedup", Obs.Json.F o.p50_speedup);
+          ("opt_ok", Obs.Json.B o.opt_ok);
+          ("opt_detail", Obs.Json.S o.opt_detail);
+        ])
 
 (* --- shared query shapes --- *)
 
@@ -117,7 +153,10 @@ let phi_path2 =
 (* Build weights, prepare on a perf instance, hammer random updates, then
    replay the protocol on a small instance checking every query (or the
    closed value) against Engine.Reference after shared-state updates. *)
-let eval_workload (type a) ~name ~(ops : a Intf.ops) ?mode ~(mk : int -> a)
+(* [opt_enforce]: minimum gate-shrink percent the default pipeline must
+   reach on this workload (with eval and update p50 no worse than the
+   unoptimized twin); [None] records the comparison without enforcing. *)
+let eval_workload (type a) ~name ~(ops : a Intf.ops) ?mode ?opt_enforce ~(mk : int -> a)
     ~(graph : int -> Graphs.Graph.t) ~(expr : int -> a Logic.Expr.t) ~n_perf ~n_verify
     ~updates ~seed () : result =
   let make n =
@@ -137,6 +176,76 @@ let eval_workload (type a) ~name ~(ops : a Intf.ops) ?mode ~(mk : int -> a)
   let samples =
     time_updates updates (fun _ ->
         Engine.Eval.update ev "w" [ Random.State.int rng n ] (mk (Random.State.int rng 1000)))
+  in
+  (* optimizer twin: the same prepare with the pipeline disabled. Updates
+     above did not write through to the bundle, so a full Circuit.eval of
+     both circuits against the bundle compares the twins on identical
+     weights. *)
+  let ev_raw =
+    Engine.Eval.prepare ops ?mode ~opt:Opt.none ~tfa_rounds:1 inst weights (expr n)
+  in
+  let valuation (wname, tuple) =
+    if String.starts_with ~prefix:Db.Weights.reserved_prefix wname then ops.Intf.zero
+    else Db.Weights.get (Db.Weights.find weights wname) tuple
+  in
+  let time_eval circuit =
+    let reps = 3 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (Circuits.Circuit.eval ops circuit valuation)
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let v_opt = Circuits.Circuit.eval ops ev.Engine.Eval.circuit valuation in
+  let v_raw = Circuits.Circuit.eval ops ev_raw.Engine.Eval.circuit valuation in
+  let twins_agree = ops.Intf.equal v_opt v_raw in
+  let t_opt = time_eval ev.Engine.Eval.circuit in
+  let t_raw = time_eval ev_raw.Engine.Eval.circuit in
+  let rng_raw = Random.State.make [| seed; 1 |] in
+  let samples_raw =
+    time_updates updates (fun _ ->
+        Engine.Eval.update ev_raw "w"
+          [ Random.State.int rng_raw n ]
+          (mk (Random.State.int rng_raw 1000)))
+  in
+  let gates_pre = (Engine.Eval.stats ev_raw).Circuits.Circuit.gates in
+  let shrink =
+    if gates_pre = 0 then 0.
+    else
+      100.
+      *. float_of_int (gates_pre - s.Circuits.Circuit.gates)
+      /. float_of_int gates_pre
+  in
+  let eval_speedup = t_raw /. Float.max 1e-9 t_opt in
+  let p50_speedup =
+    p50_ratio ~raw:(quantile samples_raw 0.5) ~opt:(quantile samples 0.5)
+  in
+  let opt_ok =
+    twins_agree
+    &&
+    match opt_enforce with
+    | None -> true
+    | Some min_shrink ->
+        (* "no worse" with a noise allowance on the per-update p50 *)
+        shrink >= min_shrink && eval_speedup >= 0.95 && p50_speedup >= 0.8
+  in
+  let opt_cmp =
+    Some
+      {
+        gates_pre;
+        shrink;
+        eval_speedup;
+        p50_speedup;
+        opt_ok;
+        opt_detail =
+          Printf.sprintf
+            "gates %d->%d (%.1f%% shrink) eval x%.2f p50 x%.2f; twins %s%s" gates_pre
+            s.Circuits.Circuit.gates shrink eval_speedup p50_speedup
+            (if twins_agree then "agree" else "DISAGREE")
+            (match opt_enforce with
+            | Some m when not opt_ok -> Printf.sprintf " BELOW required %.0f%% shrink" m
+            | _ -> "");
+      }
   in
   (* verify phase: updates write through to the bundle so the reference
      evaluator sees the same weights as the circuit *)
@@ -169,11 +278,14 @@ let eval_workload (type a) ~name ~(ops : a Intf.ops) ?mode ~(mk : int -> a)
     updates;
     p50_ns = quantile samples 0.5;
     p99_ns = quantile samples 0.99;
-    verified = !mismatches = 0;
+    verified = !mismatches = 0 && opt_ok;
     detail =
       (if !mismatches = 0 then
          Printf.sprintf "reference agreed on n=%d after 25 shared updates" nv
-       else Printf.sprintf "%d reference mismatches on n=%d" !mismatches nv);
+       else Printf.sprintf "%d reference mismatches on n=%d" !mismatches nv)
+      ^ Printf.sprintf "; opt: %s"
+          (match opt_cmp with Some o -> o.opt_detail | None -> "skipped");
+    opt_cmp;
   }
 
 (* --- the batched-update workloads (PR 3 tentpole) --- *)
@@ -263,6 +375,7 @@ let batch_workload (type a) ~name ~(ops : a Intf.ops) ~mode ~(mk : int -> a)
         (if agree then "agree" else "DISAGREE")
         (if ref_ok then "agreed" else "DISAGREED")
         nv;
+    opt_cmp = None;
   }
 
 (* --- the Theorem 24 dynamic enumeration workload --- *)
@@ -283,6 +396,45 @@ let path2_workload ~smoke ~seed () : result =
         let tup = edges.((i / 2) mod Array.length edges) in
         Fo_enum.set_tuple t ~gaifman "E" tup (i mod 2 = 1))
   in
+  (* optimizer twin on the same (live) instance: enumeration rebuilds the
+     iterator DAG in time linear in the circuit, so the full-answers pass
+     is the eval observable; set_tuple is O(1) on the instance either way. *)
+  let t_raw = Fo_enum.prepare ~dynamic:true ~opt:Opt.none inst phi_path2 in
+  let gates_pre = (Fo_enum.stats t_raw).Circuits.Circuit.gates in
+  let enum_opt_s, answers_opt = time (fun () -> Fo_enum.answers t) in
+  let enum_raw_s, answers_raw = time (fun () -> Fo_enum.answers t_raw) in
+  let twins_agree =
+    List.sort compare (List.map Array.to_list answers_opt)
+    = List.sort compare (List.map Array.to_list answers_raw)
+  in
+  let samples_raw =
+    let gaifman_raw = Db.Instance.gaifman (Fo_enum.instance t_raw) in
+    let edges_raw = Array.of_list (Db.Instance.tuples (Fo_enum.instance t_raw) "E") in
+    time_updates updates (fun i ->
+        let tup = edges_raw.((i / 2) mod Array.length edges_raw) in
+        Fo_enum.set_tuple t_raw ~gaifman:gaifman_raw "E" tup (i mod 2 = 1))
+  in
+  let shrink =
+    if gates_pre = 0 then 0.
+    else
+      100.
+      *. float_of_int (gates_pre - s.Circuits.Circuit.gates)
+      /. float_of_int gates_pre
+  in
+  let eval_speedup = enum_raw_s /. Float.max 1e-9 enum_opt_s in
+  let p50_speedup =
+    p50_ratio ~raw:(quantile samples_raw 0.5) ~opt:(quantile samples 0.5)
+  in
+  (* enforced: >=20% shrink, enumeration and update p50 no worse (with a
+     noise allowance on the O(1) instance-level updates) *)
+  let opt_ok =
+    twins_agree && shrink >= 20. && eval_speedup >= 0.95 && p50_speedup >= 0.8
+  in
+  let opt_detail =
+    Printf.sprintf "gates %d->%d (%.1f%% shrink) enum x%.2f p50 x%.2f; twins %s" gates_pre
+      s.Circuits.Circuit.gates shrink eval_speedup p50_speedup
+      (if twins_agree then "agree" else "DISAGREE")
+  in
   (* verify: after removing a few edges, the enumerated answers must match
      the brute-force answers on the live instance *)
   let instv = Db.Instance.of_graph (Graphs.Gen.grid 5 5) in
@@ -302,12 +454,15 @@ let path2_workload ~smoke ~seed () : result =
     updates;
     p50_ns = quantile samples 0.5;
     p99_ns = quantile samples 0.99;
-    verified = got = want;
+    verified = got = want && opt_ok;
     detail =
       (if got = want then
          Printf.sprintf "enumeration matched reference (%d answers after edge removals)"
            (List.length want)
-       else "enumerated answers disagree with reference");
+       else "enumerated answers disagree with reference")
+      ^ "; opt: " ^ opt_detail;
+    opt_cmp =
+      Some { gates_pre; shrink; eval_speedup; p50_speedup; opt_ok; opt_detail };
   }
 
 (* --- metrics-layer overhead (the ≤5% budget) --- *)
@@ -360,14 +515,14 @@ let overhead ~smoke ~seed =
 
 let () =
   let seed = ref 20260705 in
-  let out = ref "BENCH_pr3.json" in
+  let out = ref "BENCH_pr5.json" in
   let smoke = ref false in
   let trace = ref "" in
   let only = ref [] in
   Arg.parse
     [
       ("--seed", Arg.Set_int seed, "INT  PRNG seed (default 20260705)");
-      ("--out", Arg.Set_string out, "FILE  JSON baseline output (default BENCH_pr3.json)");
+      ("--out", Arg.Set_string out, "FILE  JSON baseline output (default BENCH_pr5.json)");
       ("--smoke", Arg.Set smoke, "  small instances and fewer updates (CI mode)");
       ( "--trace",
         Arg.Set_string trace,
@@ -408,7 +563,7 @@ let () =
       ( "triangle_nat",
         fun () ->
           let side = if smoke then 10 else 22 in
-          eval_workload ~name:"triangle_nat" ~ops:nat_ops
+          eval_workload ~name:"triangle_nat" ~ops:nat_ops ~opt_enforce:20.
             ~mk:(fun i -> (i mod 5) + 1)
             ~graph:(fun _ -> Graphs.Gen.triangulated_grid side side)
             ~expr:(fun _ -> wtri_expr)

@@ -95,6 +95,20 @@ let budget_term =
   in
   Term.(const mk $ gates $ timeout)
 
+let opt_arg =
+  Arg.(
+    value
+    & opt (enum [ ("default", Opt.default_passes); ("none", Opt.none) ]) Opt.default_passes
+    & info [ "opt" ] ~docv:"PIPELINE"
+        ~doc:
+          "Circuit optimization pipeline: $(b,default) runs the \
+           fold/cse/dce/balance passes on the compiled circuit, $(b,none) hands \
+           the raw compiler output downstream.")
+
+(* Budget and optimizer pipeline travel together so every run function keeps
+   the fixed arity [guarded] expects. *)
+let budget_opt = Term.(const (fun b o -> (b, o)) $ budget_term $ opt_arg)
+
 let fallback_arg =
   Arg.(
     value
@@ -196,13 +210,13 @@ let stats_cmd =
             "Apply the timed updates in batches of $(docv) through the batched \
              propagation wave (Eval.update_many); 1 = one wave per update.")
   in
-  let run kind n seed qname budget (updates, batch) =
+  let run kind n seed qname (budget, opt) (updates, batch) =
     let _, inst = setup kind n seed in
     let phi = make_query qname in
     let fv = Logic.Formula.free_vars_unique phi in
     let expr = Logic.Expr.Sum (fv, Logic.Expr.Guard phi) in
     let t0 = Unix.gettimeofday () in
-    let c, m = Engine.Compile.compile ~tfa_rounds:1 ~budget ~zero:0 ~one:1 inst expr in
+    let c, m = Engine.Compile.compile ~tfa_rounds:1 ~budget ~opt ~zero:0 ~one:1 inst expr in
     let dt = Unix.gettimeofday () -. t0 in
     let cs = Circuits.Circuit.stats c in
     Format.printf "compiled %s in %.3fs@." qname dt;
@@ -222,8 +236,8 @@ let stats_cmd =
               [ Logic.Expr.Guard phi; Logic.Expr.Weight ("w", [ v (List.hd fv) ]) ] )
       in
       let ev =
-        Engine.Eval.prepare nat_ops ~tfa_rounds:1 ~budget inst (Db.Weights.bundle [ w ])
-          wexpr
+        Engine.Eval.prepare nat_ops ~opt ~tfa_rounds:1 ~budget inst
+          (Db.Weights.bundle [ w ]) wexpr
       in
       let rng = Random.State.make [| seed; 0x5eed |] in
       if batch <= 1 then begin
@@ -276,12 +290,12 @@ let stats_cmd =
     Term.(
       ret
         (const (guarded run) $ metrics_arg $ trace_arg $ graph_arg $ n_arg $ seed_arg $ query_arg
-       $ budget_term $ updates_batch))
+       $ budget_opt $ updates_batch))
 
 (* --- count --- *)
 
 let count_cmd =
-  let run kind n seed qname budget fallback =
+  let run kind n seed qname (budget, opt) fallback =
     let _, inst = setup kind n seed in
     let phi = make_query qname in
     let fv = Logic.Formula.free_vars_unique phi in
@@ -290,7 +304,7 @@ let count_cmd =
     let t0 = Sys.time () in
     let value, degraded =
       ok
-        (Engine.Eval.evaluate_checked nat_ops ~tfa_rounds:1 ~budget ~fallback inst
+        (Engine.Eval.evaluate_checked nat_ops ~opt ~tfa_rounds:1 ~budget ~fallback inst
            (Db.Weights.bundle []) expr)
     in
     note_degraded degraded;
@@ -300,7 +314,7 @@ let count_cmd =
     Term.(
       ret
         (const (guarded run) $ metrics_arg $ trace_arg $ graph_arg $ n_arg $ seed_arg $ query_arg
-       $ budget_term $ fallback_arg))
+       $ budget_opt $ fallback_arg))
 
 (* --- enum --- *)
 
@@ -319,11 +333,11 @@ let enum_cmd =
       answers;
     Printf.printf "total answers: %d\n" total
   in
-  let run kind n seed qname limit (budget, fallback) =
+  let run kind n seed qname limit ((budget, opt), fallback) =
     let _, inst = setup kind n seed in
     let phi = make_query qname in
     let t0 = Sys.time () in
-    match Fo_enum.prepare_checked ~budget inst phi with
+    match Fo_enum.prepare_checked ~opt ~budget inst phi with
     | Ok t ->
         Printf.printf "preprocessing: %.3fs; free variables: %s\n" (Sys.time () -. t0)
           (String.concat "," (Fo_enum.free_vars t));
@@ -336,7 +350,7 @@ let enum_cmd =
         print_answers limit answers (List.length answers)
     | Error e -> raise (Robust.Error e)
   in
-  let pair = Term.(const (fun b f -> (b, f)) $ budget_term $ fallback_arg) in
+  let pair = Term.(const (fun b f -> (b, f)) $ budget_opt $ fallback_arg) in
   Cmd.v
     (Cmd.info "enum" ~doc:"Enumerate query answers with constant delay (Theorem 24).")
     Term.(
@@ -348,7 +362,7 @@ let enum_cmd =
 
 let pagerank_cmd =
   let rounds_arg = Arg.(value & opt int 5 & info [ "rounds" ] ~doc:"PageRank rounds.") in
-  let run kind n seed rounds budget fallback =
+  let run kind n seed rounds (budget, opt) fallback =
     let g, inst = setup kind n seed in
     let n = Db.Instance.n inst in
     let d = Rat.of_ints 85 100 in
@@ -379,7 +393,7 @@ let pagerank_cmd =
     let rat_ops = Intf.ops_of_ring (module Rat.Ring) in
     let t =
       ok
-        (Engine.Eval.prepare_checked rat_ops ~tfa_rounds:1 ~budget ~fallback inst
+        (Engine.Eval.prepare_checked rat_ops ~opt ~tfa_rounds:1 ~budget ~fallback inst
            (Db.Weights.bundle [ w; linv ]) expr)
     in
     note_degraded (Engine.Eval.degraded t);
@@ -402,7 +416,7 @@ let pagerank_cmd =
     Term.(
       ret
         (const (guarded run) $ metrics_arg $ trace_arg $ graph_arg $ n_arg $ seed_arg $ rounds_arg
-       $ budget_term $ fallback_arg))
+       $ budget_opt $ fallback_arg))
 
 (* --- explain --- *)
 
@@ -417,23 +431,26 @@ let explain_cmd =
              finite semiring). Determines which constant-update permanent-gate \
              strategy the dynamic circuit would pick.")
   in
-  let run kind n seed qname budget semiring =
+  let run kind n seed qname (budget, opt) semiring =
     let _, inst = setup kind n seed in
     let phi = make_query qname in
     let fv = Logic.Formula.free_vars_unique phi in
     let expr = Logic.Expr.Sum (fv, Logic.Expr.Guard phi) in
     (* One compile under a recording; the span tree of the pipeline phases
-       (normalize → gaifman → orientation → subsets → finish) is the plan. *)
+       (normalize → gaifman → orientation → subsets → finish → optimize) is
+       the plan. *)
     let explain (type a) (ops : a Semiring.Intf.ops) =
       let (ev : a Engine.Eval.t), records =
         Obs.Trace.with_recording (fun () ->
-            Engine.Eval.prepare ops ~tfa_rounds:1 ~budget inst (Db.Weights.bundle [])
-              expr)
+            Engine.Eval.prepare ops ~opt ~tfa_rounds:1 ~budget inst
+              (Db.Weights.bundle []) expr)
       in
       print_string (Obs.Trace.render_forest (Obs.Trace.forest_of records));
       Format.printf "pipeline: %a@." Engine.Compile.pp_meta ev.Engine.Eval.meta;
       Format.printf "circuit:  %a@." Circuits.Circuit.pp_stats
         (Circuits.Circuit.stats ev.Engine.Eval.circuit);
+      Format.printf "optimizer (per-pass shrink):@.%a@." Opt.pp_report
+        ev.Engine.Eval.meta.Engine.Compile.opt;
       Printf.printf "permanent-gate strategy: %s\n"
         (Circuits.Dyn.mode_name (Circuits.Dyn.pick_mode ops))
     in
@@ -452,7 +469,7 @@ let explain_cmd =
     Term.(
       ret
         (const (guarded run) $ metrics_arg $ trace_arg $ graph_arg $ n_arg $ seed_arg $ query_arg
-       $ budget_term $ semiring_arg))
+       $ budget_opt $ semiring_arg))
 
 let () =
   (* Interactive runs want the post-mortem flight recorder on stderr; the

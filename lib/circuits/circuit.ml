@@ -57,11 +57,31 @@ let input b key =
 
 let const b s = push b (Const s)
 
+(* Children must already exist in the builder: referencing a gate that has
+   not been emitted yet would break the creation-order-is-topological
+   invariant that evaluation and dynamic maintenance rely on. *)
+let check_child b ctx g =
+  if g < 0 || g >= b.len then
+    Robust.bad_input "Circuit.%s: child gate %d out of range (builder has %d gates)" ctx g
+      b.len
+
 (** Addition gate; a single summand collapses to the summand itself. *)
-let add b = function [ g ] -> g | gs -> push b (Add (Array.of_list gs))
+let add b = function
+  | [ g ] ->
+      check_child b "add" g;
+      g
+  | gs ->
+      List.iter (check_child b "add") gs;
+      push b (Add (Array.of_list gs))
 
 (** Multiplication gate; a single factor collapses to the factor itself. *)
-let mul b = function [ g ] -> g | gs -> push b (Mul (Array.of_list gs))
+let mul b = function
+  | [ g ] ->
+      check_child b "mul" g;
+      g
+  | gs ->
+      List.iter (check_child b "mul") gs;
+      push b (Mul (Array.of_list gs))
 
 (** Permanent gate over a rows × columns matrix of gates. Rows must be
     rectangular: dynamic maintenance ({!Dyn.notify}) decodes a child's
@@ -78,10 +98,31 @@ let perm b (rows : int array array) =
             ncols r (Array.length row))
       rows
   end;
+  Array.iter (Array.iter (check_child b "perm")) rows;
   push b (Perm rows)
 
 let finish b ~output =
-  if output < 0 || output >= b.len then invalid_arg "Circuit.finish: bad output gate";
+  if output < 0 || output >= b.len then
+    Robust.bad_input "Circuit.finish: output gate %d out of range (builder has %d gates)"
+      output b.len;
+  (* Validate the topological invariant over every gate — including gates
+     emitted through the raw [push] — so hand-built circuits cannot
+     silently carry forward or self references that [Dyn]'s wave
+     propagation (children settle before parents, by id order) would turn
+     into stale values. *)
+  for id = 0 to b.len - 1 do
+    let check g =
+      if g < 0 || g >= id then
+        Robust.bad_input
+          "Circuit.finish: gate %d references child %d; children must have strictly \
+           smaller ids (topological order)"
+          id g
+    in
+    match b.buf.(id) with
+    | Input _ | Const _ -> ()
+    | Add gs | Mul gs -> Array.iter check gs
+    | Perm rows -> Array.iter (Array.iter check) rows
+  done;
   { nodes = Array.sub b.buf 0 b.len; output; input_ids = b.inputs }
 
 (** Gates emitted so far — the cooperative gate-budget probe used by
@@ -91,7 +132,13 @@ let builder_len b = b.len
 (* --- evaluation --- *)
 
 (** Evaluate under a valuation of the input gates. Linear in circuit size
-    (permanent gates via the O(2ᵏ·k·n) DP). *)
+    (permanent gates via the O(2ᵏ·k·n) DP).
+
+    Empty-gate convention (relied on by the optimizer, {!Opt}):
+    [Add [||]] evaluates to [ops.zero] and [Mul [||]] evaluates to
+    [ops.one] — the fold seeds below are the neutral elements, so a gate
+    whose children were all folded away denotes the corresponding
+    identity, in every semiring. *)
 let eval (ops : 'a Semiring.Intf.ops) (c : 'a t) (valuation : input_key -> 'a) : 'a =
   let open Semiring.Intf in
   let values = Array.make (Array.length c.nodes) ops.zero in
@@ -118,17 +165,14 @@ type stats = {
   max_perm_rows : int;
   num_perm : int;
   num_inputs : int;
+  dead_gates : int;  (** gates outside the output cone *)
 }
-
-let children = function
-  | Input _ | Const _ -> [||]
-  | Add gs | Mul gs -> gs
-  | Perm rows -> Array.concat (Array.to_list rows)
 
 let stats (c : 'a t) : stats =
   let n = Array.length c.nodes in
   let depth = Array.make n 0 in
   let fan_out = Array.make n 0 in
+  let live = Array.make n false in
   let edges = ref 0 in
   let max_fan_in = ref 0 in
   let max_perm_rows = ref 0 in
@@ -136,19 +180,35 @@ let stats (c : 'a t) : stats =
   let num_inputs = ref 0 in
   Array.iteri
     (fun id node ->
+      let fan_in = ref 0 in
+      let visit g =
+        incr fan_in;
+        if depth.(g) >= depth.(id) then depth.(id) <- depth.(g) + 1;
+        fan_out.(g) <- fan_out.(g) + 1
+      in
       (match node with
+      | Input _ -> incr num_inputs
+      | Const _ -> ()
+      | Add gs | Mul gs -> Array.iter visit gs
       | Perm rows ->
           incr num_perm;
-          max_perm_rows := max !max_perm_rows (Array.length rows)
-      | Input _ -> incr num_inputs
-      | _ -> ());
-      let cs = children node in
-      edges := !edges + Array.length cs;
-      max_fan_in := max !max_fan_in (Array.length cs);
-      let d = Array.fold_left (fun acc g -> max acc (depth.(g) + 1)) 0 cs in
-      depth.(id) <- d;
-      Array.iter (fun g -> fan_out.(g) <- fan_out.(g) + 1) cs)
+          max_perm_rows := max !max_perm_rows (Array.length rows);
+          Array.iter (Array.iter visit) rows);
+      edges := !edges + !fan_in;
+      max_fan_in := max !max_fan_in !fan_in)
     c.nodes;
+  (* Output-cone liveness: one reverse sweep suffices since children have
+     smaller ids than their parents (topological order). *)
+  if n > 0 then live.(c.output) <- true;
+  for id = n - 1 downto 0 do
+    if live.(id) then
+      match c.nodes.(id) with
+      | Input _ | Const _ -> ()
+      | Add gs | Mul gs -> Array.iter (fun g -> live.(g) <- true) gs
+      | Perm rows -> Array.iter (Array.iter (fun g -> live.(g) <- true)) rows
+  done;
+  let dead = ref 0 in
+  Array.iter (fun l -> if not l then incr dead) live;
   {
     gates = n;
     edges = !edges;
@@ -158,9 +218,11 @@ let stats (c : 'a t) : stats =
     max_perm_rows = !max_perm_rows;
     num_perm = !num_perm;
     num_inputs = !num_inputs;
+    dead_gates = !dead;
   }
 
 let pp_stats fmt s =
   Format.fprintf fmt
-    "gates=%d edges=%d depth=%d fan_in<=%d fan_out<=%d perm_gates=%d perm_rows<=%d inputs=%d"
+    "gates=%d edges=%d depth=%d fan_in<=%d fan_out<=%d perm_gates=%d perm_rows<=%d inputs=%d dead=%d"
     s.gates s.edges s.depth s.max_fan_in s.max_fan_out s.num_perm s.max_perm_rows s.num_inputs
+    s.dead_gates

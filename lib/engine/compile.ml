@@ -23,11 +23,13 @@ type meta = {
   max_forest_depth : int;
   num_shapes : int;  (** shapes compiled across all subsets *)
   num_summands : int;
+  opt : Opt.report;  (** per-pass gate/edge/depth deltas of the optimizer run *)
 }
 
 let pp_meta fmt m =
-  Format.fprintf fmt "p=%d colors=%d subsets=%d depth<=%d shapes=%d summands=%d" m.p
-    m.num_colors m.num_subsets m.max_forest_depth m.num_shapes m.num_summands
+  Format.fprintf fmt "p=%d colors=%d subsets=%d depth<=%d shapes=%d summands=%d gates=%d->%d"
+    m.p m.num_colors m.num_subsets m.max_forest_depth m.num_shapes m.num_summands
+    m.opt.Opt.r_gates_before m.opt.Opt.r_gates_after
 
 let color_rel c = Printf.sprintf "__color_%d" c
 
@@ -80,8 +82,16 @@ let surjective_maps vars subset =
     [budget] limits emitted gates and wall-clock time, checked
     cooperatively as shapes and subsets are compiled; a violation raises
     [Robust.Error (Budget_exceeded _)] instead of exhausting memory on a
-    hostile query. *)
-let compile (type a) ~(zero : a) ~(one : a) ?(tfa_rounds = -1) ?(max_depth = 10)
+    hostile query.
+
+    The raw circuit is then rewritten by the {!Opt} pipeline ([opt],
+    default {!Opt.default_passes}; pass [Opt.none] for the raw output).
+    [equal] decides constant equality for identity folding / hash-consing
+    and defaults to structural equality — pass the semiring's own
+    equality when constants have non-canonical representations. The
+    per-pass shrink report lands in [meta.opt]. *)
+let compile (type a) ~(zero : a) ~(one : a) ?(equal : a -> a -> bool = ( = ))
+    ?(opt = Opt.default_passes) ?(tfa_rounds = -1) ?(max_depth = 10)
     ?(budget = Robust.unlimited) ?(dynamic_rels = []) (inst : Db.Instance.t)
     (expr : a Logic.Expr.t) : a Circuits.Circuit.t * meta =
   Obs.Trace.span ~scope:"compile" "compile" @@ fun () ->
@@ -296,7 +306,7 @@ let compile (type a) ~(zero : a) ~(one : a) ?(tfa_rounds = -1) ?(max_depth = 10)
   end;
   Obs.Trace.add_attr "subsets" (Obs.Trace.I !num_subsets);
   Obs.Trace.add_attr "shapes" (Obs.Trace.I !num_shapes));
-  let circuit =
+  let raw =
     Obs.Trace.span ~scope:"compile" "finish" (fun () ->
         let output =
           match !gates with
@@ -306,6 +316,8 @@ let compile (type a) ~(zero : a) ~(one : a) ?(tfa_rounds = -1) ?(max_depth = 10)
         check_budget ();
         Circuits.Circuit.finish b ~output)
   in
+  let optimized = Opt.run ~passes:opt ~zero ~one ~equal raw in
+  let circuit = optimized.Opt.circuit in
   if instrumented then begin
     Obs.Counter.incr m_runs;
     Obs.Counter.add m_shapes !num_shapes;
@@ -337,4 +349,5 @@ let compile (type a) ~(zero : a) ~(one : a) ?(tfa_rounds = -1) ?(max_depth = 10)
       max_forest_depth = !max_forest_depth;
       num_shapes = !num_shapes;
       num_summands;
+      opt = optimized.Opt.report;
     } )

@@ -31,7 +31,7 @@ let m_queries = Obs.counter ~scope:"engine" "queries"
 let m_updates = Obs.counter ~scope:"engine" "updates"
 let m_degraded = Obs.counter ~scope:"engine" "degraded"
 
-let prepare (type a) (ops : a Semiring.Intf.ops) ?mode ?tfa_rounds ?max_depth ?budget
+let prepare (type a) (ops : a Semiring.Intf.ops) ?mode ?opt ?tfa_rounds ?max_depth ?budget
     (inst : Db.Instance.t) (weights : a Db.Weights.bundle) (expr : a Logic.Expr.t) : a t =
   Obs.Trace.span ~scope:"engine" "prepare" @@ fun () ->
   Obs.Timer.time h_prepare_ns @@ fun () ->
@@ -55,8 +55,8 @@ let prepare (type a) (ops : a Semiring.Intf.ops) ?mode ?tfa_rounds ?max_depth ?b
                  fv) )
   in
   let circuit, meta =
-    Compile.compile ~zero:ops.zero ~one:ops.one ?tfa_rounds ?max_depth ?budget inst
-      expr_closed
+    Compile.compile ~zero:ops.zero ~one:ops.one ~equal:ops.equal ?opt ?tfa_rounds
+      ?max_depth ?budget inst expr_closed
   in
   let valuation (w, tuple) =
     if String.starts_with ~prefix:Db.Weights.reserved_prefix w then ops.zero
@@ -110,11 +110,12 @@ let stats t = Circuits.Circuit.stats t.circuit
 
 (** One-shot static evaluation of a closed expression through the circuit
     pipeline (compile + one linear evaluation, no dynamic structures). *)
-let evaluate (type a) (ops : a Semiring.Intf.ops) ?tfa_rounds ?max_depth ?budget
+let evaluate (type a) (ops : a Semiring.Intf.ops) ?opt ?tfa_rounds ?max_depth ?budget
     (inst : Db.Instance.t) (weights : a Db.Weights.bundle) (expr : a Logic.Expr.t) : a =
   let open Semiring.Intf in
   let circuit, _ =
-    Compile.compile ~zero:ops.zero ~one:ops.one ?tfa_rounds ?max_depth ?budget inst expr
+    Compile.compile ~zero:ops.zero ~one:ops.one ~equal:ops.equal ?opt ?tfa_rounds
+      ?max_depth ?budget inst expr
   in
   Circuits.Circuit.eval ops circuit (fun (w, tuple) ->
       Db.Weights.get (Db.Weights.find weights w) tuple)
@@ -227,7 +228,7 @@ let self_check_now (ck : 'a checked) : unit =
     [SPARSEQ_SELF_CHECK=1]) cross-validates circuit values against the
     reference at preparation, on sampled query points, and after every
     {!update_checked}. *)
-let prepare_checked (type a) (ops : a Semiring.Intf.ops) ?mode ?tfa_rounds ?max_depth
+let prepare_checked (type a) (ops : a Semiring.Intf.ops) ?mode ?opt ?tfa_rounds ?max_depth
     ?budget ?(fallback : fallback = `Naive) ?self_check ?(self_check_samples = 4)
     (inst : Db.Instance.t) (weights : a Db.Weights.bundle) (expr : a Logic.Expr.t) :
     (a checked, Robust.error) result =
@@ -250,7 +251,7 @@ let prepare_checked (type a) (ops : a Semiring.Intf.ops) ?mode ?tfa_rounds ?max_
   match
     Robust.protect
       ~classify:(classify_engine None)
-      (fun () -> prepare ops ?mode ?tfa_rounds ?max_depth ?budget inst weights expr)
+      (fun () -> prepare ops ?mode ?opt ?tfa_rounds ?max_depth ?budget inst weights expr)
   with
   | Ok t ->
       let ck = mk (Circuit t) None in
@@ -339,14 +340,14 @@ let set_fault_hook (ck : 'a checked) (h : (int -> unit) option) : unit =
 (** One-shot checked evaluation of a closed expression: [Ok (v, None)]
     from the circuit pipeline, [Ok (v, Some reason)] from the reference
     fallback after a degradable failure, [Error _] otherwise. *)
-let evaluate_checked (type a) (ops : a Semiring.Intf.ops) ?tfa_rounds ?max_depth ?budget
-    ?(fallback : fallback = `Naive) (inst : Db.Instance.t)
+let evaluate_checked (type a) (ops : a Semiring.Intf.ops) ?opt ?tfa_rounds ?max_depth
+    ?budget ?(fallback : fallback = `Naive) (inst : Db.Instance.t)
     (weights : a Db.Weights.bundle) (expr : a Logic.Expr.t) :
     (a * Robust.error option, Robust.error) result =
   match
     Robust.protect
       ~classify:(classify_engine None)
-      (fun () -> evaluate ops ?tfa_rounds ?max_depth ?budget inst weights expr)
+      (fun () -> evaluate ops ?opt ?tfa_rounds ?max_depth ?budget inst weights expr)
   with
   | Ok v -> Ok (v, None)
   | Error e when Robust.degradable e && fallback = `Naive ->

@@ -106,7 +106,7 @@ let materialize_guarded (inst : Db.Instance.t) (f : Logic.Formula.t) :
     output component order (defaults to sorted free variables);
     [dynamic:true] compiles relations as Lemma 40 weights so that
     {!set_tuple} works without recompiling (requires φ quantifier-free). *)
-let prepare ?order ?(dynamic = false) ?budget (inst : Db.Instance.t)
+let prepare ?order ?(dynamic = false) ?opt ?budget (inst : Db.Instance.t)
     (phi : Logic.Formula.t) : t =
   Obs.Counter.incr m_prepares;
   Obs.Trace.span ~scope:"fo_enum" "prepare"
@@ -133,7 +133,7 @@ let prepare ?order ?(dynamic = false) ?budget (inst : Db.Instance.t)
     if dynamic then List.map fst (Db.Instance.schema inst).Db.Schema.rels else []
   in
   let prov =
-    Provenance.Prov_circuit.prepare ~dynamic_rels ?budget inst expr ~weight:(fun w tuple ->
+    Provenance.Prov_circuit.prepare ?opt ~dynamic_rels ?budget inst expr ~weight:(fun w tuple ->
         let starts p = String.length w >= String.length p && String.sub w 0 (String.length p) = p in
         let suffix p = String.sub w (String.length p) (String.length w - String.length p) in
         if starts "__enum" then begin
@@ -156,7 +156,7 @@ let prepare ?order ?(dynamic = false) ?budget (inst : Db.Instance.t)
 (** Checked preparation: every exception the enumeration pipeline can
     raise — unguarded quantification, compile budgets, malformed instances
     — comes back as a classified [Robust.error] instead of escaping. *)
-let prepare_checked ?order ?dynamic ?budget (inst : Db.Instance.t)
+let prepare_checked ?order ?dynamic ?opt ?budget (inst : Db.Instance.t)
     (phi : Logic.Formula.t) : (t, Robust.error) result =
   Robust.protect
     ~classify:(function
@@ -166,7 +166,7 @@ let prepare_checked ?order ?dynamic ?budget (inst : Db.Instance.t)
                (Format.asprintf "quantifier inside a compiled guard: %a" Logic.Formula.pp
                   f))
       | _ -> None)
-    (fun () -> prepare ?order ?dynamic ?budget inst phi)
+    (fun () -> prepare ?order ?dynamic ?opt ?budget inst phi)
 
 let free_vars t = t.free_vars
 

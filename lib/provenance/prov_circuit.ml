@@ -4,10 +4,11 @@
     The circuit is evaluated bottom-up into a DAG of iterators: additions
     become concatenations, multiplications become products mapped through
     monomial multiplication, and permanent gates become the constant-delay
-    permanent enumerators of Lemma 23. Only leaves (input and constant
-    gates) are shared between parents in compiled circuits, and the leaf
-    valuation returns a fresh iterator per call, so no stateful iterator
-    ever appears in two simultaneously-active positions.
+    permanent enumerators of Lemma 23. Gates may be shared between parents
+    (the optimizer's hash-consing makes sharing common even for non-leaf
+    gates), but [build] constructs a {e fresh} iterator per reference —
+    sharing in the circuit never aliases stateful iterators, so no
+    iterator ever appears in two simultaneously-active positions.
 
     Constants must be the booleans 0 and 1 of the compilation (false ↦
     empty iterator, true ↦ the single empty monomial) — exactly what
@@ -52,11 +53,11 @@ type 'g t = {
 (** [prepare inst expr ~weight] compiles Σ-expression [expr] (over boolean
     constants) and installs [weight] as the initial valuation: the list of
     monomials of each weight's value (often a singleton identifier). *)
-let prepare ?(dynamic_rels = []) ?(budget = Robust.unlimited) (inst : Db.Instance.t)
+let prepare ?opt ?(dynamic_rels = []) ?(budget = Robust.unlimited) (inst : Db.Instance.t)
     (expr : bool Logic.Expr.t) ~(weight : string -> int list -> 'g Free.mono list) :
     'g t =
   let circuit, meta =
-    Engine.Compile.compile ~zero:false ~one:true ~dynamic_rels ~budget inst expr
+    Engine.Compile.compile ~zero:false ~one:true ?opt ~dynamic_rels ~budget inst expr
   in
   {
     circuit;

@@ -29,3 +29,4 @@ end
 module Z2 = Make (struct let modulus = 2 end)
 module Z3 = Make (struct let modulus = 3 end)
 module Z4 = Make (struct let modulus = 4 end)
+module Z6 = Make (struct let modulus = 6 end)

@@ -229,12 +229,82 @@ let balance_preserves_value () =
   let s = Circuits.Circuit.stats balanced in
   check_bool "fan-in at most 6 after balancing" true (s.Circuits.Circuit.max_fan_in <= 6)
 
+(* --- builder / finish validation of the topological-order invariant --- *)
+
+let builder_rejects_bad_children () =
+  let b = Circuits.Circuit.builder () in
+  let w0 = Circuits.Circuit.input b ("w", [ 0 ]) in
+  (match Circuits.Circuit.add b [ w0; 7 ] with
+  | _ -> Alcotest.fail "out-of-range add child accepted"
+  | exception Robust.Error (Robust.Bad_input _) -> ());
+  (match Circuits.Circuit.mul b [ -1 ] with
+  | _ -> Alcotest.fail "negative mul child accepted"
+  | exception Robust.Error (Robust.Bad_input _) -> ());
+  match Circuits.Circuit.perm b [| [| w0; 42 |]; [| w0; w0 |] |] with
+  | _ -> Alcotest.fail "out-of-range perm entry accepted"
+  | exception Robust.Error (Robust.Bad_input _) -> ()
+
+let finish_rejects_forward_reference () =
+  (* raw [push] bypasses the builder-side checks; [finish] must still
+     catch a gate whose child id is not strictly smaller than its own *)
+  let b = Circuits.Circuit.builder () in
+  let _w0 = Circuits.Circuit.input b ("w", [ 0 ]) in
+  let _fwd = Circuits.Circuit.push b (Circuits.Circuit.Add [| 2 |]) in
+  let out = Circuits.Circuit.const b 1 in
+  (match Circuits.Circuit.finish b ~output:out with
+  | _ -> Alcotest.fail "forward-referencing gate accepted"
+  | exception Robust.Error (Robust.Bad_input _) -> ());
+  let b = Circuits.Circuit.builder () in
+  let _self = Circuits.Circuit.push b (Circuits.Circuit.Mul [| 0 |]) in
+  (match Circuits.Circuit.finish b ~output:0 with
+  | _ -> Alcotest.fail "self-referencing gate accepted"
+  | exception Robust.Error (Robust.Bad_input _) -> ());
+  let b = Circuits.Circuit.builder () in
+  let _w0 = Circuits.Circuit.input b ("w", [ 0 ]) in
+  match Circuits.Circuit.finish b ~output:99 with
+  | _ -> Alcotest.fail "out-of-range output accepted"
+  | exception Robust.Error (Robust.Bad_input _) -> ()
+
+let stats_dead_gates () =
+  let c = small_circuit () in
+  check_int "fully live circuit" 0 (Circuits.Circuit.stats c).Circuits.Circuit.dead_gates;
+  let b = Circuits.Circuit.builder () in
+  let w0 = Circuits.Circuit.input b ("w", [ 0 ]) in
+  let w9 = Circuits.Circuit.input b ("w", [ 9 ]) in
+  let _dead = Circuits.Circuit.add b [ w9; w9 ] in
+  let out = Circuits.Circuit.mul b [ w0; w0 ] in
+  let c = Circuits.Circuit.finish b ~output:out in
+  (* w9 and the add over it are outside the output cone *)
+  check_int "dead cone counted" 2 (Circuits.Circuit.stats c).Circuits.Circuit.dead_gates
+
+(* the empty-gate conventions the optimizer relies on: Add [||] is the
+   semiring zero, Mul [||] is the semiring one — checked in nat, where
+   0/1 are the literal ints, and in min-plus, where they are Inf / Fin 0 *)
+let empty_gate_conventions () =
+  let empty node =
+    let b = Circuits.Circuit.builder () in
+    let g = Circuits.Circuit.push b node in
+    Circuits.Circuit.finish b ~output:g
+  in
+  let v _ = Alcotest.fail "no inputs to read" in
+  check_int "Add [||] = 0 (nat)" 0 (Circuits.Circuit.eval nat_ops (empty (Circuits.Circuit.Add [||])) v);
+  check_int "Mul [||] = 1 (nat)" 1 (Circuits.Circuit.eval nat_ops (empty (Circuits.Circuit.Mul [||])) v);
+  let is_inf = function Instances.Inf -> true | _ -> false in
+  check_bool "Add [||] = Inf (min-plus)" true
+    (is_inf (Circuits.Circuit.eval trop_ops (empty (Circuits.Circuit.Add [||])) v));
+  check_bool "Mul [||] = Fin 0 (min-plus)" true
+    (Circuits.Circuit.eval trop_ops (empty (Circuits.Circuit.Mul [||])) v = Instances.Fin 0)
+
 let suite =
   [
     Alcotest.test_case "static eval" `Quick eval_small;
     Alcotest.test_case "input hash-consing" `Quick input_hash_consing;
     Alcotest.test_case "perm gate eval" `Quick perm_gate_eval;
     Alcotest.test_case "stats" `Quick stats_small;
+    Alcotest.test_case "builder rejects bad children" `Quick builder_rejects_bad_children;
+    Alcotest.test_case "finish rejects forward references" `Quick finish_rejects_forward_reference;
+    Alcotest.test_case "stats counts dead gates" `Quick stats_dead_gates;
+    Alcotest.test_case "empty gate conventions" `Quick empty_gate_conventions;
     dyn_tracks_reeval Circuits.Dyn.General nat_ops "dyn general tracks re-eval";
     dyn_tracks_reeval Circuits.Dyn.Ring int_ops "dyn ring tracks re-eval";
     dyn_tracks_reeval Circuits.Dyn.Finite

@@ -8,6 +8,7 @@ let () =
       ("logic", Test_logic.suite);
       ("perm", Test_perm.suite);
       ("circuit", Test_circuit.suite);
+      ("opt", Test_opt.suite);
       ("engine", Test_engine.suite);
       ("shapes", Test_shapes.suite);
       ("fo", Test_fo.suite);

@@ -1,0 +1,284 @@
+(* Optimizer pass-pipeline tests (the "optimize once, consume everywhere"
+   layer):
+
+   1. unit tests for the individual passes' contracts: identity folding,
+      annihilation, hash-consing of structurally equal gates, dead-gate
+      elimination, fan-in capping;
+   2. the remap contract: surviving gates keep their value, surviving
+      input keys keep their [input_ids] addressability;
+   3. qcheck equivalence: optimized and unoptimized circuits agree — on
+      random hand-built circuits with 0/1 constants in all four semirings
+      (nat / int-ring / bool / zmod6), and end-to-end through
+      [Engine.Eval.evaluate] on random sparse databases;
+   4. batched-update equivalence: [Dyn.set_inputs] waves on the optimized
+      circuit track a from-scratch re-evaluation of the *unoptimized*
+      circuit, in every update mode. *)
+
+open Semiring
+module Circuit = Circuits.Circuit
+
+let nat_ops = Intf.ops_of_module (module Instances.Nat)
+let int_ops = Intf.ops_of_ring (module Instances.Int_ring)
+let bool_ops = Intf.ops_of_finite (module Instances.Bool)
+let z6_ops = Intf.ops_of_finite (module Zmod.Z6)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let t p = QCheck_alcotest.to_alcotest p
+
+(* ------------------------------------------------- 1. pass contracts --- *)
+
+let fold_annihilates_and_drops () =
+  let b = Circuit.builder () in
+  let w0 = Circuit.input b ("w", [ 0 ]) in
+  let c0 = Circuit.const b 0 in
+  let c1 = Circuit.const b 1 in
+  (* (w0 + 0) * 1 — fold must strip both identities down to w0 *)
+  let a = Circuit.add b [ w0; c0 ] in
+  let out = Circuit.mul b [ a; c1 ] in
+  let c = Circuit.finish b ~output:out in
+  let o = Opt.run ~passes:[ Opt.Fold; Opt.Dce ] ~zero:0 ~one:1 c in
+  (match o.Opt.circuit.Circuit.nodes.(o.Opt.circuit.Circuit.output) with
+  | Circuit.Input ("w", [ 0 ]) -> ()
+  | _ -> Alcotest.fail "identity folding should reduce (w0 + 0) * 1 to w0");
+  (* w0 * 0 — annihilation must reduce the whole circuit to the constant 0 *)
+  let b = Circuit.builder () in
+  let w0 = Circuit.input b ("w", [ 0 ]) in
+  let c0 = Circuit.const b 0 in
+  let out = Circuit.mul b [ w0; c0 ] in
+  let c = Circuit.finish b ~output:out in
+  let o = Opt.run ~passes:[ Opt.Fold; Opt.Dce ] ~zero:0 ~one:1 c in
+  match o.Opt.circuit.Circuit.nodes.(o.Opt.circuit.Circuit.output) with
+  | Circuit.Const 0 -> ()
+  | _ -> Alcotest.fail "a zero factor should annihilate the product"
+
+let cse_merges_commutative () =
+  let b = Circuit.builder () in
+  let w0 = Circuit.input b ("w", [ 0 ]) in
+  let w1 = Circuit.input b ("w", [ 1 ]) in
+  (* same multiset of children in different order: one gate after cse *)
+  let a1 = Circuit.push b (Circuit.Add [| w0; w1 |]) in
+  let a2 = Circuit.push b (Circuit.Add [| w1; w0 |]) in
+  let out = Circuit.mul b [ a1; a2 ] in
+  let c = Circuit.finish b ~output:out in
+  check_int "before cse" 5 (Circuit.stats c).Circuit.gates;
+  let o = Opt.run ~passes:[ Opt.Cse ] ~zero:0 ~one:1 c in
+  check_int "after cse" 4 (Circuit.stats o.Opt.circuit).Circuit.gates;
+  (* the merged gate feeds the product twice: (w0+w1)^2, not dropped *)
+  let v = function "w", [ 0 ] -> 2 | _ -> 3 in
+  check_int "value kept" 25 (Circuit.eval nat_ops o.Opt.circuit v)
+
+let cse_never_dedups_children () =
+  (* a + a must stay a two-child sum: 2a != a outside idempotent semirings *)
+  let b = Circuit.builder () in
+  let w0 = Circuit.input b ("w", [ 0 ]) in
+  let out = Circuit.add b [ w0; w0 ] in
+  let c = Circuit.finish b ~output:out in
+  let o = Opt.run ~zero:0 ~one:1 c in
+  check_int "a + a = 2a survives the full pipeline" 14
+    (Circuit.eval nat_ops o.Opt.circuit (fun _ -> 7))
+
+let dce_drops_dead_cone () =
+  let b = Circuit.builder () in
+  let w0 = Circuit.input b ("w", [ 0 ]) in
+  let w9 = Circuit.input b ("w", [ 9 ]) in
+  let _dead = Circuit.mul b [ w9; w9 ] in
+  let out = Circuit.add b [ w0; w0 ] in
+  let c = Circuit.finish b ~output:out in
+  check_int "dead gates visible in stats" 2 (Circuit.stats c).Circuit.dead_gates;
+  let o = Opt.run ~passes:[ Opt.Dce ] ~zero:0 ~one:1 c in
+  let s = Circuit.stats o.Opt.circuit in
+  check_int "live gates only" 2 s.Circuit.gates;
+  check_int "no dead gates left" 0 s.Circuit.dead_gates;
+  check_int "dead gate remaps to -1" (-1) o.Opt.remap.(1);
+  check_bool "dead input key dropped from input_ids" true
+    (Hashtbl.find_opt o.Opt.circuit.Circuit.input_ids ("w", [ 9 ]) = None)
+
+let balance_caps_fan_in () =
+  let b = Circuit.builder () in
+  let ws = List.init 30 (fun i -> Circuit.input b ("w", [ i ])) in
+  let out = Circuit.add b ws in
+  let c = Circuit.finish b ~output:out in
+  let o = Opt.run ~passes:[ Opt.Balance ] ~zero:0 ~one:1 c in
+  let s = Circuit.stats o.Opt.circuit in
+  check_bool "fan-in capped" true (s.Circuit.max_fan_in <= Opt.balance_cap);
+  check_int "value preserved" (30 * 31 / 2)
+    (Circuit.eval nat_ops o.Opt.circuit (function "w", [ i ] -> i + 1 | _ -> 0))
+
+(* ------------------------------------------------- 2. remap contract --- *)
+
+(* evaluate every gate, not just the output *)
+let eval_all (type a) (ops : a Intf.ops) (c : a Circuit.t) valuation : a array =
+  let values = Array.make (Array.length c.Circuit.nodes) ops.Intf.zero in
+  Array.iteri
+    (fun id node ->
+      values.(id) <-
+        (match node with
+        | Circuit.Input key -> valuation key
+        | Circuit.Const s -> s
+        | Circuit.Add gs ->
+            Array.fold_left (fun acc g -> ops.Intf.add acc values.(g)) ops.Intf.zero gs
+        | Circuit.Mul gs ->
+            Array.fold_left (fun acc g -> ops.Intf.mul acc values.(g)) ops.Intf.one gs
+        | Circuit.Perm rows ->
+            Perm.Static.perm ops (Array.map (Array.map (fun g -> values.(g))) rows)))
+    c.Circuit.nodes;
+  values
+
+(* random circuit with 0/1/other constants mixed into the gate pool, so
+   every pass has work to do *)
+let random_circuit (type a) ~(zero : a) ~(one : a) ~(mk : int -> a) seed n_inputs :
+    a Circuit.t =
+  let rng = Graphs.Rand.create seed in
+  let b = Circuit.builder () in
+  let inputs = List.init n_inputs (fun i -> Circuit.input b ("w", [ i ])) in
+  let pool = ref (Array.of_list (Circuit.const b zero :: Circuit.const b one :: inputs)) in
+  let pick () = !pool.(Graphs.Rand.int rng (Array.length !pool)) in
+  for _ = 1 to 14 do
+    let g =
+      match Graphs.Rand.int rng 6 with
+      | 0 -> Circuit.add b [ pick (); pick (); pick () ]
+      | 1 -> Circuit.add b [ pick (); pick () ]
+      | 2 -> Circuit.mul b [ pick (); pick () ]
+      | 3 -> Circuit.mul b [ pick (); pick (); pick () ]
+      | 4 -> Circuit.perm b [| [| pick (); pick () |]; [| pick (); pick () |] |]
+      | _ -> Circuit.const b (mk (Graphs.Rand.int rng 100))
+    in
+    pool := Array.append !pool [| g |]
+  done;
+  let out = Circuit.add b (Array.to_list !pool) in
+  Circuit.finish b ~output:out
+
+let remap_contract () =
+  (* surviving gates keep their value; surviving input keys stay addressable *)
+  List.iter
+    (fun seed ->
+      let c = random_circuit ~zero:0 ~one:1 ~mk:(fun i -> i mod 7) seed 6 in
+      let o = Opt.run ~zero:0 ~one:1 c in
+      let v = function "w", [ i ] -> i + 2 | _ -> 0 in
+      let old_vals = eval_all nat_ops c v in
+      let new_vals = eval_all nat_ops o.Opt.circuit v in
+      Array.iteri
+        (fun g m ->
+          if m >= 0 && old_vals.(g) <> new_vals.(m) then
+            Alcotest.failf "seed %d: gate %d (value %d) remapped to %d (value %d)" seed g
+              old_vals.(g) m new_vals.(m))
+        o.Opt.remap;
+      check_int "output remaps to output" o.Opt.circuit.Circuit.output
+        o.Opt.remap.(c.Circuit.output);
+      Hashtbl.iter
+        (fun key id ->
+          match o.Opt.remap.(id) with
+          | -1 -> () (* input fell out of the output cone *)
+          | m ->
+              if Hashtbl.find_opt o.Opt.circuit.Circuit.input_ids key <> Some m then
+                Alcotest.failf "seed %d: input_ids disagrees with remap" seed)
+        c.Circuit.input_ids)
+    [ 1; 17; 23; 99; 1234 ]
+
+(* ------------------------------------- 3. optimized = unoptimized ------ *)
+
+let opt_preserves_value (type a) name (ops : a Intf.ops) ~(zero : a) ~(one : a)
+    ~(mk : int -> a) =
+  t
+    (QCheck.Test.make ~count:60
+       ~name:(Printf.sprintf "opt preserves value: %s" name)
+       QCheck.(int_range 0 100000)
+       (fun seed ->
+         let c = random_circuit ~zero ~one ~mk seed 6 in
+         let o = Opt.run ~zero ~one ~equal:ops.Intf.equal c in
+         let v = function "w", [ i ] -> mk ((i * 31) + seed) | _ -> zero in
+         ops.Intf.equal (Circuit.eval ops c v) (Circuit.eval ops o.Opt.circuit v)))
+
+(* end-to-end through the engine on random sparse databases: the default
+   pipeline, the disabled pipeline, and the brute-force reference must
+   agree *)
+let vx x = Logic.Term.Var x
+let e x y = Logic.Formula.Rel ("E", [ vx x; vx y ])
+
+let expr_wedge =
+  Logic.Expr.Sum
+    ( [ "x"; "y" ],
+      Logic.Expr.Mul
+        [
+          Logic.Expr.Guard (e "x" "y");
+          Logic.Expr.Weight ("w", [ vx "x" ]);
+          Logic.Expr.Weight ("w", [ vx "y" ]);
+        ] )
+
+let gen_db = QCheck.(pair (int_range 4 30) (int_range 0 10000))
+
+let engine_opt_eq_unopt (type a) name (ops : a Intf.ops) (mk : int -> a) ~count =
+  t
+    (QCheck.Test.make ~count
+       ~name:(Printf.sprintf "engine opt = none = reference: %s" name)
+       gen_db
+       (fun (n, seed) ->
+         let g = Graphs.Gen.random_bounded_degree ~seed ~n ~max_deg:3 in
+         let inst = Db.Instance.of_graph g in
+         let w = Db.Weights.create ~name:"w" ~arity:1 ~zero:ops.Intf.zero in
+         Db.Weights.fill_unary w ~n (fun i -> mk ((i * 7) + seed));
+         let weights = Db.Weights.bundle [ w ] in
+         let opt = Engine.Eval.evaluate ops ~tfa_rounds:1 inst weights expr_wedge in
+         let raw =
+           Engine.Eval.evaluate ops ~opt:Opt.none ~tfa_rounds:1 inst weights expr_wedge
+         in
+         let want = Engine.Reference.eval ops inst weights expr_wedge in
+         ops.Intf.equal opt raw && ops.Intf.equal opt want))
+
+(* ------------------------------- 4. batched updates on the optimized --- *)
+
+let batch_on_optimized (type a) mode name (ops : a Intf.ops) ~(zero : a) ~(one : a)
+    ~(mk : int -> a) =
+  t
+    (QCheck.Test.make ~count:30
+       ~name:(Printf.sprintf "set_inputs on optimized circuit: %s" name)
+       QCheck.(
+         pair (int_range 0 1000)
+           (small_list (small_list (pair (int_range 0 5) (int_range 0 50)))))
+       (fun (seed, batches) ->
+         let c = random_circuit ~zero ~one ~mk seed 6 in
+         let o = Opt.run ~zero ~one ~equal:ops.Intf.equal c in
+         let vals = Array.init 6 (fun i -> mk i) in
+         let valuation = function "w", [ i ] -> vals.(i) | _ -> zero in
+         let d = Circuits.Dyn.create ~mode ops o.Opt.circuit valuation in
+         List.for_all
+           (fun batch ->
+             List.iter (fun (i, x) -> vals.(i) <- mk x) batch;
+             (* only the keys the optimized circuit still reads can be set *)
+             Circuits.Dyn.set_inputs d
+               (List.filter_map
+                  (fun (i, x) ->
+                    let key = ("w", [ i ]) in
+                    if Circuits.Dyn.has_input d key then Some (key, mk x) else None)
+                  batch);
+             (* ...and the result must still match a from-scratch eval of
+                the *unoptimized* circuit: dropped inputs were provably
+                irrelevant *)
+             ops.Intf.equal (Circuits.Dyn.value d) (Circuit.eval ops c valuation))
+           batches))
+
+let suite =
+  [
+    Alcotest.test_case "fold: identities and annihilation" `Quick fold_annihilates_and_drops;
+    Alcotest.test_case "cse: commutative merge" `Quick cse_merges_commutative;
+    Alcotest.test_case "cse: children never deduplicated" `Quick cse_never_dedups_children;
+    Alcotest.test_case "dce: dead cone dropped" `Quick dce_drops_dead_cone;
+    Alcotest.test_case "balance: fan-in capped" `Quick balance_caps_fan_in;
+    Alcotest.test_case "remap contract" `Quick remap_contract;
+    opt_preserves_value "nat" nat_ops ~zero:0 ~one:1 ~mk:(fun i -> i mod 7);
+    opt_preserves_value "int-ring" int_ops ~zero:0 ~one:1 ~mk:(fun i -> (i mod 9) - 4);
+    opt_preserves_value "bool" bool_ops ~zero:false ~one:true ~mk:(fun i -> i mod 3 = 0);
+    opt_preserves_value "zmod6" z6_ops ~zero:Zmod.Z6.zero ~one:Zmod.Z6.one
+      ~mk:Zmod.Z6.of_int;
+    engine_opt_eq_unopt "wedge/nat" nat_ops (fun i -> i mod 5) ~count:20;
+    engine_opt_eq_unopt "wedge/int-ring" int_ops (fun i -> (i mod 9) - 4) ~count:20;
+    engine_opt_eq_unopt "wedge/bool" bool_ops (fun i -> i mod 3 <> 0) ~count:20;
+    engine_opt_eq_unopt "wedge/zmod6" z6_ops Zmod.Z6.of_int ~count:20;
+    batch_on_optimized Circuits.Dyn.General "general/nat" nat_ops ~zero:0 ~one:1
+      ~mk:(fun i -> i mod 7);
+    batch_on_optimized Circuits.Dyn.Ring "ring/int" int_ops ~zero:0 ~one:1
+      ~mk:(fun i -> (i mod 9) - 4);
+    batch_on_optimized Circuits.Dyn.Finite "finite/zmod6" z6_ops ~zero:Zmod.Z6.zero
+      ~one:Zmod.Z6.one ~mk:Zmod.Z6.of_int;
+  ]
