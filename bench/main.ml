@@ -21,14 +21,14 @@
    the unoptimized twin, and both twins must agree (and match the
    reference) or the workload counts as failed.
 
-   Run with: dune exec bench/main.exe -- --out BENCH_pr5.json
+   Run with: dune exec bench/main.exe -- --out BENCH_pr6.json
              dune exec bench/main.exe -- --smoke wdeg_ring path2_enum
 
-   The output (default BENCH_pr5.json) carries per-workload numbers, the
+   The output (default BENCH_pr6.json) carries per-workload numbers, the
    full Obs metrics snapshot, and the measured overhead of the metrics
    layer itself (enabled vs disabled), schema "sparseq-bench/v1".
    bench/compare.exe diffs two baseline files and warns on update-latency
-   regressions (CI runs it against the committed BENCH_pr3.json).         *)
+   regressions (CI runs it against the committed BENCH_pr5.json).         *)
 
 open Semiring
 
@@ -515,14 +515,14 @@ let overhead ~smoke ~seed =
 
 let () =
   let seed = ref 20260705 in
-  let out = ref "BENCH_pr5.json" in
+  let out = ref "BENCH_pr6.json" in
   let smoke = ref false in
   let trace = ref "" in
   let only = ref [] in
   Arg.parse
     [
       ("--seed", Arg.Set_int seed, "INT  PRNG seed (default 20260705)");
-      ("--out", Arg.Set_string out, "FILE  JSON baseline output (default BENCH_pr5.json)");
+      ("--out", Arg.Set_string out, "FILE  JSON baseline output (default BENCH_pr6.json)");
       ("--smoke", Arg.Set smoke, "  small instances and fewer updates (CI mode)");
       ( "--trace",
         Arg.Set_string trace,

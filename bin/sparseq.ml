@@ -118,6 +118,25 @@ let fallback_arg =
           "On budget exhaustion or an unsupported fragment: $(b,naive) degrades to the \
            brute-force reference evaluator, $(b,fail) reports the error.")
 
+let recover_arg =
+  Arg.(
+    value
+    & opt
+        (some (enum [ ("rollback", `Rollback); ("repair", `Repair); ("fail", `Fail) ]))
+        None
+    & info [ "recover" ] ~docv:"POLICY"
+        ~env:(Cmd.Env.info "SPARSEQ_RECOVER")
+        ~doc:
+          "What a fault during a dynamic update wave does after the wave is rolled \
+           back: $(b,rollback) retries the update a bounded number of times with \
+           backoff, $(b,repair) additionally rebuilds a poisoned circuit in place \
+           before retrying, $(b,fail) reports the error immediately (the circuit \
+           still rolls back to its pre-update state). Defaults to $(b,rollback).")
+
+(* Fallback and recovery policy travel together, like budget/opt, to keep
+   the fixed arity [guarded] expects. *)
+let fallback_recover = Term.(const (fun f r -> (f, r)) $ fallback_arg $ recover_arg)
+
 let metrics_arg =
   Arg.(
     value
@@ -362,7 +381,7 @@ let enum_cmd =
 
 let pagerank_cmd =
   let rounds_arg = Arg.(value & opt int 5 & info [ "rounds" ] ~doc:"PageRank rounds.") in
-  let run kind n seed rounds (budget, opt) fallback =
+  let run kind n seed rounds (budget, opt) (fallback, recover) =
     let g, inst = setup kind n seed in
     let n = Db.Instance.n inst in
     let d = Rat.of_ints 85 100 in
@@ -393,7 +412,8 @@ let pagerank_cmd =
     let rat_ops = Intf.ops_of_ring (module Rat.Ring) in
     let t =
       ok
-        (Engine.Eval.prepare_checked rat_ops ~opt ~tfa_rounds:1 ~budget ~fallback inst
+        (Engine.Eval.prepare_checked rat_ops ~opt ~tfa_rounds:1 ~budget ~fallback ?recover
+           inst
            (Db.Weights.bundle [ w; linv ]) expr)
     in
     note_degraded (Engine.Eval.degraded t);
@@ -416,7 +436,7 @@ let pagerank_cmd =
     Term.(
       ret
         (const (guarded run) $ metrics_arg $ trace_arg $ graph_arg $ n_arg $ seed_arg $ rounds_arg
-       $ budget_opt $ fallback_arg))
+       $ budget_opt $ fallback_recover))
 
 (* --- explain --- *)
 

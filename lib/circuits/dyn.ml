@@ -38,9 +38,28 @@ let h_batch_size = Obs.histogram ~scope:"dyn" "batch_size"
 let h_touched_batch = Obs.histogram ~scope:"dyn" "touched_per_batch"
 let h_batch_ns = Obs.histogram ~scope:"dyn" "batch_ns"
 
+(* Recovery observables (scope "dyn"): waves unwound by the undo log, and
+   full rebuilds that cleared a poisoned structure. *)
+let m_rollbacks = Obs.counter ~scope:"dyn" "rollbacks"
+let m_repairs = Obs.counter ~scope:"dyn" "repairs"
+
 (** Raised by every read/update once a fault mid-update has left the
-    incremental state inconsistent; carries the original failure. *)
+    incremental state inconsistent {e and} the rollback that should have
+    undone the wave failed too; carries the original failure. The only
+    ways out are {!repair} or a fresh {!create}. *)
 exception Poisoned of string
+
+(** Raised by {!set_input}/{!set_inputs} when a mid-wave fault was caught
+    and the undo log restored the structure bit-for-bit to its pre-wave
+    state: the update did {e not} apply, but the circuit stays healthy and
+    every later read or update works; carries the original failure. *)
+exception Rolled_back of string
+
+let () =
+  Printexc.register_printer (function
+    | Poisoned m -> Some ("Circuits.Dyn.Poisoned (" ^ m ^ ")")
+    | Rolled_back m -> Some ("Circuits.Dyn.Rolled_back (" ^ m ^ ")")
+    | _ -> None)
 
 type 'a perm_state =
   | PSeg of 'a Perm.Segtree.t
@@ -51,6 +70,25 @@ type 'a aux =
   | ANone
   | APerm of 'a perm_state * int  (** columns count, for slot decoding *)
   | ACount of int array  (** finite-mode addition: per-element counters *)
+
+(** One cell of the per-wave undo log, recorded {e before} the mutation it
+    covers. Unwinding the log in reverse restores the structure exactly:
+    when a cell was mutated several times in one wave, its first-logged
+    (pre-wave) value is applied last and wins. *)
+type 'a undo_entry =
+  | UNop  (** consumed / free slot *)
+  | UTouch of int * 'a
+      (** first contact with a gate this wave: restores its pre-wave value
+          and re-establishes the between-waves invariants ([wave_in] false,
+          [pending] empty) — one entry covers every later mutation of the
+          gate's value, flag, and pending list in this wave *)
+  | UCounts of int array * int array
+      (** counting gate touched this wave: (live counters, pre-wave copy) —
+          the per-element array is small (|S| entries), so one snapshot at
+          first contact replaces logging every counter move *)
+  | USeg of 'a Perm.Segtree.t * 'a Perm.Segtree.undo
+  | URing of 'a Perm.Ring.t * 'a Perm.Ring.undo
+  | UFin of 'a Perm.Finite.t * 'a Perm.Finite.undo
 
 type 'a t = {
   ops : 'a Semiring.Intf.ops;
@@ -75,12 +113,23 @@ type 'a t = {
           its last recomputation, flushed in one {!Perm.Segtree.set_many}
           (resp. Ring/Finite) when the wave reaches the gate *)
   mutable update_ops : int;  (** gate recomputations since creation (for benches) *)
+  mutable undo_log : 'a undo_entry array;
+      (** reusable scratch log of the running wave's prior cells; unwound
+          in reverse on a mid-wave fault, reset on commit *)
+  mutable undo_len : int;  (** live prefix of [undo_log] *)
+  mutable journal : 'a Journal.t option;
+      (** when attached, every committed update batch is appended (queries'
+          temporary flips and {!replay} itself are excluded) *)
   mutable poisoned : string option;
-      (** set when an exception escaped mid-propagation: gate values may be
-          stale, so every subsequent read raises {!Poisoned} *)
+      (** set when a mid-propagation exception escaped {e and} the rollback
+          failed: gate values may be stale, so every subsequent read raises
+          {!Poisoned} until {!repair} rebuilds the state *)
   mutable fault_hook : (int -> unit) option;
       (** test-only fault injection, called with the gate id before each
           recomputation; a raise here simulates a mid-update crash *)
+  mutable rollback_fault_hook : (unit -> unit) option;
+      (** test-only fault injection at the start of a rollback; a raise
+          here simulates a crash during recovery itself (→ poisoned) *)
 }
 
 (* Rebalance wide Add/Mul gates into binary trees (General mode). *)
@@ -124,42 +173,20 @@ let pick_mode (ops : 'a Semiring.Intf.ops) =
 
 let mode_name = function General -> "general" | Ring -> "ring" | Finite -> "finite"
 
-let create ?mode (ops : 'a Semiring.Intf.ops) (c : 'a Circuit.t)
-    (valuation : Circuit.input_key -> 'a) : 'a t =
+(* (Re)compute every derived gate value and auxiliary structure bottom-up
+   from the current input/const values: one topological pass, exactly the
+   initial-evaluation semantics. Shared by [create] and [repair]. *)
+let init_derived (ops : 'a Semiring.Intf.ops) mode fin_ctx (nodes : 'a Circuit.node array)
+    (values : 'a array) (aux : 'a aux array) =
   let open Semiring.Intf in
-  let mode = match mode with Some m -> m | None -> pick_mode ops in
-  Obs.Trace.span ~scope:"dyn" "create"
-    ~attrs:
-      [
-        ("mode", Obs.Trace.S (mode_name mode));
-        ("gates", Obs.Trace.I (Array.length c.Circuit.nodes));
-      ]
-  @@ fun () ->
-  let c = if mode = General then balance c else c in
-  let n = Array.length c.Circuit.nodes in
-  let values = Array.make n ops.zero in
-  let parents = Array.make n [] in
-  let aux = Array.make n ANone in
-  let fin_ctx = if mode = Finite then Some (Perm.Finite.make_ctx ops) else None in
   Array.iteri
     (fun id node ->
-      (* record parent slots *)
-      (match node with
-      | Circuit.Input _ | Circuit.Const _ -> ()
-      | Circuit.Add gs | Circuit.Mul gs ->
-          Array.iteri (fun slot g -> parents.(g) <- (id, slot) :: parents.(g)) gs
-      | Circuit.Perm rows ->
-          let ncols = if Array.length rows = 0 then 0 else Array.length rows.(0) in
-          Array.iteri
-            (fun r row -> Array.iteri (fun cidx g -> parents.(g) <- (id, (r * ncols) + cidx) :: parents.(g)) row)
-            rows);
-      (* initial value and auxiliary state *)
       match node with
-      | Circuit.Input key -> values.(id) <- valuation key
+      | Circuit.Input _ -> ()
       | Circuit.Const s -> values.(id) <- s
-      | Circuit.Add gs ->
+      | Circuit.Add gs -> (
           values.(id) <- Array.fold_left (fun acc g -> ops.add acc values.(g)) ops.zero gs;
-          (match fin_ctx with
+          match fin_ctx with
           | Some ctx ->
               let counts = Array.make (Array.length ctx.Perm.Finite.elems) 0 in
               Array.iter
@@ -186,7 +213,40 @@ let create ?mode (ops : 'a Semiring.Intf.ops) (c : 'a Circuit.t)
             | PSeg s -> Perm.Segtree.perm s
             | PRing s -> Perm.Ring.perm s
             | PFin s -> Perm.Finite.perm s))
+    nodes
+
+let create ?mode (ops : 'a Semiring.Intf.ops) (c : 'a Circuit.t)
+    (valuation : Circuit.input_key -> 'a) : 'a t =
+  let open Semiring.Intf in
+  let mode = match mode with Some m -> m | None -> pick_mode ops in
+  Obs.Trace.span ~scope:"dyn" "create"
+    ~attrs:
+      [
+        ("mode", Obs.Trace.S (mode_name mode));
+        ("gates", Obs.Trace.I (Array.length c.Circuit.nodes));
+      ]
+  @@ fun () ->
+  let c = if mode = General then balance c else c in
+  let n = Array.length c.Circuit.nodes in
+  let values = Array.make n ops.zero in
+  let parents = Array.make n [] in
+  let aux = Array.make n ANone in
+  let fin_ctx = if mode = Finite then Some (Perm.Finite.make_ctx ops) else None in
+  Array.iteri
+    (fun id node ->
+      (* record parent slots, and seed input values *)
+      match node with
+      | Circuit.Input key -> values.(id) <- valuation key
+      | Circuit.Const _ -> ()
+      | Circuit.Add gs | Circuit.Mul gs ->
+          Array.iteri (fun slot g -> parents.(g) <- (id, slot) :: parents.(g)) gs
+      | Circuit.Perm rows ->
+          let ncols = if Array.length rows = 0 then 0 else Array.length rows.(0) in
+          Array.iteri
+            (fun r row -> Array.iteri (fun cidx g -> parents.(g) <- (id, (r * ncols) + cidx) :: parents.(g)) row)
+            rows)
     c.Circuit.nodes;
+  init_derived ops mode fin_ctx c.Circuit.nodes values aux;
   Obs.Counter.incr
     (match mode with
     | General -> m_creates_general
@@ -208,12 +268,17 @@ let create ?mode (ops : 'a Semiring.Intf.ops) (c : 'a Circuit.t)
     wave_saved = Array.make n ops.zero;
     pending = Array.make n [];
     update_ops = 0;
+    undo_log = Array.make 64 UNop;
+    undo_len = 0;
+    journal = None;
     poisoned = None;
     fault_hook = None;
+    rollback_fault_hook = None;
   }
 
 let poisoned t = t.poisoned
 let set_fault_hook t h = t.fault_hook <- h
+let set_rollback_fault_hook t h = t.rollback_fault_hook <- h
 
 let check_live t =
   match t.poisoned with Some msg -> raise (Poisoned msg) | None -> ()
@@ -269,23 +334,101 @@ let heap_pop t =
   done;
   g
 
+(* --- the per-wave undo log --- *)
+
+let push_undo t e =
+  let len = t.undo_len in
+  if len = Array.length t.undo_log then begin
+    let bigger = Array.make (2 * len) UNop in
+    Array.blit t.undo_log 0 bigger 0 len;
+    t.undo_log <- bigger
+  end;
+  t.undo_log.(len) <- e;
+  t.undo_len <- len + 1
+
+(* Drop the log on a successful commit; slots are blanked so the old
+   values (and any superseded perm node arrays they keep alive) can be
+   collected, but the array itself is reused by the next wave. *)
+let undo_reset t =
+  for i = 0 to t.undo_len - 1 do
+    t.undo_log.(i) <- UNop
+  done;
+  t.undo_len <- 0
+
+(* Unwind the running wave: reverse-apply every logged prior cell, then
+   drain the heap. The wave_in flags of still-queued gates are cleared by
+   their UFlag entries (between waves the flag is false everywhere), and
+   [wave_saved] is pure scratch, so after this the structure is
+   bit-for-bit the pre-wave one. Raises only if the undo itself faults —
+   the caller then falls back to poisoning. *)
+let rollback t =
+  (match t.rollback_fault_hook with Some h -> h () | None -> ());
+  for i = t.undo_len - 1 downto 0 do
+    (match t.undo_log.(i) with
+    | UNop -> ()
+    | UTouch (id, v) ->
+        t.values.(id) <- v;
+        t.wave_in.(id) <- false;
+        t.pending.(id) <- []
+    | UCounts (live, snap) -> Array.blit snap 0 live 0 (Array.length snap)
+    | USeg (s, u) -> Perm.Segtree.undo_apply s u
+    | URing (s, u) -> Perm.Ring.undo_apply s u
+    | UFin (s, u) -> Perm.Finite.undo_apply s u);
+    t.undo_log.(i) <- UNop
+  done;
+  t.undo_len <- 0;
+  t.wave_len <- 0
+
+(* A wave committed: forget the undo log and journal the batch. *)
+let commit_wave t (writes : (Circuit.input_key * 'a) list) =
+  undo_reset t;
+  match t.journal with None -> () | Some j -> Journal.append j writes
+
+(* A wave faulted: try to unwind it. On success the structure is healthy
+   again and the caller's update reports [Rolled_back]; if the rollback
+   itself raises, the structure is truly inconsistent — poison it as the
+   last resort (only {!repair} clears it). The flight recorder fires in
+   both cases, tagged with the outcome. *)
+let fault_wave t (e : exn) : 'b =
+  match rollback t with
+  | () ->
+      Obs.Counter.incr m_rollbacks;
+      Obs.Trace.dump_flight
+        ~reason:("Circuits.Dyn rolled_back mid-wave fault: " ^ Printexc.to_string e)
+        ();
+      raise (Rolled_back (Printexc.to_string e))
+  | exception re ->
+      t.poisoned <- Some (Printexc.to_string e);
+      Obs.Trace.dump_flight
+        ~reason:
+          (Printf.sprintf "Circuits.Dyn poisoned mid-wave: %s (rollback failed: %s)"
+             (Printexc.to_string e) (Printexc.to_string re))
+        ();
+      raise e
+
 (* Apply the effect of a child's value change on a parent's auxiliary
    state; cheap bookkeeping only, no recomputation. Permanent gates only
    accumulate the entry write — the wave flushes all of a gate's pending
    writes through one [set_many] when it recomputes the gate, so a batch
-   touching many columns pays each leaf-to-root path segment once. *)
+   touching many columns pays each leaf-to-root path segment once. Every
+   mutation logs its prior cell first. *)
 let notify t parent slot ~old_v ~new_v =
   let open Semiring.Intf in
   match (t.nodes.(parent), t.aux.(parent)) with
   | Circuit.Add _, ANone when t.mode = Ring ->
+      (* value drift is covered by the parent's first-contact UTouch *)
       let neg = Option.get t.ops.neg in
       t.values.(parent) <- t.ops.add (t.ops.add t.values.(parent) (neg old_v)) new_v
   | Circuit.Add _, ACount counts ->
+      (* counter drift is covered by the UCounts snapshot pushed at the
+         gate's first contact this wave *)
       let ctx = Option.get t.fin_ctx in
       let oi = Perm.Finite.index_of ctx old_v and ni = Perm.Finite.index_of ctx new_v in
       counts.(oi) <- counts.(oi) - 1;
       counts.(ni) <- counts.(ni) + 1
   | Circuit.Perm _, APerm (_, ncols) ->
+      (* the cons chain is dropped wholesale by the parent's UTouch
+         (between waves every pending list is empty) *)
       let row = slot / ncols and col = slot mod ncols in
       t.pending.(parent) <- (row, col, new_v) :: t.pending.(parent)
   | _ -> ()
@@ -316,13 +459,25 @@ let recompute t id =
       (match t.pending.(id) with
       | [] -> ()
       | pend ->
+          (* the gate's UTouch already restores pending to [] on rollback *)
           t.pending.(id) <- [];
           (* accumulated newest-first; sequential order = reverse *)
           let writes = List.rev pend in
+          (* The perm undo cell is pushed before the flush starts, so a
+             flush interrupted halfway is still fully covered by the log. *)
           (match st with
-          | PSeg s -> Perm.Segtree.set_many s writes
-          | PRing s -> Perm.Ring.set_many s writes
-          | PFin s -> Perm.Finite.set_many s writes));
+          | PSeg s ->
+              let u = Perm.Segtree.undo_create () in
+              push_undo t (USeg (s, u));
+              Perm.Segtree.set_many_logged s u writes
+          | PRing s ->
+              let u = Perm.Ring.undo_create () in
+              push_undo t (URing (s, u));
+              Perm.Ring.set_many_logged s u writes
+          | PFin s ->
+              let u = Perm.Finite.undo_create () in
+              push_undo t (UFin (s, u));
+              Perm.Finite.set_many_logged s u writes));
       (match st with
       | PSeg s -> Perm.Segtree.perm s
       | PRing s -> Perm.Ring.perm s
@@ -335,6 +490,10 @@ let enqueue_parents t g ~old_v ~new_v =
   List.iter
     (fun (p, slot) ->
       if not t.wave_in.(p) then begin
+        push_undo t (UTouch (p, t.values.(p)));
+        (match t.aux.(p) with
+        | ACount counts -> push_undo t (UCounts (counts, Array.copy counts))
+        | _ -> ());
         t.wave_in.(p) <- true;
         t.wave_saved.(p) <- t.values.(p);
         heap_push t p
@@ -349,19 +508,24 @@ let enqueue_parents t g ~old_v ~new_v =
 let run_wave t =
   while t.wave_len > 0 do
     let g = heap_pop t in
+    (* no undo cell for this clear: false is the between-waves state *)
     t.wave_in.(g) <- false;
     let old_g = t.wave_saved.(g) in
     let new_g = recompute t g in
+    (* the write is covered by the gate's first-contact UTouch *)
     t.values.(g) <- new_g;
     if not (t.ops.Semiring.Intf.equal old_g new_g) then
       enqueue_parents t g ~old_v:old_g ~new_v:new_g
   done
 
 (** Update one input weight; propagates along all ancestor paths in
-    topological order. If anything raises mid-propagation (crash, fault
-    injection) the structure is permanently poisoned: gate values may be
-    stale, so rather than silently returning corrupt answers every later
-    read or update raises {!Poisoned}. *)
+    topological order. The wave is transactional: if anything raises
+    mid-propagation (crash, fault injection) the undo log restores the
+    structure bit-for-bit to its pre-wave state and {!Rolled_back} is
+    raised — the circuit stays healthy and retryable. Only when the
+    rollback itself faults is the structure poisoned: gate values may then
+    be stale, so rather than silently returning corrupt answers every
+    later read or update raises {!Poisoned} until {!repair}. *)
 let set_input t (key : Circuit.input_key) v =
   check_live t;
   match Hashtbl.find_opt t.input_ids key with
@@ -374,19 +538,16 @@ let set_input t (key : Circuit.input_key) v =
         let ops0 = t.update_ops in
         (try
           (* The wave span finishes (and lands in the flight recorder)
-             during unwinding, before the poisoning handler below fires —
+             during unwinding, before the recovery handler below fires —
              so a post-mortem dump always contains the fatal wave. *)
           Obs.Trace.span ~scope:"dyn" "update" (fun () ->
+              push_undo t (UTouch (id, t.values.(id)));
               t.values.(id) <- v;
               enqueue_parents t id ~old_v ~new_v:v;
               run_wave t;
               Obs.Trace.add_attr "touched" (Obs.Trace.I (t.update_ops - ops0)))
-        with e ->
-          t.poisoned <- Some (Printexc.to_string e);
-          Obs.Trace.dump_flight
-            ~reason:("Circuits.Dyn poisoned mid-wave: " ^ Printexc.to_string e)
-            ();
-          raise e);
+        with e -> fault_wave t e);
+        commit_wave t [ (key, v) ];
         if instrumented then begin
           let touched = t.update_ops - ops0 in
           Obs.Counter.incr m_updates;
@@ -403,7 +564,8 @@ let set_input t (key : Circuit.input_key) v =
     unchanged while shared ancestors are deduplicated. Semantically
     equivalent to applying the assignments with {!set_input} left to right
     (later writes to the same input win). Unknown keys are rejected before
-    any mutation; an exception mid-wave poisons the structure exactly like
+    any mutation; an exception mid-wave rolls the whole batch back (or, if
+    the rollback itself faults, poisons the structure) exactly like
     {!set_input}. *)
 let set_inputs t (assignments : (Circuit.input_key * 'a) list) =
   check_live t;
@@ -435,11 +597,14 @@ let set_inputs t (assignments : (Circuit.input_key * 'a) list) =
               List.filter_map
                 (fun (id, v) ->
                   if t.wave_in.(id) then begin
+                    (* re-stamped input: its first UTouch already holds the
+                       pre-batch value *)
                     t.values.(id) <- v;
                     None
                   end
                   else if t.ops.Semiring.Intf.equal t.values.(id) v then None
                   else begin
+                    push_undo t (UTouch (id, t.values.(id)));
                     t.wave_in.(id) <- true;
                     t.wave_saved.(id) <- t.values.(id);
                     t.values.(id) <- v;
@@ -460,12 +625,8 @@ let set_inputs t (assignments : (Circuit.input_key * 'a) list) =
             run_wave t;
             Obs.Trace.add_attr "dirty" (Obs.Trace.I !dirty);
             Obs.Trace.add_attr "touched" (Obs.Trace.I (t.update_ops - ops0)))
-      with e ->
-        t.poisoned <- Some (Printexc.to_string e);
-        Obs.Trace.dump_flight
-          ~reason:("Circuits.Dyn poisoned mid-wave: " ^ Printexc.to_string e)
-          ();
-        raise e);
+      with e -> fault_wave t e);
+      commit_wave t assignments;
       if instrumented then begin
         let touched = t.update_ops - ops0 in
         Obs.Counter.incr m_batches;
@@ -490,7 +651,9 @@ let has_input t key = Hashtbl.mem t.input_ids key
     propagation waves instead of 2·|x̄|. The restore runs under
     [Fun.protect] (in reverse order, so duplicate keys land back on their
     first-saved value): a raising [f] no longer leaves the temporary
-    weights stuck and silently corrupting every later read. *)
+    weights stuck and silently corrupting every later read. The journal
+    is suspended for the duration — a query's temporary flips are not
+    committed state and must not bloat (or corrupt) a later replay. *)
 let with_temp t (assignments : (Circuit.input_key * 'a) list) (f : unit -> 'b) : 'b =
   check_live t;
   let known = List.filter (fun (key, _) -> has_input t key) assignments in
@@ -499,11 +662,69 @@ let with_temp t (assignments : (Circuit.input_key * 'a) list) (f : unit -> 'b) :
       (fun (key, _) -> Option.map (fun old_v -> (key, old_v)) (input_value t key))
       known
   in
-  set_inputs t known;
+  let journal = t.journal in
+  t.journal <- None;
   Fun.protect
-    ~finally:(fun () ->
-      (* If [f] poisoned the structure the incremental state is already
-         unrecoverable and restoring would raise [Poisoned] out of
-         [~finally], masking [f]'s own exception. *)
-      if t.poisoned = None then set_inputs t (List.rev saved))
-    f
+    ~finally:(fun () -> t.journal <- journal)
+    (fun () ->
+      set_inputs t known;
+      Fun.protect
+        ~finally:(fun () ->
+          (* If [f] poisoned the structure the incremental state is already
+             unrecoverable and restoring would raise [Poisoned] out of
+             [~finally], masking [f]'s own exception. *)
+          if t.poisoned = None then set_inputs t (List.rev saved))
+        f)
+
+(* --- recovery and durability --- *)
+
+(** Rebuild every derived gate value, auxiliary structure and pending
+    buffer from the currently stored input values in one full-eval pass —
+    the self-healing big hammer. Clears the poison (and any half-applied
+    wave state), so a structure whose rollback failed becomes consistent
+    with its inputs again; the cost is the same as the initial build. Safe
+    (and idempotent) on a healthy structure. *)
+let repair t =
+  Obs.Trace.span ~scope:"dyn" "repair"
+    ~attrs:[ ("gates", Obs.Trace.I (Array.length t.nodes)) ]
+  @@ fun () ->
+  for i = 0 to Array.length t.nodes - 1 do
+    t.wave_in.(i) <- false;
+    t.pending.(i) <- []
+  done;
+  t.wave_len <- 0;
+  undo_reset t;
+  init_derived t.ops t.mode t.fin_ctx t.nodes t.values t.aux;
+  t.poisoned <- None;
+  Obs.Counter.incr m_repairs
+
+(** Attach (or return the already-attached) update journal: from now on
+    every committed {!set_input}/{!set_inputs} batch is appended. *)
+let enable_journal t =
+  match t.journal with
+  | Some j -> j
+  | None ->
+      let j = Journal.create () in
+      t.journal <- Some j;
+      j
+
+let journal t = t.journal
+
+(** Re-apply a journal's committed batches in order. Run against a fresh
+    {!create} from the same pre-journal valuation this reconstructs the
+    exact served state (gate values, aux state, pending buffers) the
+    journaling structure reached — checksums are verified first, and the
+    structure's own journal is suspended while replaying so the batches
+    are not re-appended. *)
+let replay t (j : 'a Journal.t) =
+  Obs.Trace.span ~scope:"dyn" "replay"
+    ~attrs:[ ("batches", Obs.Trace.I (Journal.length j)) ]
+  @@ fun () ->
+  (match Journal.verify j with
+  | Some seq -> Robust.bad_input "Dyn.replay: journal batch %d fails its checksum" seq
+  | None -> ());
+  let journal = t.journal in
+  t.journal <- None;
+  Fun.protect
+    ~finally:(fun () -> t.journal <- journal)
+    (fun () -> List.iter (fun b -> set_inputs t b.Journal.writes) (Journal.batches j))

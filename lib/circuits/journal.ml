@@ -1,0 +1,117 @@
+(** Append-only journal of committed update batches — the durability
+    primitive under {!Dyn.replay}: a fresh compile plus a replay of the
+    journal reconstructs the exact served state, so a process restart (or
+    a repair-from-scratch) never loses committed writes.
+
+    Each batch records the input-key assignments of one committed wave
+    together with a checksum of its marshalled payload; {!verify} and
+    {!load} re-derive the checksum so silent corruption (in memory or on
+    disk) is detected before a replay can serve wrong answers. The
+    optional file form is a small length-prefixed binary format:
+
+      magic "SPQJ1\n", then per batch
+      [4-byte length | 4-byte FNV-1a checksum | payload],
+
+    payload = [Marshal] of the assignment list, batches oldest-first. *)
+
+type 'a batch = {
+  seq : int;  (** 0-based position in commit order *)
+  writes : (Circuit.input_key * 'a) list;  (** committed assignments, oldest first *)
+  checksum : int;  (** FNV-1a (32-bit) of the marshalled writes *)
+}
+
+type 'a t = {
+  mutable rev_batches : 'a batch list;  (** newest first *)
+  mutable count : int;
+  mutable total_bytes : int;  (** marshalled payload bytes appended so far *)
+}
+
+(* Durability observables (scope "dyn", next to the update-wave metrics the
+   journal shadows): committed batches and their payload volume. *)
+let m_journal_batches = Obs.counter ~scope:"dyn" "journal_batches"
+let m_journal_bytes = Obs.counter ~scope:"dyn" "journal_bytes"
+
+let create () : 'a t = { rev_batches = []; count = 0; total_bytes = 0 }
+
+(* FNV-1a, 32-bit: cheap, stdlib-only, and stable across runs (unlike
+   [Hashtbl.hash] on structured data it is defined on the exact bytes). *)
+let checksum_bytes (s : string) : int =
+  let h = ref 0x811c9dc5 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xFFFFFFFF) s;
+  !h
+
+let encode_writes (writes : (Circuit.input_key * 'a) list) : string =
+  Marshal.to_string writes []
+
+(** Record one committed batch (empty batches are kept too: replay must
+    preserve commit positions for the seq numbers to line up). *)
+let append (t : 'a t) (writes : (Circuit.input_key * 'a) list) : unit =
+  let payload = encode_writes writes in
+  let b = { seq = t.count; writes; checksum = checksum_bytes payload } in
+  t.rev_batches <- b :: t.rev_batches;
+  t.count <- t.count + 1;
+  t.total_bytes <- t.total_bytes + String.length payload;
+  Obs.Counter.incr m_journal_batches;
+  Obs.Counter.add m_journal_bytes (String.length payload)
+
+(** Batches oldest-first (commit order). *)
+let batches (t : 'a t) : 'a batch list = List.rev t.rev_batches
+
+let length (t : 'a t) : int = t.count
+let bytes (t : 'a t) : int = t.total_bytes
+
+(** Re-derive every checksum; [Some seq] is the first corrupt batch. *)
+let verify (t : 'a t) : int option =
+  List.fold_left
+    (fun acc b ->
+      match acc with
+      | Some _ -> acc
+      | None -> if checksum_bytes (encode_writes b.writes) <> b.checksum then Some b.seq else None)
+    None (batches t)
+
+let magic = "SPQJ1\n"
+
+(** Write the journal to [path] in the length-prefixed binary format. *)
+let save (t : 'a t) (path : string) : unit =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
+  output_string oc magic;
+  List.iter
+    (fun b ->
+      let payload = encode_writes b.writes in
+      output_binary_int oc (String.length payload);
+      output_binary_int oc b.checksum;
+      output_string oc payload)
+    (batches t)
+
+(** Read a journal back; every record's checksum is re-derived from the
+    payload actually read, so truncation and bit flips surface as
+    [Robust.Bad_input] here rather than as a wrong replayed state. *)
+let load (path : string) : 'a t =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  (match really_input_string ic (String.length magic) with
+  | m when m = magic -> ()
+  | _ -> Robust.bad_input "Journal.load: %s is not an update journal (bad magic)" path
+  | exception End_of_file ->
+      Robust.bad_input "Journal.load: %s is not an update journal (too short)" path);
+  let t = create () in
+  let rec loop () =
+    match input_binary_int ic with
+    | exception End_of_file -> ()
+    | len ->
+        if len < 0 || len > 1 lsl 30 then
+          Robust.bad_input "Journal.load: %s batch %d has implausible length %d" path t.count len;
+        let stored = input_binary_int ic land 0xFFFFFFFF in
+        let payload =
+          try really_input_string ic len
+          with End_of_file ->
+            Robust.bad_input "Journal.load: %s truncated inside batch %d" path t.count
+        in
+        if checksum_bytes payload <> stored then
+          Robust.bad_input "Journal.load: %s batch %d fails its checksum" path t.count;
+        append t (Marshal.from_string payload 0);
+        loop ()
+  in
+  loop ();
+  t

@@ -31,6 +31,10 @@ let m_queries = Obs.counter ~scope:"engine" "queries"
 let m_updates = Obs.counter ~scope:"engine" "updates"
 let m_degraded = Obs.counter ~scope:"engine" "degraded"
 
+(* Recovery observable (scope "dyn", next to rollbacks/repairs): update
+   attempts re-run after a rolled-back or repaired wave. *)
+let m_retries = Obs.counter ~scope:"dyn" "retries"
+
 let prepare (type a) (ops : a Semiring.Intf.ops) ?mode ?opt ?tfa_rounds ?max_depth ?budget
     (inst : Db.Instance.t) (weights : a Db.Weights.bundle) (expr : a Logic.Expr.t) : a t =
   Obs.Trace.span ~scope:"engine" "prepare" @@ fun () ->
@@ -129,6 +133,18 @@ type fallback = [ `Naive | `Fail ]
 
 type 'a backend = Circuit of 'a t | Degraded of 'a Reference.prepared
 
+(** How a checked entry point reacts to a fault mid-update-wave:
+    - [`Fail] — report the error immediately; the wave was rolled back, so
+      the circuit and the weights store still agree on the pre-update state.
+    - [`Rollback] (default) — retry the update up to [retries] times with
+      exponential backoff (transient faults vanish on a re-run); report the
+      error, state rolled back, when the attempts are exhausted.
+    - [`Repair] — like [`Rollback], but when a wave's own rollback failed
+      (the structure is poisoned) rebuild it from the stored inputs with
+      {!Circuits.Dyn.repair}, re-align the failed batch's inputs with the
+      committed weights, and retry. *)
+type recovery = [ `Rollback | `Repair | `Fail ]
+
 (** A prepared query that can never escape an unclassified exception:
     either a compiled circuit or (after degradation) a reference state,
     plus the optional self-check configuration. *)
@@ -137,6 +153,9 @@ type 'a checked = {
   degraded_because : Robust.error option;  (** why the reference backend is in use *)
   self_check : bool;
   sc_samples : int;
+  recover : recovery;
+  retries : int;  (** extra attempts after the first failed one *)
+  backoff_ms : float;  (** base backoff; attempt i waits backoff·2ⁱ ms *)
   c_ops : 'a Semiring.Intf.ops;
   c_inst : Db.Instance.t;
   c_weights : 'a Db.Weights.bundle;
@@ -152,6 +171,24 @@ let self_check_env () =
   | Some ("1" | "true" | "yes" | "on") -> true
   | _ -> false
 
+(** [SPARSEQ_RECOVER] overrides the default recovery policy of every
+    checked preparation that does not pass [~recover] explicitly. *)
+let recover_env () : recovery option =
+  match Option.map String.lowercase_ascii (Sys.getenv_opt "SPARSEQ_RECOVER") with
+  | Some "fail" -> Some `Fail
+  | Some "rollback" -> Some `Rollback
+  | Some "repair" -> Some `Repair
+  | _ -> None
+
+(* The waiter behind retry backoff, injectable so tests (and the chaos
+   harness) can record the schedule instead of actually sleeping. *)
+let default_retry_sleep seconds = if seconds > 0. then Unix.sleepf seconds
+let retry_sleep : (float -> unit) ref = ref default_retry_sleep
+
+let set_retry_sleep = function
+  | Some f -> retry_sleep := f
+  | None -> retry_sleep := default_retry_sleep
+
 (* Classify engine exceptions beyond the generic Robust backstop; if the
    underlying dyn circuit got poisoned, that dominates every other reading
    of the failure. *)
@@ -160,6 +197,10 @@ let classify_engine (backend : 'a backend option) (e : exn) : Robust.error optio
     match e with
     | Circuits.Dyn.Poisoned msg ->
         Some (Robust.Internal_divergence ("dynamic circuit poisoned: " ^ msg))
+    | Circuits.Dyn.Rolled_back msg ->
+        Some
+          (Robust.Internal_divergence
+             ("update fault rolled back, circuit state unchanged: " ^ msg))
     | Logic.Normal.Not_quantifier_free f ->
         Some
           (Robust.Unsupported_fragment
@@ -230,10 +271,16 @@ let self_check_now (ck : 'a checked) : unit =
     {!update_checked}. *)
 let prepare_checked (type a) (ops : a Semiring.Intf.ops) ?mode ?opt ?tfa_rounds ?max_depth
     ?budget ?(fallback : fallback = `Naive) ?self_check ?(self_check_samples = 4)
+    ?(recover : recovery option) ?(retries = 2) ?(backoff_ms = 1.0)
     (inst : Db.Instance.t) (weights : a Db.Weights.bundle) (expr : a Logic.Expr.t) :
     (a checked, Robust.error) result =
   let self_check =
     match self_check with Some b -> b | None -> self_check_env ()
+  in
+  let recover =
+    match recover with
+    | Some r -> r
+    | None -> ( match recover_env () with Some r -> r | None -> `Rollback)
   in
   let mk backend degraded_because =
     {
@@ -241,6 +288,9 @@ let prepare_checked (type a) (ops : a Semiring.Intf.ops) ?mode ?opt ?tfa_rounds 
       degraded_because;
       self_check;
       sc_samples = self_check_samples;
+      recover;
+      retries = max 0 retries;
+      backoff_ms = max 0. backoff_ms;
       c_ops = ops;
       c_inst = inst;
       c_weights = weights;
@@ -294,40 +344,113 @@ let query_checked (ck : 'a checked) (args : int list) : ('a, Robust.error) resul
           got
       | Degraded r -> Reference.query r args)
 
+(* The self-healing big hammer behind [`Repair]: a wave's rollback failed,
+   so rebuild every derived value from the stored inputs, then push the
+   failed batch's own input gates back to the committed weights-store
+   values — those gates may have been stamped with the new values before
+   the fault, and the weights store is only written after a successful
+   wave, so this re-aligns the repaired circuit with the pre-batch state
+   the rest of the system still sees. *)
+let repair_to_weights (ck : 'a checked) (t : 'a t)
+    (updates : (string * int list * 'a) list) : unit =
+  Circuits.Dyn.repair t.dyn;
+  let pre =
+    List.filter_map
+      (fun (w, tuple, _) ->
+        let key = (w, tuple) in
+        if Circuits.Dyn.has_input t.dyn key then
+          Some (key, Db.Weights.get (Db.Weights.find ck.c_weights w) tuple)
+        else None)
+      updates
+  in
+  Circuits.Dyn.set_inputs t.dyn pre
+
+(* Run one circuit update wave under the checked recovery policy: retry
+   rolled-back waves with exponential backoff, optionally repair a
+   poisoned structure, and re-raise for the classifier once the attempt
+   budget is spent. Invariant on every exit, normal or exceptional (bar a
+   fault during recovery itself under persistent fault injection): the
+   circuit agrees either with the pre-batch or with the post-batch
+   weights, never a third state. *)
+let apply_with_recovery (ck : 'a checked) (t : 'a t)
+    (updates : (string * int list * 'a) list) (f : unit -> unit) : unit =
+  let backoff attempt =
+    Obs.Counter.incr m_retries;
+    !retry_sleep (ck.backoff_ms *. (2. ** float_of_int attempt) /. 1000.)
+  in
+  let rec go attempt =
+    try f ()
+    with e ->
+      if Circuits.Dyn.poisoned t.dyn <> None then
+        if ck.recover = `Repair then begin
+          repair_to_weights ck t updates;
+          if attempt < ck.retries then begin
+            backoff attempt;
+            go (attempt + 1)
+          end
+          else raise e
+        end
+        else raise e
+      else
+        match (e, ck.recover) with
+        | Circuits.Dyn.Rolled_back _, (`Rollback | `Repair) when attempt < ck.retries ->
+            backoff attempt;
+            go (attempt + 1)
+        | _ -> raise e
+  in
+  go 0
+
 (** Update one weight. Unlike the unchecked {!update}, this writes through
     to the weight bundle as well, so the circuit, the reference fallback,
-    and the self-check all observe the same state. A fault mid-update
-    poisons the circuit and reports [Internal_divergence] — it never leaves
-    a silently corrupt value behind. *)
+    and the self-check all observe the same state — and only {e after} the
+    circuit wave committed, so a rolled-back fault cannot leave the
+    weights store disagreeing with circuit state. A fault mid-update is
+    handled per the [recover] policy (retry, repair, or report with the
+    state rolled back); the error surfaces as [Internal_divergence] and
+    never leaves a silently corrupt value behind. *)
 let update_checked (ck : 'a checked) (w : string) (tuple : int list) (v : 'a) :
     (unit, Robust.error) result =
   Robust.protect
     ~classify:(classify_engine (Some ck.backend))
     (fun () ->
-      Db.Weights.set (Db.Weights.find ck.c_weights w) tuple v;
+      (* resolve — and thereby validate — the weight column up front, so a
+         bad symbol cannot fail the write-through after the wave committed *)
+      let col = Db.Weights.find ck.c_weights w in
       (match ck.backend with
-      | Circuit t -> update t w tuple v
+      | Circuit t ->
+          apply_with_recovery ck t
+            [ (w, tuple, v) ]
+            (fun () -> update t w tuple v)
       | Degraded _ -> ());
+      Db.Weights.set col tuple v;
       if ck.self_check then self_check_now ck)
 
-(** Batched checked update: every write goes through to the weight bundle
-    first (so the reference fallback and the self-check observe the full
-    batch), the circuit sees one propagation wave, and the self-check —
-    when enabled — runs once per batch rather than once per update. A
-    fault mid-batch poisons the circuit and reports [Internal_divergence]
-    exactly like {!update_checked}; every subsequent read keeps failing
-    rather than returning silently corrupt values. *)
+(** Batched checked update: the whole batch is validated against the
+    weight bundle, then the circuit sees one (transactional) propagation
+    wave, and only after it commits does every write go through to the
+    weight bundle — so the reference fallback and the self-check observe
+    either the full batch or none of it. The self-check, when enabled,
+    runs once per batch rather than once per update. A fault mid-batch is
+    handled per the [recover] policy exactly like {!update_checked}. *)
 let update_many_checked (ck : 'a checked) (updates : (string * int list * 'a) list) :
     (unit, Robust.error) result =
   Robust.protect
     ~classify:(classify_engine (Some ck.backend))
     (fun () ->
-      List.iter
-        (fun (w, tuple, v) -> Db.Weights.set (Db.Weights.find ck.c_weights w) tuple v)
-        updates;
+      let cols =
+        List.map
+          (fun (w, tuple, v) ->
+            let col = Db.Weights.find ck.c_weights w in
+            if List.length tuple <> Db.Weights.arity col then
+              Robust.bad_input "Eval.update_many: %s expects arity %d" w
+                (Db.Weights.arity col);
+            (col, tuple, v))
+          updates
+      in
       (match ck.backend with
-      | Circuit t -> update_many t updates
+      | Circuit t -> apply_with_recovery ck t updates (fun () -> update_many t updates)
       | Degraded _ -> ());
+      List.iter (fun (col, tuple, v) -> Db.Weights.set col tuple v) cols;
       if ck.self_check then self_check_now ck)
 
 (** Inject a fault hook into the underlying dynamic circuit (tests only);
@@ -335,6 +458,21 @@ let update_many_checked (ck : 'a checked) (updates : (string * int list * 'a) li
 let set_fault_hook (ck : 'a checked) (h : (int -> unit) option) : unit =
   match ck.backend with
   | Circuit t -> Circuits.Dyn.set_fault_hook t.dyn h
+  | Degraded _ -> ()
+
+(** Inject a fault hook into the rollback path itself (tests only): the
+    way to exercise poisoning now that a plain mid-wave fault rolls back
+    cleanly. No-op on a degraded backend. *)
+let set_rollback_fault_hook (ck : 'a checked) (h : (unit -> unit) option) : unit =
+  match ck.backend with
+  | Circuit t -> Circuits.Dyn.set_rollback_fault_hook t.dyn h
+  | Degraded _ -> ()
+
+(** Rebuild the backing dynamic circuit from its stored inputs, clearing
+    any poison (see {!Circuits.Dyn.repair}); no-op on a degraded backend. *)
+let repair_checked (ck : 'a checked) : unit =
+  match ck.backend with
+  | Circuit t -> Circuits.Dyn.repair t.dyn
   | Degraded _ -> ()
 
 (** One-shot checked evaluation of a closed expression: [Ok (v, None)]

@@ -86,11 +86,59 @@ let perm t = t.nodes.(1).(full t)
 (** Permanent of the submatrix restricted to the row subset [mask]. *)
 let perm_rows t mask = t.nodes.(1).(mask land full t)
 
-(** Update a single entry (Theorem 8's weight update): O(3ᵏ log n). *)
-let set t ~row ~col v =
+(* Rebuild the leaf-to-root paths of a sorted list of leaf indices from
+   the current column vectors: rebuild each touched leaf once, then merge
+   the touched internal nodes level by level. Shared by batched updates
+   (hot path) and {!undo_apply} (cold path). *)
+let rebuild_paths t (leaves : int list) =
+  List.iter (fun i -> t.nodes.(i) <- leaf_vector t.ops t.k t.columns.(i - t.size)) leaves;
+  (* Halving a sorted list keeps it sorted, so each level only needs an
+     adjacent-duplicate sweep — no re-sorting while climbing. *)
+  let rec dedup = function
+    | a :: (b :: _ as rest) -> if a = b then dedup rest else a :: dedup rest
+    | l -> l
+  in
+  let rec climb nodes =
+    match dedup (List.filter_map (fun i -> if i > 1 then Some (i / 2) else None) nodes) with
+    | [] -> ()
+    | parents ->
+        List.iter
+          (fun i -> t.nodes.(i) <- merge t.ops t.k t.nodes.(2 * i) t.nodes.((2 * i) + 1))
+          parents;
+        climb parents
+  in
+  climb leaves
+
+(** Undo log for transactional callers: every column write records the
+    prior scalar before it is overwritten. Node arrays are {e not} logged —
+    the hot path stays one cons per write, and {!undo_apply} (the cold
+    path) rebuilds the touched leaf-to-root paths from the restored
+    columns instead, which recovers the structure even when a batch died
+    with only some of its nodes remerged. *)
+type 'a undo = { mutable u_cols : (int * int * 'a) list }
+    (** (col, row, prior scalar), newest first *)
+
+let undo_create () = { u_cols = [] }
+
+(** Restore every logged column cell (newest-first, so when the same cell
+    was logged twice the oldest, pre-transaction value wins), then rebuild
+    the touched paths from the restored columns. *)
+let undo_apply t (u : 'a undo) =
+  List.iter (fun (c, r, v) -> t.columns.(c).(r) <- v) u.u_cols;
+  let leaves =
+    List.sort_uniq Int.compare (List.map (fun (c, _, _) -> t.size + c) u.u_cols)
+  in
+  rebuild_paths t leaves;
+  u.u_cols <- []
+
+let log_col undo c r prior =
+  match undo with Some u -> u.u_cols <- (c, r, prior) :: u.u_cols | None -> ()
+
+let set_impl t undo ~row ~col v =
   if row < 0 || row >= t.k then invalid_arg "Segtree.set: bad row";
   if col < 0 || col >= t.n then invalid_arg "Segtree.set: bad col";
   Obs.Counter.incr m_sets;
+  log_col undo col row t.columns.(col).(row);
   t.columns.(col).(row) <- v;
   let i = ref (t.size + col) in
   t.nodes.(!i) <- leaf_vector t.ops t.k t.columns.(col);
@@ -100,49 +148,49 @@ let set t ~row ~col v =
     i := !i / 2
   done
 
+(** Update a single entry (Theorem 8's weight update): O(3ᵏ log n). *)
+let set t ~row ~col v = set_impl t None ~row ~col v
+
 (** Batched entry update: apply every write, rebuild each touched leaf
     once, then merge the touched internal nodes level by level — every
     leaf-to-root path segment is recomputed exactly once even when many
     entries (or many rows of the same column) change in one batch. Cost
     O(3ᵏ · touched-nodes) instead of O(3ᵏ · updates · log n) for the
     equivalent sequence of {!set}s; later entries win on duplicate
-    (row, col) targets, matching sequential application order. *)
-let set_many t (updates : (int * int * 'a) list) =
+    (row, col) targets, matching sequential application order. Every
+    update is validated before any column is written, so an [invalid_arg]
+    leaves the structure untouched. *)
+let set_many_impl t undo (updates : (int * int * 'a) list) =
   match updates with
   | [] -> ()
-  | [ (row, col, v) ] -> set t ~row ~col v
+  | [ (row, col, v) ] -> set_impl t undo ~row ~col v
   | _ ->
       Obs.Counter.incr m_batches;
       Obs.Trace.span ~scope:"perm" "segtree.flush"
         ~attrs:[ ("writes", Obs.Trace.I (List.length updates)); ("k", Obs.Trace.I t.k) ]
       @@ fun () ->
       List.iter
-        (fun (row, col, v) ->
+        (fun (row, col, _) ->
           if row < 0 || row >= t.k then invalid_arg "Segtree.set_many: bad row";
-          if col < 0 || col >= t.n then invalid_arg "Segtree.set_many: bad col";
+          if col < 0 || col >= t.n then invalid_arg "Segtree.set_many: bad col")
+        updates;
+      List.iter
+        (fun (row, col, v) ->
           Obs.Counter.incr m_sets;
+          log_col undo col row t.columns.(col).(row);
           t.columns.(col).(row) <- v)
         updates;
       let leaves =
         List.sort_uniq Int.compare (List.map (fun (_, col, _) -> t.size + col) updates)
       in
-      List.iter (fun i -> t.nodes.(i) <- leaf_vector t.ops t.k t.columns.(i - t.size)) leaves;
-      (* Halving a sorted list keeps it sorted, so each level only needs an
-         adjacent-duplicate sweep — no re-sorting while climbing. *)
-      let rec dedup = function
-        | a :: (b :: _ as rest) -> if a = b then dedup rest else a :: dedup rest
-        | l -> l
-      in
-      let rec climb nodes =
-        match dedup (List.filter_map (fun i -> if i > 1 then Some (i / 2) else None) nodes) with
-        | [] -> ()
-        | parents ->
-            List.iter
-              (fun i -> t.nodes.(i) <- merge t.ops t.k t.nodes.(2 * i) t.nodes.((2 * i) + 1))
-              parents;
-            climb parents
-      in
-      climb leaves
+      rebuild_paths t leaves
+
+let set_many t updates = set_many_impl t None updates
+
+(** Like {!set_many}, appending every prior cell to [u] before overwriting
+    it — even a batch interrupted mid-flight stays fully covered by the
+    log, so [undo_apply t u] restores the pre-batch structure exactly. *)
+let set_many_logged t (u : 'a undo) updates = set_many_impl t (Some u) updates
 
 let get t ~row ~col = t.columns.(col).(row)
 

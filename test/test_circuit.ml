@@ -183,14 +183,14 @@ let batch_matches_sequential mode ops name =
              Circuits.Dyn.value d_batch = expected && Circuits.Dyn.value d_seq = expected)
            batches))
 
-(* a fault in the middle of a batch wave must poison the structure: the
-   batch raises and every later read or update raises Poisoned *)
-let fault_mid_batch_poisons () =
+(* a fault in the middle of a batch wave must roll the whole batch back:
+   the batch raises Rolled_back, the structure stays healthy with its
+   pre-batch values, and the batch can simply be re-applied *)
+let fault_mid_batch_rolls_back () =
   let c = small_circuit () in
-  let d =
-    Circuits.Dyn.create ~mode:Circuits.Dyn.General nat_ops c
-      (function "w", [ i ] -> i | _ -> 0)
-  in
+  let valuation = function "w", [ i ] -> i | _ -> 0 in
+  let d = Circuits.Dyn.create ~mode:Circuits.Dyn.General nat_ops c valuation in
+  let before = Circuits.Dyn.value d in
   let calls = ref 0 in
   Circuits.Dyn.set_fault_hook d
     (Some
@@ -199,18 +199,54 @@ let fault_mid_batch_poisons () =
          if !calls = 2 then failwith "mid-batch fault"));
   (match Circuits.Dyn.set_inputs d [ (("w", [ 1 ]), 50); (("w", [ 3 ]), 60) ] with
   | () -> Alcotest.fail "faulted batch must not return normally"
+  | exception Circuits.Dyn.Rolled_back _ -> ());
+  Circuits.Dyn.set_fault_hook d None;
+  check_bool "not poisoned" true (Circuits.Dyn.poisoned d = None);
+  check_int "value rolled back" before (Circuits.Dyn.value d);
+  check_int "w1 rolled back" 1 (Option.get (Circuits.Dyn.input_value d ("w", [ 1 ])));
+  check_int "w3 rolled back" 3 (Option.get (Circuits.Dyn.input_value d ("w", [ 3 ])));
+  (* the rolled-back batch applies cleanly on a retry *)
+  Circuits.Dyn.set_inputs d [ (("w", [ 1 ]), 50); (("w", [ 3 ]), 60) ];
+  check_int "retried batch lands"
+    (Circuits.Circuit.eval nat_ops c (function "w", [ 1 ] -> 50 | "w", [ 3 ] -> 60 | k -> valuation k))
+    (Circuits.Dyn.value d)
+
+(* when the rollback itself faults, poisoning remains the last resort —
+   and repair rebuilds the state from the stored inputs, clearing it *)
+let rollback_fault_poisons_then_repair () =
+  let c = small_circuit () in
+  let valuation = function "w", [ i ] -> i | _ -> 0 in
+  let d = Circuits.Dyn.create ~mode:Circuits.Dyn.General nat_ops c valuation in
+  let calls = ref 0 in
+  Circuits.Dyn.set_fault_hook d
+    (Some
+       (fun _ ->
+         incr calls;
+         if !calls = 2 then failwith "mid-batch fault"));
+  Circuits.Dyn.set_rollback_fault_hook d (Some (fun () -> failwith "rollback fault"));
+  (match Circuits.Dyn.set_inputs d [ (("w", [ 1 ]), 50); (("w", [ 3 ]), 60) ] with
+  | () -> Alcotest.fail "faulted batch must not return normally"
   | exception Failure _ -> ());
   Circuits.Dyn.set_fault_hook d None;
+  Circuits.Dyn.set_rollback_fault_hook d None;
   check_bool "poisoned" true (Circuits.Dyn.poisoned d <> None);
   (match Circuits.Dyn.value d with
   | _ -> Alcotest.fail "poisoned circuit answered value"
   | exception Circuits.Dyn.Poisoned _ -> ());
-  (match Circuits.Dyn.set_inputs d [ (("w", [ 1 ]), 1) ] with
-  | () -> Alcotest.fail "poisoned circuit accepted a batch"
-  | exception Circuits.Dyn.Poisoned _ -> ());
-  match Circuits.Dyn.set_input d ("w", [ 2 ]) 9 with
+  (match Circuits.Dyn.set_input d ("w", [ 2 ]) 9 with
   | () -> Alcotest.fail "poisoned circuit accepted an update"
-  | exception Circuits.Dyn.Poisoned _ -> ()
+  | exception Circuits.Dyn.Poisoned _ -> ());
+  (* repair: one full-eval pass from the stored inputs clears the poison
+     and the structure agrees with a fresh evaluation of those inputs *)
+  Circuits.Dyn.repair d;
+  check_bool "repair clears poison" true (Circuits.Dyn.poisoned d = None);
+  let current key = Option.value ~default:0 (Circuits.Dyn.input_value d key) in
+  check_int "repaired value" (Circuits.Circuit.eval nat_ops c current) (Circuits.Dyn.value d);
+  (* and the structure is dynamic again *)
+  Circuits.Dyn.set_input d ("w", [ 2 ]) 9;
+  check_int "post-repair update"
+    (Circuits.Circuit.eval nat_ops c (function "w", [ 2 ] -> 9 | k -> current k))
+    (Circuits.Dyn.value d)
 
 (* permanent gates are k × n matrices; ragged rows must be rejected at
    construction with a structured error, not fail later in the strategies *)
@@ -319,7 +355,9 @@ let suite =
     batch_matches_sequential Circuits.Dyn.Finite
       (Intf.ops_of_finite (module Zmod.Z4))
       "set_inputs = sequential (finite Z4)";
-    Alcotest.test_case "fault mid-batch poisons" `Quick fault_mid_batch_poisons;
+    Alcotest.test_case "fault mid-batch rolls back" `Quick fault_mid_batch_rolls_back;
+    Alcotest.test_case "rollback fault poisons, repair heals" `Quick
+      rollback_fault_poisons_then_repair;
     Alcotest.test_case "ragged perm rejected" `Quick ragged_perm_rejected;
     Alcotest.test_case "balance preserves value" `Quick balance_preserves_value;
   ]

@@ -14,6 +14,7 @@ let () =
       ("fo", Test_fo.suite);
       ("nested", Test_nested.suite);
       ("robust", Test_robust.suite);
+      ("recovery", Test_recovery.suite);
       ("obs", Test_obs.suite);
       ("trace", Test_trace.suite);
       ("props", Test_props.suite);

@@ -253,6 +253,75 @@ let enum_perm_update () =
   Alcotest.(check (list (list string)))
     "after restoring" [ [ "a1"; "b2" ]; [ "a2'"; "b1" ] ] results
 
+(* set_many must validate the whole batch before mutating anything: one
+   bad entry (row, column, or — for finite semirings — an element outside
+   the enumeration) leaves the structure bit-for-bit unchanged *)
+let set_many_all_or_nothing () =
+  let m = [| [| 1; 2; 3 |]; [| 4; 5; 6 |] |] in
+  let reject what thunk =
+    match thunk () with
+    | () -> Alcotest.failf "%s: invalid batch must be rejected" what
+    | exception Invalid_argument _ -> ()
+  in
+  (* segtree *)
+  let seg = Nat_seg.create m in
+  let before = Nat_seg.perm seg in
+  reject "segtree col" (fun () -> Nat_seg.set_many seg [ (0, 1, 9); (1, 7, 8) ]);
+  check_int "segtree untouched after bad col" before (Nat_seg.perm seg);
+  reject "segtree row" (fun () -> Nat_seg.set_many seg [ (5, 0, 9); (0, 0, 8) ]);
+  check_int "segtree untouched after bad row" before (Nat_seg.perm seg);
+  Nat_seg.set_many seg [ (0, 1, 9) ];
+  m.(0).(1) <- 9;
+  check_int "segtree still live" (Nat_naive.perm m) (Nat_seg.perm seg);
+  m.(0).(1) <- 2;
+  (* ring power sums *)
+  let ring = Int_ring_perm.create m in
+  let before = Int_ring_perm.perm ring in
+  reject "ring col" (fun () -> Int_ring_perm.set_many ring [ (0, 1, 9); (1, 7, 8) ]);
+  check_int "ring untouched after bad col" before (Int_ring_perm.perm ring);
+  reject "ring row" (fun () -> Int_ring_perm.set_many ring [ (5, 0, 9); (0, 0, 8) ]);
+  check_int "ring untouched after bad row" before (Int_ring_perm.perm ring);
+  Int_ring_perm.set_many ring [ (0, 1, 9) ];
+  m.(0).(1) <- 9;
+  check_int "ring still live" (Int_naive.perm m) (Int_ring_perm.perm ring);
+  m.(0).(1) <- 2;
+  (* finite counters, including an element outside the enumeration: GF(2)
+     over plain ints claims elements {0, 1}, so 7 must be rejected before
+     any counter moves *)
+  let gf2_ops =
+    {
+      Semiring.Intf.zero = 0;
+      one = 1;
+      add = (fun a b -> (a + b) land 1);
+      mul = (fun a b -> a * b land 1);
+      equal = Int.equal;
+      neg = None;
+      elements = Some [ 0; 1 ];
+    }
+  in
+  let bm = [| [| 1; 0; 1 |]; [| 0; 1; 1 |] |] in
+  let fin = Perm.Finite.create gf2_ops bm in
+  let before = Perm.Finite.perm fin in
+  reject "finite col" (fun () -> Perm.Finite.set_many fin [ (0, 1, 1); (1, 7, 0) ]);
+  check_int "finite untouched after bad col" before (Perm.Finite.perm fin);
+  reject "finite row" (fun () -> Perm.Finite.set_many fin [ (5, 0, 1); (0, 0, 0) ]);
+  check_int "finite untouched after bad row" before (Perm.Finite.perm fin);
+  reject "finite element" (fun () -> Perm.Finite.set_many fin [ (0, 0, 0); (1, 2, 7) ]);
+  check_int "finite untouched after bad element" before (Perm.Finite.perm fin);
+  Perm.Finite.set_many fin [ (0, 1, 1); (0, 0, 0) ];
+  let gf2_naive = [| [| 0; 1; 1 |]; [| 0; 1; 1 |] |] in
+  let expected =
+    (* naive GF(2) permanent of the updated matrix *)
+    let acc = ref 0 in
+    for c0 = 0 to 2 do
+      for c1 = 0 to 2 do
+        if c0 <> c1 then acc := (!acc + (gf2_naive.(0).(c0) * gf2_naive.(1).(c1))) land 1
+      done
+    done;
+    !acc
+  in
+  check_int "finite still live" expected (Perm.Finite.perm fin)
+
 let suite =
   [
     Alcotest.test_case "known permanents" `Quick known_values;
@@ -271,6 +340,7 @@ let suite =
     Alcotest.test_case "tropical permanents" `Quick tropical_matches;
     update_agreement;
     set_many_agreement;
+    Alcotest.test_case "set_many is all-or-nothing" `Quick set_many_all_or_nothing;
     Alcotest.test_case "finite semiring updates" `Quick finite_updates;
     Alcotest.test_case "lasso with large counts" `Quick lasso_large_counts;
     Alcotest.test_case "enum perm: simple" `Quick enum_perm_simple;

@@ -208,42 +208,102 @@ let dynamic_fuzz (type a) ~name (ops : a Intf.ops) ~of_int =
 
 (* --- fault injection: updates never leave silent corruption --- *)
 
-let fault_poisons () =
+let fault_rolls_back () =
   let inst, _, weights = weighted_setup ~of_int:Fun.id (Graphs.Gen.path 6) in
   let ck =
     unwrap "prepare"
-      (Engine.Eval.prepare_checked nat_ops ~tfa_rounds:1 inst weights edge_weight_expr)
+      (Engine.Eval.prepare_checked nat_ops ~tfa_rounds:1 ~recover:`Fail inst weights
+         edge_weight_expr)
   in
   let before = unwrap "initial value" (Engine.Eval.value_checked ck) in
   check_int "healthy update works" before
     (let () = unwrap "update" (Engine.Eval.update_checked ck "w" [ 0 ] 2) in
      let () = unwrap "restore" (Engine.Eval.update_checked ck "w" [ 0 ] 2) in
      unwrap "value" (Engine.Eval.value_checked ck));
+  let pre_weight = Db.Weights.get (Db.Weights.find weights "w") [ 1 ] in
   Engine.Eval.set_fault_hook ck (Some (fun _ -> failwith "injected fault"));
   (match Engine.Eval.update_checked ck "w" [ 1 ] 9 with
   | Error (Robust.Internal_divergence _) -> ()
   | Error e -> Alcotest.failf "wrong classification: %s" (Robust.to_string e)
   | Ok () -> Alcotest.fail "faulted update must not report success");
-  (* the circuit is poisoned: every later read fails loudly, even after
-     the fault hook is removed *)
   Engine.Eval.set_fault_hook ck None;
+  (* the wave was rolled back: the circuit stays healthy on the pre-update
+     state, and the weights store was never written (write-through happens
+     only after the wave commits) *)
+  check_int "weights store untouched" pre_weight
+    (Db.Weights.get (Db.Weights.find weights "w") [ 1 ]);
+  check_int "value rolled back" before (unwrap "value" (Engine.Eval.value_checked ck));
+  unwrap "rolled-back circuit accepts updates" (Engine.Eval.update_checked ck "w" [ 1 ] 9);
+  check_int "retried update lands"
+    (Engine.Reference.eval nat_ops inst weights edge_weight_expr)
+    (unwrap "value" (Engine.Eval.value_checked ck))
+
+(* When the rollback itself faults the circuit is poisoned (every read
+   fails loudly), and [`Repair] heals it mid-update: repair + retry makes
+   the faulted update land. *)
+let rollback_fault_poisons_and_repairs () =
+  let inst, _, weights = weighted_setup ~of_int:Fun.id (Graphs.Gen.path 6) in
+  (* `Fail policy first: poison and observe *)
+  let ck =
+    unwrap "prepare"
+      (Engine.Eval.prepare_checked nat_ops ~tfa_rounds:1 ~recover:`Fail inst weights
+         edge_weight_expr)
+  in
+  Engine.Eval.set_fault_hook ck (Some (fun _ -> failwith "injected fault"));
+  Engine.Eval.set_rollback_fault_hook ck (Some (fun () -> failwith "rollback fault"));
+  (match Engine.Eval.update_checked ck "w" [ 1 ] 9 with
+  | Error (Robust.Internal_divergence _) -> ()
+  | Error e -> Alcotest.failf "wrong classification: %s" (Robust.to_string e)
+  | Ok () -> Alcotest.fail "faulted update must not report success");
+  Engine.Eval.set_fault_hook ck None;
+  Engine.Eval.set_rollback_fault_hook ck None;
   (match Engine.Eval.value_checked ck with
   | Error (Robust.Internal_divergence _) -> ()
   | Error e -> Alcotest.failf "wrong classification: %s" (Robust.to_string e)
   | Ok _ -> Alcotest.fail "poisoned circuit must not answer value");
-  match Engine.Eval.update_checked ck "w" [ 0 ] 1 with
-  | Error (Robust.Internal_divergence _) -> ()
-  | Error e -> Alcotest.failf "wrong classification: %s" (Robust.to_string e)
-  | Ok () -> Alcotest.fail "poisoned circuit must not accept updates"
+  (* manual repair brings it back, agreeing with the (unwritten) weights *)
+  Engine.Eval.repair_checked ck;
+  (match Engine.Eval.update_checked ck "w" [ 1 ] 9 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "post-repair update failed: %s" (Robust.to_string e));
+  check_int "post-repair value"
+    (Engine.Reference.eval nat_ops inst weights edge_weight_expr)
+    (unwrap "value" (Engine.Eval.value_checked ck));
+  (* `Repair policy: the same double fault self-heals inside the update *)
+  let ck2 =
+    unwrap "prepare"
+      (Engine.Eval.prepare_checked nat_ops ~tfa_rounds:1 ~recover:`Repair ~retries:2
+         inst weights edge_weight_expr)
+  in
+  Engine.Eval.set_retry_sleep (Some (fun _ -> ()));
+  Fun.protect ~finally:(fun () -> Engine.Eval.set_retry_sleep None) @@ fun () ->
+  let wave_faults = ref 0 and rb_faults = ref 0 in
+  Engine.Eval.set_fault_hook ck2
+    (Some
+       (fun _ ->
+         incr wave_faults;
+         if !wave_faults = 1 then failwith "transient wave fault"));
+  Engine.Eval.set_rollback_fault_hook ck2
+    (Some
+       (fun () ->
+         incr rb_faults;
+         if !rb_faults = 1 then failwith "transient rollback fault"));
+  (match Engine.Eval.update_checked ck2 "w" [ 2 ] 7 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "`Repair update failed: %s" (Robust.to_string e));
+  check_int "self-healed value"
+    (Engine.Reference.eval nat_ops inst weights edge_weight_expr)
+    (unwrap "value" (Engine.Eval.value_checked ck2))
 
 (* Fuzzed fault schedules: inject a fault after a random number of gate
-   recomputations, run a random update sequence, and assert the invariant
-   "consistent or poisoned" — every update either succeeds with the circuit
-   agreeing with the reference, or fails with Internal_divergence and all
-   subsequent operations keep failing the same way. *)
+   recomputations, run a random update sequence, and assert the new
+   transactional invariant — every update either succeeds or rolls back,
+   and in both cases the circuit keeps agreeing with the reference
+   evaluator on the committed weights store (write-through only happens
+   when the wave commits, so the two can never diverge). *)
 let fault_schedule_fuzz =
   QCheck_alcotest.to_alcotest
-    (QCheck.Test.make ~name:"fault schedules: consistent or poisoned" ~count:30
+    (QCheck.Test.make ~name:"fault schedules: always consistent" ~count:30
        QCheck.(
          triple (int_range 0 1000) (int_range 1 25)
            (small_list (pair (int_range 0 11) (int_range 0 10))))
@@ -252,8 +312,8 @@ let fault_schedule_fuzz =
          let inst, _, weights = weighted_setup ~of_int:Fun.id g in
          let ck =
            match
-             Engine.Eval.prepare_checked nat_ops ~tfa_rounds:1 inst weights
-               edge_weight_expr
+             Engine.Eval.prepare_checked nat_ops ~tfa_rounds:1 ~recover:`Fail inst
+               weights edge_weight_expr
            with
            | Ok ck -> ck
            | Error e -> QCheck.Test.fail_reportf "prepare: %s" (Robust.to_string e)
@@ -264,28 +324,22 @@ let fault_schedule_fuzz =
               (fun _ ->
                 incr ticks;
                 if !ticks >= fuse then failwith "scheduled fault"));
-         let poisoned = ref false in
          List.for_all
            (fun (x, value) ->
              let x = x mod Db.Instance.n inst in
-             match (Engine.Eval.update_checked ck "w" [ x ] value, !poisoned) with
-             | Ok (), true ->
-                 QCheck.Test.fail_report "poisoned circuit accepted an update"
-             | Ok (), false -> (
-                 match Engine.Eval.value_checked ck with
-                 | Ok got ->
-                     got = Engine.Reference.eval nat_ops inst weights edge_weight_expr
-                 | Error e -> QCheck.Test.fail_reportf "value: %s" (Robust.to_string e))
-             | Error (Robust.Internal_divergence _), _ ->
-                 poisoned := true;
-                 (match Engine.Eval.value_checked ck with
-                 | Error (Robust.Internal_divergence _) -> ()
-                 | Error e ->
-                     QCheck.Test.fail_reportf "poisoned value misclassified: %s"
-                       (Robust.to_string e)
-                 | Ok _ -> QCheck.Test.fail_report "poisoned circuit answered value");
-                 true
-             | Error e, _ ->
+             let consistent label =
+               match Engine.Eval.value_checked ck with
+               | Ok got ->
+                   if got = Engine.Reference.eval nat_ops inst weights edge_weight_expr
+                   then true
+                   else QCheck.Test.fail_reportf "%s: circuit diverged from reference" label
+               | Error e ->
+                   QCheck.Test.fail_reportf "%s value: %s" label (Robust.to_string e)
+             in
+             match Engine.Eval.update_checked ck "w" [ x ] value with
+             | Ok () -> consistent "after committed update"
+             | Error (Robust.Internal_divergence _) -> consistent "after rolled-back update"
+             | Error e ->
                  QCheck.Test.fail_reportf "wrong classification: %s" (Robust.to_string e))
            updates))
 
@@ -421,7 +475,9 @@ let suite =
     dynamic_fuzz ~name:"dynamic updates track reference: int ring" int_ops
       ~of_int:(fun i -> i);
     dynamic_fuzz ~name:"dynamic updates track reference: Z/4Z" z4_ops ~of_int:Z4.of_int;
-    Alcotest.test_case "fault poisons the circuit" `Quick fault_poisons;
+    Alcotest.test_case "fault rolls the wave back" `Quick fault_rolls_back;
+    Alcotest.test_case "rollback fault poisons, repair heals" `Quick
+      rollback_fault_poisons_and_repairs;
     fault_schedule_fuzz;
     Alcotest.test_case "batched checked updates" `Quick batched_checked_updates;
     Alcotest.test_case "self-check catches divergence" `Quick self_check_divergence;

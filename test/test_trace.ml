@@ -141,7 +141,8 @@ let chrome_parseable () =
   check_bool "has traceEvents" true
     (String.length j > 15 && String.sub j 0 15 = "{\"traceEvents\":")
 
-(* --- acceptance: a fault mid-wave dumps the poisoning wave's span --- *)
+(* --- acceptance: a fault mid-wave dumps the faulting wave's span,
+   tagged with the rolled_back outcome --- *)
 
 let small_circuit () =
   let b = Circuits.Circuit.builder () in
@@ -166,8 +167,9 @@ let poison_dumps_wave_span () =
       Circuits.Dyn.set_fault_hook d (Some (fun _ -> failwith "injected fault"));
       (match Circuits.Dyn.set_input d ("w", [ 1 ]) 99 with
       | () -> Alcotest.fail "faulted wave must raise"
-      | exception Failure _ -> ());
-      check_bool "structure poisoned" true (Circuits.Dyn.poisoned d <> None);
+      | exception Circuits.Dyn.Rolled_back _ -> ());
+      check_bool "structure rolled back, not poisoned" true
+        (Circuits.Dyn.poisoned d = None);
       let ic = open_in path in
       let n = in_channel_length ic in
       let report = really_input_string ic n in
@@ -177,8 +179,7 @@ let poison_dumps_wave_span () =
         let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
         go 0
       in
-      check_bool "report names the poisoning" true
-        (contains "poisoned mid-wave" report);
+      check_bool "report is tagged rolled_back" true (contains "rolled_back" report);
       check_bool "report contains the wave span" true (contains "dyn/update" report);
       check_bool "wave span shows the fault" true (contains "injected fault" report))
 
