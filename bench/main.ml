@@ -21,22 +21,32 @@
    the unoptimized twin, and both twins must agree (and match the
    reference) or the workload counts as failed.
 
-   Run with: dune exec bench/main.exe -- --out BENCH_pr6.json
+   The eval workloads additionally run a compact-vs-boxed runtime twin
+   (PR 7): the main evaluator runs on the CSR/struct-of-arrays compact
+   backend (the default), a boxed twin replays the byte-identical update
+   stream, and the two must agree on every gate value; the full-eval
+   observable compares Compact.eval on the flat arrays against the boxed
+   Circuit.eval of the same circuit, and the circuit persisted with
+   Compact.save must reload to the identical value. path2_enum gets its
+   compact twin through the counting circuit of the same formula, whose
+   value must equal the enumerated answer count on both runtimes.
+
+   Run with: dune exec bench/main.exe -- --out BENCH_pr7.json
              dune exec bench/main.exe -- --smoke wdeg_ring path2_enum
 
-   The output (default BENCH_pr6.json) carries per-workload numbers, the
+   The output (default BENCH_pr7.json) carries per-workload numbers, the
    full Obs metrics snapshot, and the measured overhead of the metrics
    layer itself (enabled vs disabled), schema "sparseq-bench/v1".
    bench/compare.exe diffs two baseline files and warns on update-latency
-   regressions (CI runs it against the committed BENCH_pr5.json).         *)
+   regressions (CI runs it against the committed BENCH_pr6.json).         *)
 
 open Semiring
 
 let v x = Logic.Term.Var x
 let e x y = Logic.Formula.Rel ("E", [ v x; v y ])
 
-let nat_ops = Intf.ops_of_module (module Instances.Nat)
-let int_ops = Intf.ops_of_ring (module Instances.Int_ring)
+let nat_ops = Intf.with_int_repr (Intf.ops_of_module (module Instances.Nat))
+let int_ops = Intf.with_int_repr (Intf.ops_of_ring (module Instances.Int_ring))
 let bool_ops = Intf.ops_of_finite (module Instances.Bool)
 
 (* --- timing toolkit (wall clock; exact quantiles over raw samples) --- *)
@@ -79,6 +89,7 @@ type result = {
   verified : bool;  (** small instance agrees with Engine.Reference *)
   detail : string;
   opt_cmp : opt_cmp option;  (** optimizer twin comparison, when measured *)
+  compact_cmp : compact_cmp option;  (** compact-runtime twin, when measured *)
 }
 
 (* Default-pipeline vs --opt=none twin on the same instance and weights:
@@ -91,6 +102,18 @@ and opt_cmp = {
   p50_speedup : float;  (** unoptimized update p50 / optimized update p50 *)
   opt_ok : bool;  (** twins agree (and enforcement thresholds hold, if any) *)
   opt_detail : string;
+}
+
+(* Compact (CSR + value planes) vs boxed (pointer graph) runtime on the
+   same optimized circuit: full-eval and per-update-p50 speedups, exact
+   gate-level agreement after identical update streams, and a
+   save→load→eval round-trip through the SPQC1 binary format. *)
+and compact_cmp = {
+  c_eval_speedup : float;  (** boxed full-eval wall / compact full-eval wall *)
+  c_p50_speedup : float;  (** boxed update p50 / compact update p50 *)
+  c_roundtrip : bool;  (** persisted circuit reloads to the identical value *)
+  c_ok : bool;  (** twins agree on every gate and the round-trip held *)
+  c_detail : string;
 }
 
 let result_json r =
@@ -107,17 +130,27 @@ let result_json r =
        ("verified", Obs.Json.B r.verified);
        ("detail", Obs.Json.S r.detail);
      ]
+    @ (match r.opt_cmp with
+      | None -> []
+      | Some o ->
+          [
+            ("gates_pre_opt", Obs.Json.I o.gates_pre);
+            ("opt_shrink_pct", Obs.Json.F o.shrink);
+            ("opt_eval_speedup", Obs.Json.F o.eval_speedup);
+            ("opt_p50_speedup", Obs.Json.F o.p50_speedup);
+            ("opt_ok", Obs.Json.B o.opt_ok);
+            ("opt_detail", Obs.Json.S o.opt_detail);
+          ])
     @
-    match r.opt_cmp with
+    match r.compact_cmp with
     | None -> []
-    | Some o ->
+    | Some c ->
         [
-          ("gates_pre_opt", Obs.Json.I o.gates_pre);
-          ("opt_shrink_pct", Obs.Json.F o.shrink);
-          ("opt_eval_speedup", Obs.Json.F o.eval_speedup);
-          ("opt_p50_speedup", Obs.Json.F o.p50_speedup);
-          ("opt_ok", Obs.Json.B o.opt_ok);
-          ("opt_detail", Obs.Json.S o.opt_detail);
+          ("compact_eval_speedup", Obs.Json.F c.c_eval_speedup);
+          ("compact_p50_speedup", Obs.Json.F c.c_p50_speedup);
+          ("compact_roundtrip", Obs.Json.B c.c_roundtrip);
+          ("compact_ok", Obs.Json.B c.c_ok);
+          ("compact_detail", Obs.Json.S c.c_detail);
         ])
 
 (* --- shared query shapes --- *)
@@ -247,6 +280,89 @@ let eval_workload (type a) ~name ~(ops : a Intf.ops) ?mode ?opt_enforce ~(mk : i
             | _ -> "");
       }
   in
+  (* compact twin (PR 7): [ev] already runs on the compact CSR backend
+     (the default), so spin up a boxed Dyn over the identical circuit
+     object (gate ids line up by construction), replay the byte-identical
+     update stream through it, and require the two runtimes to agree on
+     every gate value. The full-eval observable is Compact.eval over the
+     flat arrays vs the boxed Circuit.eval of the same optimized circuit;
+     the circuit is also persisted and reloaded, and must evaluate to the
+     identical value. *)
+  let dyn_box =
+    Circuits.Dyn.create ?mode ~backend:Circuits.Dyn.Boxed ops ev.Engine.Eval.circuit
+      valuation
+  in
+  let rng_box = Random.State.make [| seed; 1 |] in
+  let samples_box =
+    time_updates updates (fun _ ->
+        (* draw value before index: [Engine.Eval.update ev "w" [draw] (draw)]
+           above evaluates its arguments right to left, and the streams must
+           stay in lockstep for the twins to see identical writes *)
+        let vv = mk (Random.State.int rng_box 1000) in
+        let x = Random.State.int rng_box n in
+        let key = ("w", [ x ]) in
+        if Circuits.Dyn.has_input dyn_box key then Circuits.Dyn.set_input dyn_box key vv)
+  in
+  let gates_agree =
+    let dc = ev.Engine.Eval.dyn in
+    Circuits.Dyn.num_gates dc = Circuits.Dyn.num_gates dyn_box
+    &&
+    let ok = ref true in
+    for id = 0 to Circuits.Dyn.num_gates dc - 1 do
+      if
+        not
+          (ops.Intf.equal (Circuits.Dyn.gate_value dc id)
+             (Circuits.Dyn.gate_value dyn_box id))
+      then ok := false
+    done;
+    !ok
+  in
+  let cc = Circuits.Compact.of_circuit ev.Engine.Eval.circuit in
+  (* time boxed and compact eval interleaved, min over rounds: the earlier
+     [t_opt] sample ran in a different cache/GC regime, and these sub-ms
+     evals are dominated by scheduler noise otherwise *)
+  let t_boxed_eval, t_compact =
+    let best_b = ref infinity and best_c = ref infinity in
+    for _ = 1 to 5 do
+      let t0 = Unix.gettimeofday () in
+      ignore (Circuits.Circuit.eval ops ev.Engine.Eval.circuit valuation);
+      let t1 = Unix.gettimeofday () in
+      ignore (Circuits.Compact.eval ops cc valuation);
+      let t2 = Unix.gettimeofday () in
+      best_b := Float.min !best_b (t1 -. t0);
+      best_c := Float.min !best_c (t2 -. t1)
+    done;
+    (!best_b, !best_c)
+  in
+  let v_compact = Circuits.Compact.eval ops cc valuation in
+  let compact_agree = ops.Intf.equal v_compact v_opt in
+  let roundtrip =
+    let tmp = Filename.temp_file "sparseq_bench" ".spqc" in
+    Circuits.Compact.save ~tag:name cc tmp;
+    let cc2, tag = Circuits.Compact.load tmp in
+    Sys.remove tmp;
+    tag = name && ops.Intf.equal (Circuits.Compact.eval ops cc2 valuation) v_compact
+  in
+  let c_eval_speedup = t_boxed_eval /. Float.max 1e-9 t_compact in
+  let c_p50_speedup =
+    p50_ratio ~raw:(quantile samples_box 0.5) ~opt:(quantile samples 0.5)
+  in
+  let c_ok = gates_agree && compact_agree && roundtrip in
+  let compact_cmp =
+    Some
+      {
+        c_eval_speedup;
+        c_p50_speedup;
+        c_roundtrip = roundtrip;
+        c_ok;
+        c_detail =
+          Printf.sprintf "eval x%.2f p50 x%.2f vs boxed; gates %s; eval %s; reload %s"
+            c_eval_speedup c_p50_speedup
+            (if gates_agree then "agree" else "DISAGREE")
+            (if compact_agree then "agree" else "DISAGREE")
+            (if roundtrip then "identical" else "DIFFERS");
+      }
+  in
   (* verify phase: updates write through to the bundle so the reference
      evaluator sees the same weights as the circuit *)
   let instv, nv, wv, weightsv = make n_verify in
@@ -278,14 +394,17 @@ let eval_workload (type a) ~name ~(ops : a Intf.ops) ?mode ?opt_enforce ~(mk : i
     updates;
     p50_ns = quantile samples 0.5;
     p99_ns = quantile samples 0.99;
-    verified = !mismatches = 0 && opt_ok;
+    verified = !mismatches = 0 && opt_ok && c_ok;
     detail =
       (if !mismatches = 0 then
          Printf.sprintf "reference agreed on n=%d after 25 shared updates" nv
        else Printf.sprintf "%d reference mismatches on n=%d" !mismatches nv)
       ^ Printf.sprintf "; opt: %s"
-          (match opt_cmp with Some o -> o.opt_detail | None -> "skipped");
+          (match opt_cmp with Some o -> o.opt_detail | None -> "skipped")
+      ^ Printf.sprintf "; compact: %s"
+          (match compact_cmp with Some c -> c.c_detail | None -> "skipped");
     opt_cmp;
+    compact_cmp;
   }
 
 (* --- the batched-update workloads (PR 3 tentpole) --- *)
@@ -376,6 +495,7 @@ let batch_workload (type a) ~name ~(ops : a Intf.ops) ~mode ~(mk : int -> a)
         (if ref_ok then "agreed" else "DISAGREED")
         nv;
     opt_cmp = None;
+    compact_cmp = None;
   }
 
 (* --- the Theorem 24 dynamic enumeration workload --- *)
@@ -435,6 +555,60 @@ let path2_workload ~smoke ~seed () : result =
       s.Circuits.Circuit.gates shrink eval_speedup p50_speedup
       (if twins_agree then "agree" else "DISAGREE")
   in
+  (* compact twin (PR 7) through the counting circuit of the same formula:
+     its value is the answer count, so compact eval, boxed eval, and the
+     enumeration must all land on the same number (the paired set_tuple
+     toggles above cancel out, so the instance is back in its initial
+     state); the persisted circuit must reload to the same count. The
+     set_tuple updates are O(1) instance writes on either runtime, so only
+     the full-eval observable is twinned (p50 speedup recorded as parity). *)
+  let fvp = Logic.Formula.free_vars_unique phi_path2 in
+  let ccirc, _ =
+    Engine.Compile.compile ~tfa_rounds:1 ~zero:0 ~one:1 inst
+      (Logic.Expr.Sum (fvp, Logic.Expr.Guard phi_path2))
+  in
+  let cc = Circuits.Compact.of_circuit ccirc in
+  (* interleaved min-of-5, as in the eval workloads *)
+  let t_boxed, t_compact =
+    let best_b = ref infinity and best_c = ref infinity in
+    for _ = 1 to 5 do
+      let t0 = Unix.gettimeofday () in
+      ignore (Circuits.Circuit.eval nat_ops ccirc (fun _ -> 0));
+      let t1 = Unix.gettimeofday () in
+      ignore (Circuits.Compact.eval nat_ops cc (fun _ -> 0));
+      let t2 = Unix.gettimeofday () in
+      best_b := Float.min !best_b (t1 -. t0);
+      best_c := Float.min !best_c (t2 -. t1)
+    done;
+    (!best_b, !best_c)
+  in
+  let v_boxed = Circuits.Circuit.eval nat_ops ccirc (fun _ -> 0) in
+  let v_compact = Circuits.Compact.eval nat_ops cc (fun _ -> 0) in
+  let counts_agree = v_compact = v_boxed && v_compact = List.length answers_opt in
+  let roundtrip =
+    let tmp = Filename.temp_file "sparseq_bench" ".spqc" in
+    Circuits.Compact.save ~tag:"nat" cc tmp;
+    let cc2, tag = Circuits.Compact.load tmp in
+    Sys.remove tmp;
+    tag = "nat" && Circuits.Compact.eval nat_ops cc2 (fun _ -> 0) = v_compact
+  in
+  let c_eval_speedup = t_boxed /. Float.max 1e-9 t_compact in
+  let c_ok = counts_agree && roundtrip in
+  let compact_cmp =
+    Some
+      {
+        c_eval_speedup;
+        c_p50_speedup = 1.0;
+        c_roundtrip = roundtrip;
+        c_ok;
+        c_detail =
+          Printf.sprintf "count eval x%.2f vs boxed; counts %s (%d); reload %s"
+            c_eval_speedup
+            (if counts_agree then "agree" else "DISAGREE")
+            v_compact
+            (if roundtrip then "identical" else "DIFFERS");
+      }
+  in
   (* verify: after removing a few edges, the enumerated answers must match
      the brute-force answers on the live instance *)
   let instv = Db.Instance.of_graph (Graphs.Gen.grid 5 5) in
@@ -454,15 +628,18 @@ let path2_workload ~smoke ~seed () : result =
     updates;
     p50_ns = quantile samples 0.5;
     p99_ns = quantile samples 0.99;
-    verified = got = want && opt_ok;
+    verified = (got = want) && opt_ok && c_ok;
     detail =
       (if got = want then
          Printf.sprintf "enumeration matched reference (%d answers after edge removals)"
            (List.length want)
        else "enumerated answers disagree with reference")
-      ^ "; opt: " ^ opt_detail;
+      ^ "; opt: " ^ opt_detail
+      ^ "; compact: "
+      ^ (match compact_cmp with Some c -> c.c_detail | None -> "skipped");
     opt_cmp =
       Some { gates_pre; shrink; eval_speedup; p50_speedup; opt_ok; opt_detail };
+    compact_cmp;
   }
 
 (* --- metrics-layer overhead (the ≤5% budget) --- *)
@@ -515,14 +692,14 @@ let overhead ~smoke ~seed =
 
 let () =
   let seed = ref 20260705 in
-  let out = ref "BENCH_pr6.json" in
+  let out = ref "BENCH_pr7.json" in
   let smoke = ref false in
   let trace = ref "" in
   let only = ref [] in
   Arg.parse
     [
       ("--seed", Arg.Set_int seed, "INT  PRNG seed (default 20260705)");
-      ("--out", Arg.Set_string out, "FILE  JSON baseline output (default BENCH_pr6.json)");
+      ("--out", Arg.Set_string out, "FILE  JSON baseline output (default BENCH_pr7.json)");
       ("--smoke", Arg.Set smoke, "  small instances and fewer updates (CI mode)");
       ( "--trace",
         Arg.Set_string trace,

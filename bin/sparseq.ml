@@ -105,9 +105,39 @@ let opt_arg =
            fold/cse/dce/balance passes on the compiled circuit, $(b,none) hands \
            the raw compiler output downstream.")
 
-(* Budget and optimizer pipeline travel together so every run function keeps
-   the fixed arity [guarded] expects. *)
-let budget_opt = Term.(const (fun b o -> (b, o)) $ budget_term $ opt_arg)
+let compact_arg =
+  Arg.(
+    value
+    & opt ~vopt:Circuits.Dyn.Compact
+        (enum [ ("on", Circuits.Dyn.Compact); ("off", Circuits.Dyn.Boxed) ])
+        Circuits.Dyn.Compact
+    & info [ "compact" ] ~docv:"on|off"
+        ~doc:
+          "Gate-storage backend for circuit evaluation and maintenance: $(b,on) (the \
+           default) uses the CSR/struct-of-arrays compact runtime with Bigarray value \
+           planes for machine-int semirings, $(b,off) the boxed pointer-graph twin.")
+
+(* Budget, optimizer pipeline and storage backend travel together so every
+   run function keeps the fixed arity [guarded] expects. *)
+let budget_opt =
+  Term.(const (fun b o c -> (b, o, c)) $ budget_term $ opt_arg $ compact_arg)
+
+let load_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "load" ] ~docv:"FILE"
+        ~doc:
+          "Load a compact circuit previously written by $(b,sparseq compile --save) \
+           instead of compiling the query; the workload flags are ignored.")
+
+(* The semiring names stored as the .spqc tag; a loaded circuit's constant
+   pool only makes sense in the semiring it was saved under, so the tag is
+   checked before evaluating. *)
+let check_tag path tag expect =
+  if tag <> expect then
+    Robust.bad_input "%s was saved under semiring %S; this command evaluates under %S"
+      path tag expect
 
 let fallback_arg =
   Arg.(
@@ -229,7 +259,15 @@ let stats_cmd =
             "Apply the timed updates in batches of $(docv) through the batched \
              propagation wave (Eval.update_many); 1 = one wave per update.")
   in
-  let run kind n seed qname (budget, opt) (updates, batch) =
+  let run kind n seed qname (budget, opt, backend) ((updates, batch), load) =
+    match load with
+    | Some path ->
+        (* A persisted circuit carries no workload: print what the file holds. *)
+        let cc, tag = Circuits.Compact.load path in
+        let cs = Circuits.Circuit.stats (Circuits.Compact.to_circuit cc) in
+        Printf.printf "loaded %s (tag %S)\n" path tag;
+        Format.printf "circuit: %a@." Circuits.Circuit.pp_stats cs
+    | None ->
     let _, inst = setup kind n seed in
     let phi = make_query qname in
     let fv = Logic.Formula.free_vars_unique phi in
@@ -244,7 +282,7 @@ let stats_cmd =
     (* Theorem 8 update latency: the weighted variant Σ_x̄ [φ]·w(x₁) is
        prepared as a dynamic circuit and hit with random weight updates. *)
     if updates > 0 && fv <> [] then begin
-      let nat_ops = Intf.ops_of_module (module Instances.Nat) in
+      let nat_ops = Intf.with_int_repr (Intf.ops_of_module (module Instances.Nat)) in
       let nn = Db.Instance.n inst in
       let w = Db.Weights.create ~name:"w" ~arity:1 ~zero:0 in
       Db.Weights.fill_unary w ~n:nn (fun _ -> 1);
@@ -255,9 +293,10 @@ let stats_cmd =
               [ Logic.Expr.Guard phi; Logic.Expr.Weight ("w", [ v (List.hd fv) ]) ] )
       in
       let ev =
-        Engine.Eval.prepare nat_ops ~opt ~tfa_rounds:1 ~budget inst
+        Engine.Eval.prepare nat_ops ~opt ~backend ~tfa_rounds:1 ~budget inst
           (Db.Weights.bundle [ w ]) wexpr
       in
+      Printf.printf "backend: %s\n" (Circuits.Dyn.backend_name backend);
       let rng = Random.State.make [| seed; 0x5eed |] in
       if batch <= 1 then begin
         let samples = Array.make updates 0. in
@@ -300,7 +339,9 @@ let stats_cmd =
       end
     end
   in
-  let updates_batch = Term.(const (fun u b -> (u, b)) $ updates_arg $ batch_arg) in
+  let updates_batch =
+    Term.(const (fun u b l -> ((u, b), l)) $ updates_arg $ batch_arg $ load_arg)
+  in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
@@ -314,26 +355,44 @@ let stats_cmd =
 (* --- count --- *)
 
 let count_cmd =
-  let run kind n seed qname (budget, opt) fallback =
-    let _, inst = setup kind n seed in
-    let phi = make_query qname in
-    let fv = Logic.Formula.free_vars_unique phi in
-    let expr = Logic.Expr.Sum (fv, Logic.Expr.Guard phi) in
-    let nat_ops = Intf.ops_of_module (module Instances.Nat) in
-    let t0 = Sys.time () in
-    let value, degraded =
-      ok
-        (Engine.Eval.evaluate_checked nat_ops ~opt ~tfa_rounds:1 ~budget ~fallback inst
-           (Db.Weights.bundle []) expr)
-    in
-    note_degraded degraded;
-    Printf.printf "answers(%s) = %d   (%.3fs)\n" qname value (Sys.time () -. t0)
+  let run kind n seed qname (budget, opt, backend) (fallback, load) =
+    match load with
+    | Some path ->
+        (* Evaluate a persisted circuit directly on the compact runtime.  A
+           counting circuit is closed (no Weight gates), so the valuation is
+           never consulted; if the file does hold weight inputs, surface that
+           as a structured error rather than a silent zero. *)
+        let cc, tag = Circuits.Compact.load path in
+        check_tag path tag "nat";
+        let nat_ops = Intf.with_int_repr (Intf.ops_of_module (module Instances.Nat)) in
+        let t0 = Sys.time () in
+        let value =
+          Circuits.Compact.eval nat_ops cc (fun (w, _) ->
+              Robust.bad_input
+                "%s holds weight input %S; count evaluates closed circuits only" path w)
+        in
+        Printf.printf "answers(%s) = %d   (%.3fs)\n" path value (Sys.time () -. t0)
+    | None ->
+        let _, inst = setup kind n seed in
+        let phi = make_query qname in
+        let fv = Logic.Formula.free_vars_unique phi in
+        let expr = Logic.Expr.Sum (fv, Logic.Expr.Guard phi) in
+        let nat_ops = Intf.with_int_repr (Intf.ops_of_module (module Instances.Nat)) in
+        let t0 = Sys.time () in
+        let value, degraded =
+          ok
+            (Engine.Eval.evaluate_checked nat_ops ~opt ~backend ~tfa_rounds:1 ~budget
+               ~fallback inst (Db.Weights.bundle []) expr)
+        in
+        note_degraded degraded;
+        Printf.printf "answers(%s) = %d   (%.3fs)\n" qname value (Sys.time () -. t0)
   in
+  let fallback_load = Term.(const (fun f l -> (f, l)) $ fallback_arg $ load_arg) in
   Cmd.v (Cmd.info "count" ~doc:"Count the answers of a query through the circuit pipeline.")
     Term.(
       ret
         (const (guarded run) $ metrics_arg $ trace_arg $ graph_arg $ n_arg $ seed_arg $ query_arg
-       $ budget_opt $ fallback_arg))
+       $ budget_opt $ fallback_load))
 
 (* --- enum --- *)
 
@@ -352,7 +411,7 @@ let enum_cmd =
       answers;
     Printf.printf "total answers: %d\n" total
   in
-  let run kind n seed qname limit ((budget, opt), fallback) =
+  let run kind n seed qname limit ((budget, opt, _backend), fallback) =
     let _, inst = setup kind n seed in
     let phi = make_query qname in
     let t0 = Sys.time () in
@@ -381,7 +440,7 @@ let enum_cmd =
 
 let pagerank_cmd =
   let rounds_arg = Arg.(value & opt int 5 & info [ "rounds" ] ~doc:"PageRank rounds.") in
-  let run kind n seed rounds (budget, opt) (fallback, recover) =
+  let run kind n seed rounds (budget, opt, backend) (fallback, recover) =
     let g, inst = setup kind n seed in
     let n = Db.Instance.n inst in
     let d = Rat.of_ints 85 100 in
@@ -412,8 +471,8 @@ let pagerank_cmd =
     let rat_ops = Intf.ops_of_ring (module Rat.Ring) in
     let t =
       ok
-        (Engine.Eval.prepare_checked rat_ops ~opt ~tfa_rounds:1 ~budget ~fallback ?recover
-           inst
+        (Engine.Eval.prepare_checked rat_ops ~opt ~backend ~tfa_rounds:1 ~budget ~fallback
+           ?recover inst
            (Db.Weights.bundle [ w; linv ]) expr)
     in
     note_degraded (Engine.Eval.degraded t);
@@ -451,7 +510,30 @@ let explain_cmd =
              finite semiring). Determines which constant-update permanent-gate \
              strategy the dynamic circuit would pick.")
   in
-  let run kind n seed qname (budget, opt) semiring =
+  let run kind n seed qname (budget, opt, backend) (semiring, load) =
+    let sname = match semiring with `Nat -> "nat" | `Int -> "int" | `Bool -> "bool" in
+    let strategy (type a) (ops : a Semiring.Intf.ops) =
+      Printf.printf "permanent-gate strategy: %s\n"
+        (Circuits.Dyn.mode_name (Circuits.Dyn.pick_mode ops));
+      Printf.printf "gate storage: %s\n" (Circuits.Dyn.backend_name backend)
+    in
+    let pick_strategy () =
+      match semiring with
+      | `Nat -> strategy (Intf.with_int_repr (Intf.ops_of_module (module Instances.Nat)))
+      | `Int -> strategy (Intf.with_int_repr (Intf.ops_of_ring (module Instances.Int_ring)))
+      | `Bool -> strategy (Intf.ops_of_finite (module Instances.Bool))
+    in
+    match load with
+    | Some path ->
+        (* No compile happened, so no span tree: explain what the file holds
+           and what runtime the chosen semiring would pick for it. *)
+        let cc, tag = Circuits.Compact.load path in
+        check_tag path tag sname;
+        Printf.printf "loaded %s (tag %S)\n" path tag;
+        Format.printf "circuit:  %a@." Circuits.Circuit.pp_stats
+          (Circuits.Circuit.stats (Circuits.Compact.to_circuit cc));
+        pick_strategy ()
+    | None ->
     let _, inst = setup kind n seed in
     let phi = make_query qname in
     let fv = Logic.Formula.free_vars_unique phi in
@@ -462,7 +544,7 @@ let explain_cmd =
     let explain (type a) (ops : a Semiring.Intf.ops) =
       let (ev : a Engine.Eval.t), records =
         Obs.Trace.with_recording (fun () ->
-            Engine.Eval.prepare ops ~opt ~tfa_rounds:1 ~budget inst
+            Engine.Eval.prepare ops ~opt ~backend ~tfa_rounds:1 ~budget inst
               (Db.Weights.bundle []) expr)
       in
       print_string (Obs.Trace.render_forest (Obs.Trace.forest_of records));
@@ -471,12 +553,11 @@ let explain_cmd =
         (Circuits.Circuit.stats ev.Engine.Eval.circuit);
       Format.printf "optimizer (per-pass shrink):@.%a@." Opt.pp_report
         ev.Engine.Eval.meta.Engine.Compile.opt;
-      Printf.printf "permanent-gate strategy: %s\n"
-        (Circuits.Dyn.mode_name (Circuits.Dyn.pick_mode ops))
+      strategy ops
     in
     match semiring with
-    | `Nat -> explain (Intf.ops_of_module (module Instances.Nat))
-    | `Int -> explain (Intf.ops_of_ring (module Instances.Int_ring))
+    | `Nat -> explain (Intf.with_int_repr (Intf.ops_of_module (module Instances.Nat)))
+    | `Int -> explain (Intf.with_int_repr (Intf.ops_of_ring (module Instances.Int_ring)))
     | `Bool -> explain (Intf.ops_of_finite (module Instances.Bool))
   in
   Cmd.v
@@ -486,10 +567,67 @@ let explain_cmd =
           the compilation phases with wall-clock timings and coverage, the circuit \
           statistics, and the permanent-gate update strategy the chosen semiring \
           selects.")
+    (let semiring_load = Term.(const (fun s l -> (s, l)) $ semiring_arg $ load_arg) in
+     Term.(
+       ret
+         (const (guarded run) $ metrics_arg $ trace_arg $ graph_arg $ n_arg $ seed_arg
+        $ query_arg $ budget_opt $ semiring_load)))
+
+(* --- compile --- *)
+
+let compile_cmd =
+  let save_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE"
+          ~doc:
+            "Write the compiled+optimized circuit to $(docv) in the versioned SPQC1 \
+             binary format; reload it with $(b,--load) on count, stats or explain.")
+  in
+  let semiring_arg =
+    Arg.(
+      value
+      & opt (enum [ ("nat", `Nat); ("int", `Int); ("bool", `Bool) ]) `Nat
+      & info [ "semiring" ] ~docv:"S"
+          ~doc:
+            "Semiring whose constants are baked into the saved circuit; recorded in \
+             the file tag and checked on $(b,--load).")
+  in
+  let run kind n seed qname (budget, opt, _backend) (save, semiring) =
+    let _, inst = setup kind n seed in
+    let phi = make_query qname in
+    let fv = Logic.Formula.free_vars_unique phi in
+    let expr = Logic.Expr.Sum (fv, Logic.Expr.Guard phi) in
+    let go (type a) (ops : a Semiring.Intf.ops) tag =
+      let t0 = Unix.gettimeofday () in
+      let c, m =
+        Engine.Compile.compile ~tfa_rounds:1 ~budget ~opt ~zero:ops.Semiring.Intf.zero
+          ~one:ops.Semiring.Intf.one inst expr
+      in
+      let cc = Circuits.Compact.of_circuit c in
+      Circuits.Compact.save ~tag cc save;
+      let bytes = (Unix.stat save).Unix.st_size in
+      Format.printf "compiled %s in %.3fs@." qname (Unix.gettimeofday () -. t0);
+      Format.printf "pipeline: %a@." Engine.Compile.pp_meta m;
+      Format.printf "circuit: %a@." Circuits.Circuit.pp_stats (Circuits.Circuit.stats c);
+      Printf.printf "saved %s (tag %S, %d bytes)\n" save tag bytes
+    in
+    match semiring with
+    | `Nat -> go (Intf.with_int_repr (Intf.ops_of_module (module Instances.Nat))) "nat"
+    | `Int -> go (Intf.with_int_repr (Intf.ops_of_ring (module Instances.Int_ring))) "int"
+    | `Bool -> go (Intf.ops_of_finite (module Instances.Bool)) "bool"
+  in
+  let save_semiring = Term.(const (fun s r -> (s, r)) $ save_arg $ semiring_arg) in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Compile and optimize a query once, then persist the compact circuit to disk \
+          so later runs load it in O(size) instead of recompiling.")
     Term.(
       ret
         (const (guarded run) $ metrics_arg $ trace_arg $ graph_arg $ n_arg $ seed_arg $ query_arg
-       $ budget_opt $ semiring_arg))
+       $ budget_opt $ save_semiring))
 
 let () =
   (* Interactive runs want the post-mortem flight recorder on stderr; the
@@ -501,4 +639,6 @@ let () =
       ~doc:"Aggregate queries on sparse databases (Torunczyk, PODS 2020)."
   in
   exit
-    (Cmd.eval (Cmd.group info [ stats_cmd; count_cmd; enum_cmd; explain_cmd; pagerank_cmd ]))
+    (Cmd.eval
+       (Cmd.group info
+          [ stats_cmd; count_cmd; enum_cmd; explain_cmd; pagerank_cmd; compile_cmd ]))

@@ -1,0 +1,532 @@
+(** Compact CSR/struct-of-arrays circuit runtime.
+
+    {!Circuit.t} is a boxed variant graph: every gate is a heap block and
+    every child reference a pointer chase, so after the optimizer has
+    shrunk the DAG the evaluation and update loops are cache-miss bound
+    rather than compute bound. This module stores the same Theorem 6
+    circuit as parallel flat arrays:
+
+    {v
+      opcode    : int array          0=Input 1=Const 2=Add 3=Mul 4=Perm
+      arg       : int array          per-gate immediate (see below)
+      child_off : int array (n+1)    CSR offsets into [children]
+      children  : int array          child gate ids, per gate contiguous
+                                     (Perm children row-major)
+      perm_rows : int array          per Perm descriptor: matrix rows
+      perm_cols : int array          per Perm descriptor: matrix columns
+      consts    : 'a array           constant pool
+      input_keys: input_key array    input pool, in gate order
+    v}
+
+    [arg] holds the index into the pool the opcode selects: the input-key
+    pool for [Input], the constant pool for [Const], the Perm descriptor
+    table for [Perm]; [-1] for [Add]/[Mul]. Pools are filled in gate order,
+    so the k-th Input gate has [arg = k] — {!validate} enforces this
+    canonical form, which also makes the serialized bytes deterministic.
+
+    Gate values live in a {e plane}: a Bigarray [int] vector when the
+    semiring carrier is machine-int ({!Semiring.Intf.Machine_int} — no GC
+    scanning, no float-array check on access), a boxed ['a array]
+    otherwise. The same circuit evaluates in either plane — the
+    universality of Theorem 6 is untouched by the representation.
+
+    A compact circuit can be persisted: {!save}/{!load} use a versioned
+    length-prefixed binary format ([SPQC1], FNV-1a section checksums like
+    {!Journal}) so a compiled+optimized circuit is written once and loaded
+    back in O(size), with corruption surfacing as [Robust.Bad_input]
+    rather than as wrong answers. *)
+
+let op_input = 0
+let op_const = 1
+let op_add = 2
+let op_mul = 3
+let op_perm = 4
+
+type 'a t = {
+  n : int;  (** gate count *)
+  opcode : int array;  (** n entries, each in 0..4 *)
+  arg : int array;  (** n entries: pool index per opcode, -1 for Add/Mul *)
+  child_off : int array;  (** n+1 CSR offsets into [children] *)
+  children : int array;  (** flat child ids; strictly smaller than their gate *)
+  perm_rows : int array;  (** per Perm descriptor *)
+  perm_cols : int array;  (** per Perm descriptor *)
+  consts : 'a array;
+  input_keys : Circuit.input_key array;
+  input_ids : (Circuit.input_key, int) Hashtbl.t;  (** key → gate id (derived) *)
+  output : int;
+}
+
+(* --- value planes --- *)
+
+(** Flat gate-value storage; [PInt] is unboxed (Bigarray), [PBox] the
+    fallback for arbitrary carriers. *)
+type 'a plane =
+  | PInt : (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t -> int plane
+  | PBox : 'a array -> 'a plane
+
+(** Plane matching the semiring's representation witness, filled with
+    [ops.zero]. *)
+let make_plane (type a) (ops : a Semiring.Intf.ops) (n : int) : a plane =
+  match ops.Semiring.Intf.repr with
+  | Semiring.Intf.Machine_int ->
+      let b = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
+      Bigarray.Array1.fill b ops.Semiring.Intf.zero;
+      PInt b
+  | Semiring.Intf.Boxed_repr -> PBox (Array.make n ops.Semiring.Intf.zero)
+
+(** Always-boxed plane — the storage of the sequential (boxed) twin,
+    regardless of the representation witness. *)
+let boxed_plane (ops : 'a Semiring.Intf.ops) (n : int) : 'a plane =
+  PBox (Array.make n ops.Semiring.Intf.zero)
+
+let plane_get : type a. a plane -> int -> a =
+ fun p i -> match p with PInt b -> Bigarray.Array1.get b i | PBox a -> a.(i)
+
+let plane_set : type a. a plane -> int -> a -> unit =
+ fun p i v -> match p with PInt b -> Bigarray.Array1.set b i v | PBox a -> a.(i) <- v
+
+let plane_length : type a. a plane -> int =
+ fun p -> match p with PInt b -> Bigarray.Array1.dim b | PBox a -> Array.length a
+
+(* --- conversion --- *)
+
+(** One-shot conversion from the boxed graph, meant to run on the output
+    of the {!Opt} pipeline. Child references are re-validated here even
+    though {!Circuit.finish} already checks them: optimized circuits carry
+    remap tables in which dropped gates map to [-1], and a Perm matrix
+    rebuilt from such a table must fail with a structured error, not a
+    bounds [Invalid_argument] deep inside an array blit. *)
+let of_circuit (c : 'a Circuit.t) : 'a t =
+  let nodes = c.Circuit.nodes in
+  let n = Array.length nodes in
+  if n = 0 then Robust.bad_input "Compact.of_circuit: empty circuit";
+  if c.Circuit.output < 0 || c.Circuit.output >= n then
+    Robust.bad_input "Compact.of_circuit: output gate %d out of range (%d gates)"
+      c.Circuit.output n;
+  let check_child id g =
+    if g < 0 then
+      Robust.bad_input
+        "Compact.of_circuit: gate %d references dropped child %d (an optimizer remap \
+         maps dead gates to -1; rebuild the matrix from live gate ids)"
+        id g
+    else if g >= id then
+      Robust.bad_input
+        "Compact.of_circuit: gate %d references child %d; children must have strictly \
+         smaller ids (topological order)"
+        id g
+  in
+  let opcode = Array.make n 0 in
+  let arg = Array.make n (-1) in
+  let child_off = Array.make (n + 1) 0 in
+  let nchildren = ref 0 in
+  let rev_consts = ref [] and nconsts = ref 0 in
+  let rev_keys = ref [] and nkeys = ref 0 in
+  let rev_rows = ref [] and rev_cols = ref [] and nperm = ref 0 in
+  Array.iteri
+    (fun id node ->
+      (match node with
+      | Circuit.Input key ->
+          opcode.(id) <- op_input;
+          arg.(id) <- !nkeys;
+          rev_keys := key :: !rev_keys;
+          incr nkeys
+      | Circuit.Const s ->
+          opcode.(id) <- op_const;
+          arg.(id) <- !nconsts;
+          rev_consts := s :: !rev_consts;
+          incr nconsts
+      | Circuit.Add gs ->
+          opcode.(id) <- op_add;
+          Array.iter (check_child id) gs;
+          nchildren := !nchildren + Array.length gs
+      | Circuit.Mul gs ->
+          opcode.(id) <- op_mul;
+          Array.iter (check_child id) gs;
+          nchildren := !nchildren + Array.length gs
+      | Circuit.Perm rows ->
+          opcode.(id) <- op_perm;
+          arg.(id) <- !nperm;
+          let r = Array.length rows in
+          let cols = if r = 0 then 0 else Array.length rows.(0) in
+          Array.iteri
+            (fun ri row ->
+              if Array.length row <> cols then
+                Robust.bad_input
+                  "Compact.of_circuit: gate %d has a ragged permanent matrix (row 0 has \
+                   %d columns, row %d has %d)"
+                  id cols ri (Array.length row);
+              Array.iter (check_child id) row)
+            rows;
+          rev_rows := r :: !rev_rows;
+          rev_cols := cols :: !rev_cols;
+          incr nperm;
+          nchildren := !nchildren + (r * cols));
+      child_off.(id + 1) <- !nchildren)
+    nodes;
+  let children = Array.make !nchildren 0 in
+  Array.iteri
+    (fun id node ->
+      let pos = ref child_off.(id) in
+      let put g =
+        children.(!pos) <- g;
+        incr pos
+      in
+      match node with
+      | Circuit.Input _ | Circuit.Const _ -> ()
+      | Circuit.Add gs | Circuit.Mul gs -> Array.iter put gs
+      | Circuit.Perm rows -> Array.iter (Array.iter put) rows)
+    nodes;
+  let input_keys = Array.of_list (List.rev !rev_keys) in
+  let input_ids = Hashtbl.create (max 16 (2 * !nkeys)) in
+  Array.iteri
+    (fun id node ->
+      match node with
+      | Circuit.Input key ->
+          if Hashtbl.mem input_ids key then
+            Robust.bad_input
+              "Compact.of_circuit: duplicate input gate for (%s, [%s])" (fst key)
+              (String.concat ";" (List.map string_of_int (snd key)));
+          Hashtbl.replace input_ids key id
+      | _ -> ())
+    nodes;
+  {
+    n;
+    opcode;
+    arg;
+    child_off;
+    children;
+    perm_rows = Array.of_list (List.rev !rev_rows);
+    perm_cols = Array.of_list (List.rev !rev_cols);
+    consts = Array.of_list (List.rev !rev_consts);
+    input_keys;
+    input_ids;
+    output = c.Circuit.output;
+  }
+
+(** Back to the boxed graph — O(size); used by the loaded-circuit path so
+    dynamic maintenance can rebalance and rebuild exactly as it does for a
+    freshly compiled circuit. *)
+let to_circuit (t : 'a t) : 'a Circuit.t =
+  let nodes =
+    Array.init t.n (fun id ->
+        let base = t.child_off.(id) in
+        let deg = t.child_off.(id + 1) - base in
+        match t.opcode.(id) with
+        | 0 -> Circuit.Input t.input_keys.(t.arg.(id))
+        | 1 -> Circuit.Const t.consts.(t.arg.(id))
+        | 2 -> Circuit.Add (Array.init deg (fun i -> t.children.(base + i)))
+        | 3 -> Circuit.Mul (Array.init deg (fun i -> t.children.(base + i)))
+        | _ ->
+            let d = t.arg.(id) in
+            let rows = t.perm_rows.(d) and cols = t.perm_cols.(d) in
+            Circuit.Perm
+              (Array.init rows (fun r ->
+                   Array.init cols (fun c -> t.children.(base + (r * cols) + c)))))
+  in
+  { Circuit.nodes; output = t.output; input_ids = Hashtbl.copy t.input_ids }
+
+(* --- evaluation --- *)
+
+(* Permanent gate: materialize the matrix from the plane and run the
+   static O(2ᵏ·k·n) DP — identical to the boxed evaluator's Perm case. *)
+let perm_matrix (type a) (t : a t) (vals : a plane) (id : int) : a array array =
+  let d = t.arg.(id) in
+  let rows = t.perm_rows.(d) and cols = t.perm_cols.(d) in
+  let base = t.child_off.(id) in
+  Array.init rows (fun r ->
+      Array.init cols (fun c -> plane_get vals t.children.(base + (r * cols) + c)))
+
+(** Evaluate every gate bottom-up into [vals] (length ≥ n), seeding input
+    gates from [valuation]. Exposed for callers that want to keep the
+    plane (e.g. to read several gate values). *)
+let eval_into (type a) (ops : a Semiring.Intf.ops) (t : a t)
+    (valuation : Circuit.input_key -> a) (vals : a plane) : unit =
+  let open Semiring.Intf in
+  let opcode = t.opcode
+  and arg = t.arg
+  and child_off = t.child_off
+  and children = t.children in
+  (* dispatch on the plane once, not per access: this loop is the whole
+     point of the flat layout. unsafe_get is sound — every index was
+     validated by of_circuit/load ([children] ids < gate < n). *)
+  match vals with
+  | PInt b ->
+      for id = 0 to t.n - 1 do
+        let v =
+          match Array.unsafe_get opcode id with
+          | 0 -> valuation t.input_keys.(Array.unsafe_get arg id)
+          | 1 -> t.consts.(Array.unsafe_get arg id)
+          | 2 ->
+              let acc = ref ops.zero in
+              for i = Array.unsafe_get child_off id to Array.unsafe_get child_off (id + 1) - 1 do
+                acc := ops.add !acc (Bigarray.Array1.unsafe_get b (Array.unsafe_get children i))
+              done;
+              !acc
+          | 3 ->
+              let acc = ref ops.one in
+              for i = Array.unsafe_get child_off id to Array.unsafe_get child_off (id + 1) - 1 do
+                acc := ops.mul !acc (Bigarray.Array1.unsafe_get b (Array.unsafe_get children i))
+              done;
+              !acc
+          | _ -> Perm.Static.perm ops (perm_matrix t vals id)
+        in
+        Bigarray.Array1.unsafe_set b id v
+      done
+  | PBox a ->
+      for id = 0 to t.n - 1 do
+        let v =
+          match Array.unsafe_get opcode id with
+          | 0 -> valuation t.input_keys.(Array.unsafe_get arg id)
+          | 1 -> t.consts.(Array.unsafe_get arg id)
+          | 2 ->
+              let acc = ref ops.zero in
+              for i = Array.unsafe_get child_off id to Array.unsafe_get child_off (id + 1) - 1 do
+                acc := ops.add !acc (Array.unsafe_get a (Array.unsafe_get children i))
+              done;
+              !acc
+          | 3 ->
+              let acc = ref ops.one in
+              for i = Array.unsafe_get child_off id to Array.unsafe_get child_off (id + 1) - 1 do
+                acc := ops.mul !acc (Array.unsafe_get a (Array.unsafe_get children i))
+              done;
+              !acc
+          | _ -> Perm.Static.perm ops (perm_matrix t vals id)
+        in
+        Array.unsafe_set a id v
+      done
+
+(** Evaluate under a valuation of the input gates; same empty-gate
+    conventions as {!Circuit.eval} ([Add [||]] = zero, [Mul [||]] = one). *)
+let eval (type a) (ops : a Semiring.Intf.ops) (t : a t)
+    (valuation : Circuit.input_key -> a) : a =
+  let vals = make_plane ops t.n in
+  eval_into ops t valuation vals;
+  plane_get vals t.output
+
+(* --- structural validation --- *)
+
+(** Check every invariant the runtime relies on; raises [Robust.Bad_input]
+    on the first violation. {!load} runs this on everything it reads, so a
+    file that passes the checksums but encodes a malformed DAG still
+    cannot crash the evaluator or the wave engine. *)
+let validate (t : 'a t) : unit =
+  let fail fmt = Robust.bad_input fmt in
+  let n = t.n in
+  if n <= 0 then fail "Compact.validate: empty circuit";
+  if Array.length t.opcode <> n then fail "Compact.validate: opcode array length mismatch";
+  if Array.length t.arg <> n then fail "Compact.validate: arg array length mismatch";
+  if Array.length t.child_off <> n + 1 then
+    fail "Compact.validate: child_off must have %d entries" (n + 1);
+  if t.output < 0 || t.output >= n then fail "Compact.validate: output gate out of range";
+  if Array.length t.perm_rows <> Array.length t.perm_cols then
+    fail "Compact.validate: perm descriptor tables disagree in length";
+  if t.child_off.(0) <> 0 then fail "Compact.validate: child_off must start at 0";
+  if t.child_off.(n) <> Array.length t.children then
+    fail "Compact.validate: child_off must end at the children count";
+  let seen_inputs = ref 0 and seen_consts = ref 0 and seen_perms = ref 0 in
+  for id = 0 to n - 1 do
+    let base = t.child_off.(id) in
+    let next = t.child_off.(id + 1) in
+    if next < base then fail "Compact.validate: child_off decreases at gate %d" id;
+    let deg = next - base in
+    for i = base to next - 1 do
+      let g = t.children.(i) in
+      if g < 0 || g >= id then
+        fail "Compact.validate: gate %d references child %d (not strictly smaller)" id g
+    done;
+    match t.opcode.(id) with
+    | 0 ->
+        if deg <> 0 then fail "Compact.validate: input gate %d has children" id;
+        if t.arg.(id) <> !seen_inputs then
+          fail "Compact.validate: input gate %d breaks pool order" id;
+        incr seen_inputs
+    | 1 ->
+        if deg <> 0 then fail "Compact.validate: const gate %d has children" id;
+        if t.arg.(id) <> !seen_consts then
+          fail "Compact.validate: const gate %d breaks pool order" id;
+        incr seen_consts
+    | 2 | 3 ->
+        if t.arg.(id) <> -1 then fail "Compact.validate: add/mul gate %d has an arg" id
+    | 4 ->
+        let d = t.arg.(id) in
+        if d <> !seen_perms then fail "Compact.validate: perm gate %d breaks pool order" id;
+        incr seen_perms;
+        let rows = t.perm_rows.(d) and cols = t.perm_cols.(d) in
+        if rows < 0 || cols < 0 then
+          fail "Compact.validate: perm gate %d has negative dimensions" id;
+        if deg <> rows * cols then
+          fail "Compact.validate: perm gate %d has %d children for a %dx%d matrix" id deg
+            rows cols
+    | op -> fail "Compact.validate: gate %d has unknown opcode %d" id op
+  done;
+  if !seen_inputs <> Array.length t.input_keys then
+    fail "Compact.validate: input pool size disagrees with input gate count";
+  if !seen_consts <> Array.length t.consts then
+    fail "Compact.validate: constant pool size disagrees with const gate count";
+  if !seen_perms <> Array.length t.perm_rows then
+    fail "Compact.validate: perm descriptor count disagrees with perm gate count";
+  let keys = Hashtbl.create (max 16 (2 * Array.length t.input_keys)) in
+  Array.iter
+    (fun key ->
+      if Hashtbl.mem keys key then
+        fail "Compact.validate: duplicate input key (%s, [%s])" (fst key)
+          (String.concat ";" (List.map string_of_int (snd key)));
+      Hashtbl.replace keys key ())
+    t.input_keys
+
+(* --- serialization (SPQC1) --- *)
+
+let magic = "SPQC1\n"
+
+(* Section payloads are individually protected: [4-byte length | 4-byte
+   FNV-1a checksum | payload], the same frame as Journal's SPQJ1 records.
+   All lengths and array entries fit comfortably in 32 bits (gate counts
+   are bounded by in-memory array sizes and validated on load). *)
+let checksum_bytes (s : string) : int =
+  let h = ref 0x811c9dc5 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xFFFFFFFF) s;
+  !h
+
+let encode_ints (a : int array) : string =
+  let b = Bytes.create (4 * Array.length a) in
+  Array.iteri (fun i x -> Bytes.set_int32_be b (4 * i) (Int32.of_int x)) a;
+  Bytes.unsafe_to_string b
+
+let max_section = 1 lsl 30
+
+(** Serialize to [path]. [tag] is a free-form caller string (the CLI
+    stores the semiring name) checked by the caller after {!load} — the
+    constant pool goes through [Marshal], so evaluating a circuit in a
+    semiring other than the one it was saved under is undefined; the tag
+    lets callers refuse early. The writer is deterministic: saving a
+    loaded circuit reproduces the input file byte for byte. *)
+let save ?(tag = "") (t : 'a t) (path : string) : unit =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  let section payload =
+    Buffer.add_int32_be buf (Int32.of_int (String.length payload));
+    Buffer.add_int32_be buf (Int32.of_int (checksum_bytes payload));
+    Buffer.add_string buf payload
+  in
+  section
+    (encode_ints
+       [|
+         t.n;
+         t.output;
+         Array.length t.children;
+         Array.length t.perm_rows;
+         Array.length t.consts;
+         Array.length t.input_keys;
+       |]);
+  section tag;
+  section (encode_ints t.opcode);
+  section (encode_ints t.arg);
+  section (encode_ints t.child_off);
+  section (encode_ints t.children);
+  section (encode_ints t.perm_rows);
+  section (encode_ints t.perm_cols);
+  section (Marshal.to_string t.consts []);
+  section (Marshal.to_string t.input_keys []);
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Buffer.output_buffer oc buf)
+
+(** Read a circuit back. Every frame's length is bounds-checked against
+    the bytes actually remaining {e before} any allocation, every checksum
+    is re-derived from the bytes actually read, and the decoded structure
+    goes through {!validate} — bit flips, truncations and version bumps
+    all surface as [Robust.Bad_input], never as a crash, a hang, or an
+    over-allocation. Returns the circuit and the saved tag. *)
+let load (path : string) : 'a t * string =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let file_len = in_channel_length ic in
+  (match really_input_string ic (String.length magic) with
+  | m when m = magic -> ()
+  | m when String.length m >= 4 && String.sub m 0 4 = "SPQC" ->
+      Robust.bad_input "Compact.load: %s uses an unsupported circuit format version" path
+  | _ -> Robust.bad_input "Compact.load: %s is not a compact circuit file (bad magic)" path
+  | exception End_of_file ->
+      Robust.bad_input "Compact.load: %s is not a compact circuit file (too short)" path);
+  let read_int32 what =
+    try Int32.to_int (Bytes.get_int32_be (Bytes.of_string (really_input_string ic 4)) 0)
+    with End_of_file -> Robust.bad_input "Compact.load: %s truncated in %s" path what
+  in
+  let read_section name =
+    let len = read_int32 name in
+    if len < 0 || len > max_section then
+      Robust.bad_input "Compact.load: %s section %s has implausible length %d" path name
+        len;
+    if len + 4 > file_len - pos_in ic then
+      Robust.bad_input "Compact.load: %s truncated inside section %s" path name;
+    let stored = read_int32 name land 0xFFFFFFFF in
+    let payload =
+      try really_input_string ic len
+      with End_of_file ->
+        Robust.bad_input "Compact.load: %s truncated inside section %s" path name
+    in
+    if checksum_bytes payload <> stored then
+      Robust.bad_input "Compact.load: %s section %s fails its checksum" path name;
+    payload
+  in
+  let decode_ints name payload =
+    let len = String.length payload in
+    if len mod 4 <> 0 then
+      Robust.bad_input "Compact.load: %s section %s is not an int array" path name;
+    Array.init (len / 4)
+      (fun i -> Int32.to_int (Bytes.get_int32_be (Bytes.unsafe_of_string payload) (4 * i)))
+  in
+  let header = decode_ints "header" (read_section "header") in
+  if Array.length header <> 6 then
+    Robust.bad_input "Compact.load: %s has a malformed header" path;
+  let n = header.(0) in
+  if n <= 0 || n > max_section then
+    Robust.bad_input "Compact.load: %s declares an implausible gate count %d" path n;
+  let tag = read_section "tag" in
+  let opcode = decode_ints "opcode" (read_section "opcode") in
+  let arg = decode_ints "arg" (read_section "arg") in
+  let child_off = decode_ints "child_off" (read_section "child_off") in
+  let children = decode_ints "children" (read_section "children") in
+  let perm_rows = decode_ints "perm_rows" (read_section "perm_rows") in
+  let perm_cols = decode_ints "perm_cols" (read_section "perm_cols") in
+  let consts_payload = read_section "consts" in
+  let keys_payload = read_section "input_keys" in
+  if pos_in ic <> file_len then
+    Robust.bad_input "Compact.load: %s has trailing bytes after the last section" path;
+  let unmarshal name payload =
+    (* the checksum already passed, so this only fails on a file written
+       with an incompatible runtime — still a Bad_input, not a crash *)
+    try Marshal.from_string payload 0
+    with _ ->
+      Robust.bad_input "Compact.load: %s section %s does not decode" path name
+  in
+  let consts : 'a array = unmarshal "consts" consts_payload in
+  let input_keys : Circuit.input_key array = unmarshal "input_keys" keys_payload in
+  if
+    header.(2) <> Array.length children
+    || header.(3) <> Array.length perm_rows
+    || header.(4) <> Array.length consts
+    || header.(5) <> Array.length input_keys
+  then Robust.bad_input "Compact.load: %s header disagrees with its sections" path;
+  let input_ids = Hashtbl.create (max 16 (2 * Array.length input_keys)) in
+  let t =
+    {
+      n;
+      opcode;
+      arg;
+      child_off;
+      children;
+      perm_rows;
+      perm_cols;
+      consts;
+      input_keys;
+      input_ids;
+      output = header.(1);
+    }
+  in
+  validate t;
+  Array.iteri
+    (fun id op -> if op = op_input then Hashtbl.replace input_ids input_keys.(arg.(id)) id)
+    opcode;
+  (t, tag)

@@ -18,6 +18,15 @@
 
 type mode = General | Ring | Finite
 
+(** Which gate-storage the wave engine runs over: [Compact] (default) is
+    the CSR/struct-of-arrays runtime of {!Compact} — flat opcode and
+    child arrays, CSR parent lists, and a Bigarray value plane for
+    machine-int semirings; [Boxed] is the pointer-graph runtime, kept as
+    the sequential twin for differential testing and benchmarking. Both
+    run the same heap/undo-log/journal machinery and are observationally
+    identical. *)
+type backend = Boxed | Compact
+
 (* Update reach-out metrics (scope "dyn"): Corollary 13 claims O(3ᵏ log n)
    touched gates per update for general semirings, Corollaries 17/20 claim
    O(1) for rings and finite semirings. [touched_per_update] is the direct
@@ -90,14 +99,32 @@ type 'a undo_entry =
   | URing of 'a Perm.Ring.t * 'a Perm.Ring.undo
   | UFin of 'a Perm.Finite.t * 'a Perm.Finite.undo
 
+(** Gate topology, per backend. Parent edges carry (parent id, slot in
+    the parent's child order) — the boxed twin keeps them as per-gate
+    lists, the compact runtime as one CSR triple so a wave's parent scan
+    is a flat array walk with no pointer chasing. *)
+type 'a topo =
+  | TBoxed of {
+      nodes : 'a Circuit.node array;
+      parents : (int * int) list array;
+    }
+  | TFlat of {
+      cc : 'a Compact.t;
+      par_off : int array;  (** n+1 CSR offsets *)
+      par_gate : int array;  (** parent gate ids *)
+      par_slot : int array;  (** slot of the child in that parent *)
+    }
+
 type 'a t = {
   ops : 'a Semiring.Intf.ops;
   mode : mode;
-  nodes : 'a Circuit.node array;
+  n : int;  (** gate count *)
+  topo : 'a topo;
   output : int;
   input_ids : (Circuit.input_key, int) Hashtbl.t;
-  values : 'a array;
-  parents : (int * int) list array;  (** (parent id, slot in its child order) *)
+  values : 'a Compact.plane;
+      (** current gate values; Bigarray-backed on the compact backend for
+          machine-int semirings, a boxed array otherwise *)
   aux : 'a aux array;
   fin_ctx : 'a Perm.Finite.ctx option;
   mutable wave_heap : int array;
@@ -172,81 +199,167 @@ let pick_mode (ops : 'a Semiring.Intf.ops) =
   | None, None -> General
 
 let mode_name = function General -> "general" | Ring -> "ring" | Finite -> "finite"
+let backend_name = function Boxed -> "boxed" | Compact -> "compact"
 
 (* (Re)compute every derived gate value and auxiliary structure bottom-up
    from the current input/const values: one topological pass, exactly the
-   initial-evaluation semantics. Shared by [create] and [repair]. *)
-let init_derived (ops : 'a Semiring.Intf.ops) mode fin_ctx (nodes : 'a Circuit.node array)
-    (values : 'a array) (aux : 'a aux array) =
+   initial-evaluation semantics on either gate layout. Shared by [create]
+   and [repair]. *)
+let init_derived (ops : 'a Semiring.Intf.ops) mode fin_ctx (topo : 'a topo)
+    (values : 'a Compact.plane) (aux : 'a aux array) =
   let open Semiring.Intf in
-  Array.iteri
-    (fun id node ->
-      match node with
-      | Circuit.Input _ -> ()
-      | Circuit.Const s -> values.(id) <- s
-      | Circuit.Add gs -> (
-          values.(id) <- Array.fold_left (fun acc g -> ops.add acc values.(g)) ops.zero gs;
-          match fin_ctx with
-          | Some ctx ->
-              let counts = Array.make (Array.length ctx.Perm.Finite.elems) 0 in
-              Array.iter
-                (fun g ->
-                  let i = Perm.Finite.index_of ctx values.(g) in
-                  counts.(i) <- counts.(i) + 1)
-                gs;
-              aux.(id) <- ACount counts
-          | None -> ())
-      | Circuit.Mul gs ->
-          values.(id) <- Array.fold_left (fun acc g -> ops.mul acc values.(g)) ops.one gs
-      | Circuit.Perm rows ->
-          let m = Array.map (Array.map (fun g -> values.(g))) rows in
-          let ncols = if Array.length rows = 0 then 0 else Array.length rows.(0) in
-          let st =
-            match mode with
-            | General -> PSeg (Perm.Segtree.create ops m)
-            | Ring -> PRing (Perm.Ring.create ops m)
-            | Finite -> PFin (Perm.Finite.create ops m)
-          in
-          aux.(id) <- APerm (st, ncols);
-          values.(id) <-
-            (match st with
-            | PSeg s -> Perm.Segtree.perm s
-            | PRing s -> Perm.Ring.perm s
-            | PFin s -> Perm.Finite.perm s))
-    nodes
+  let vget g = Compact.plane_get values g in
+  let vset id v = Compact.plane_set values id v in
+  let mk_perm id m ncols =
+    let st =
+      match mode with
+      | General -> PSeg (Perm.Segtree.create ops m)
+      | Ring -> PRing (Perm.Ring.create ops m)
+      | Finite -> PFin (Perm.Finite.create ops m)
+    in
+    aux.(id) <- APerm (st, ncols);
+    vset id
+      (match st with
+      | PSeg s -> Perm.Segtree.perm s
+      | PRing s -> Perm.Ring.perm s
+      | PFin s -> Perm.Finite.perm s)
+  in
+  (* Finite mode: a counting gate's per-element counters (Lemma 18). *)
+  let mk_counts id iter_children =
+    match fin_ctx with
+    | Some ctx ->
+        let counts = Array.make (Array.length ctx.Perm.Finite.elems) 0 in
+        iter_children (fun g ->
+            let i = Perm.Finite.index_of ctx (vget g) in
+            counts.(i) <- counts.(i) + 1);
+        aux.(id) <- ACount counts
+    | None -> ()
+  in
+  match topo with
+  | TBoxed b ->
+      Array.iteri
+        (fun id node ->
+          match node with
+          | Circuit.Input _ -> ()
+          | Circuit.Const s -> vset id s
+          | Circuit.Add gs ->
+              vset id (Array.fold_left (fun acc g -> ops.add acc (vget g)) ops.zero gs);
+              mk_counts id (fun visit -> Array.iter visit gs)
+          | Circuit.Mul gs ->
+              vset id (Array.fold_left (fun acc g -> ops.mul acc (vget g)) ops.one gs)
+          | Circuit.Perm rows ->
+              let m = Array.map (Array.map vget) rows in
+              let ncols = if Array.length rows = 0 then 0 else Array.length rows.(0) in
+              mk_perm id m ncols)
+        b.nodes
+  | TFlat fl ->
+      let cc = fl.cc in
+      let off = cc.Compact.child_off and ch = cc.Compact.children in
+      for id = 0 to cc.Compact.n - 1 do
+        match cc.Compact.opcode.(id) with
+        | 0 (* input *) -> ()
+        | 1 (* const *) -> vset id cc.Compact.consts.(cc.Compact.arg.(id))
+        | 2 (* add *) ->
+            let acc = ref ops.zero in
+            for i = off.(id) to off.(id + 1) - 1 do
+              acc := ops.add !acc (vget ch.(i))
+            done;
+            vset id !acc;
+            mk_counts id (fun visit ->
+                for i = off.(id) to off.(id + 1) - 1 do
+                  visit ch.(i)
+                done)
+        | 3 (* mul *) ->
+            let acc = ref ops.one in
+            for i = off.(id) to off.(id + 1) - 1 do
+              acc := ops.mul !acc (vget ch.(i))
+            done;
+            vset id !acc
+        | _ (* perm *) ->
+            let ncols = cc.Compact.perm_cols.(cc.Compact.arg.(id)) in
+            mk_perm id (Compact.perm_matrix cc values id) ncols
+      done
 
-let create ?mode (ops : 'a Semiring.Intf.ops) (c : 'a Circuit.t)
+let create ?mode ?(backend = Compact) (ops : 'a Semiring.Intf.ops) (c : 'a Circuit.t)
     (valuation : Circuit.input_key -> 'a) : 'a t =
-  let open Semiring.Intf in
   let mode = match mode with Some m -> m | None -> pick_mode ops in
   Obs.Trace.span ~scope:"dyn" "create"
     ~attrs:
       [
         ("mode", Obs.Trace.S (mode_name mode));
+        ("backend", Obs.Trace.S (backend_name backend));
         ("gates", Obs.Trace.I (Array.length c.Circuit.nodes));
       ]
   @@ fun () ->
   let c = if mode = General then balance c else c in
   let n = Array.length c.Circuit.nodes in
-  let values = Array.make n ops.zero in
-  let parents = Array.make n [] in
+  let topo, input_ids, values =
+    match backend with
+    | Boxed ->
+        let parents = Array.make n [] in
+        Array.iteri
+          (fun id node ->
+            match node with
+            | Circuit.Input _ | Circuit.Const _ -> ()
+            | Circuit.Add gs | Circuit.Mul gs ->
+                Array.iteri (fun slot g -> parents.(g) <- (id, slot) :: parents.(g)) gs
+            | Circuit.Perm rows ->
+                let ncols = if Array.length rows = 0 then 0 else Array.length rows.(0) in
+                Array.iteri
+                  (fun r row ->
+                    Array.iteri
+                      (fun cidx g -> parents.(g) <- (id, (r * ncols) + cidx) :: parents.(g))
+                      row)
+                  rows)
+          c.Circuit.nodes;
+        ( TBoxed { nodes = c.Circuit.nodes; parents },
+          c.Circuit.input_ids,
+          Compact.boxed_plane ops n )
+    | Compact ->
+        let cc = Compact.of_circuit c in
+        let nch = Array.length cc.Compact.children in
+        (* parent CSR: count, prefix-sum, fill (parents end up in
+           ascending parent-id order) *)
+        let par_off = Array.make (n + 1) 0 in
+        Array.iter (fun g -> par_off.(g + 1) <- par_off.(g + 1) + 1) cc.Compact.children;
+        for g = 0 to n - 1 do
+          par_off.(g + 1) <- par_off.(g + 1) + par_off.(g)
+        done;
+        let par_gate = Array.make nch 0 and par_slot = Array.make nch 0 in
+        let cursor = Array.sub par_off 0 n in
+        let coff = cc.Compact.child_off in
+        for id = 0 to n - 1 do
+          for i = coff.(id) to coff.(id + 1) - 1 do
+            let g = cc.Compact.children.(i) in
+            par_gate.(cursor.(g)) <- id;
+            par_slot.(cursor.(g)) <- i - coff.(id);
+            cursor.(g) <- cursor.(g) + 1
+          done
+        done;
+        ( TFlat { cc; par_off; par_gate; par_slot },
+          cc.Compact.input_ids,
+          Compact.make_plane ops n )
+  in
+  (* seed input values *)
+  (match topo with
+  | TBoxed b ->
+      Array.iteri
+        (fun id node ->
+          match node with
+          | Circuit.Input key -> Compact.plane_set values id (valuation key)
+          | _ -> ())
+        b.nodes
+  | TFlat fl ->
+      let cc = fl.cc in
+      Array.iteri
+        (fun id op ->
+          if op = 0 then
+            Compact.plane_set values id
+              (valuation cc.Compact.input_keys.(cc.Compact.arg.(id))))
+        cc.Compact.opcode);
   let aux = Array.make n ANone in
   let fin_ctx = if mode = Finite then Some (Perm.Finite.make_ctx ops) else None in
-  Array.iteri
-    (fun id node ->
-      (* record parent slots, and seed input values *)
-      match node with
-      | Circuit.Input key -> values.(id) <- valuation key
-      | Circuit.Const _ -> ()
-      | Circuit.Add gs | Circuit.Mul gs ->
-          Array.iteri (fun slot g -> parents.(g) <- (id, slot) :: parents.(g)) gs
-      | Circuit.Perm rows ->
-          let ncols = if Array.length rows = 0 then 0 else Array.length rows.(0) in
-          Array.iteri
-            (fun r row -> Array.iteri (fun cidx g -> parents.(g) <- (id, (r * ncols) + cidx) :: parents.(g)) row)
-            rows)
-    c.Circuit.nodes;
-  init_derived ops mode fin_ctx c.Circuit.nodes values aux;
+  init_derived ops mode fin_ctx topo values aux;
   Obs.Counter.incr
     (match mode with
     | General -> m_creates_general
@@ -255,17 +368,17 @@ let create ?mode (ops : 'a Semiring.Intf.ops) (c : 'a Circuit.t)
   {
     ops;
     mode;
-    nodes = c.Circuit.nodes;
+    n;
+    topo;
     output = c.Circuit.output;
-    input_ids = c.Circuit.input_ids;
+    input_ids;
     values;
-    parents;
     aux;
     fin_ctx;
     wave_heap = Array.make 16 0;
     wave_len = 0;
     wave_in = Array.make n false;
-    wave_saved = Array.make n ops.zero;
+    wave_saved = Array.make n ops.Semiring.Intf.zero;
     pending = Array.make n [];
     update_ops = 0;
     undo_log = Array.make 64 UNop;
@@ -279,17 +392,23 @@ let create ?mode (ops : 'a Semiring.Intf.ops) (c : 'a Circuit.t)
 let poisoned t = t.poisoned
 let set_fault_hook t h = t.fault_hook <- h
 let set_rollback_fault_hook t h = t.rollback_fault_hook <- h
+let num_gates t = t.n
+let backend t = match t.topo with TBoxed _ -> Boxed | TFlat _ -> Compact
+
+(* Plane accessors for the current gate values. *)
+let vget t id = Compact.plane_get t.values id
+let vset t id v = Compact.plane_set t.values id v
 
 let check_live t =
   match t.poisoned with Some msg -> raise (Poisoned msg) | None -> ()
 
 let value t =
   check_live t;
-  t.values.(t.output)
+  vget t t.output
 
 let gate_value t id =
   check_live t;
-  t.values.(id)
+  vget t id
 
 (* Reusable binary min-heap over gate ids (creation order = topological
    order), stored in the structure so propagation waves allocate nothing.
@@ -367,7 +486,7 @@ let rollback t =
     (match t.undo_log.(i) with
     | UNop -> ()
     | UTouch (id, v) ->
-        t.values.(id) <- v;
+        vset t id v;
         t.wave_in.(id) <- false;
         t.pending.(id) <- []
     | UCounts (live, snap) -> Array.blit snap 0 live 0 (Array.length snap)
@@ -406,6 +525,14 @@ let fault_wave t (e : exn) : 'b =
         ();
       raise e
 
+(* Is this gate an addition? The only kind query [notify] needs beyond
+   what the aux array already encodes (APerm ⇔ Perm, ACount ⇔ Finite-mode
+   Add): Ring mode must not apply the add-delta to Mul gates. *)
+let gate_is_add t id =
+  match t.topo with
+  | TBoxed b -> ( match b.nodes.(id) with Circuit.Add _ -> true | _ -> false)
+  | TFlat fl -> fl.cc.Compact.opcode.(id) = 2
+
 (* Apply the effect of a child's value change on a parent's auxiliary
    state; cheap bookkeeping only, no recomputation. Permanent gates only
    accumulate the entry write — the wave flushes all of a gate's pending
@@ -414,92 +541,139 @@ let fault_wave t (e : exn) : 'b =
    mutation logs its prior cell first. *)
 let notify t parent slot ~old_v ~new_v =
   let open Semiring.Intf in
-  match (t.nodes.(parent), t.aux.(parent)) with
-  | Circuit.Add _, ANone when t.mode = Ring ->
-      (* value drift is covered by the parent's first-contact UTouch *)
-      let neg = Option.get t.ops.neg in
-      t.values.(parent) <- t.ops.add (t.ops.add t.values.(parent) (neg old_v)) new_v
-  | Circuit.Add _, ACount counts ->
+  match t.aux.(parent) with
+  | APerm (_, ncols) ->
+      (* the cons chain is dropped wholesale by the parent's UTouch
+         (between waves every pending list is empty) *)
+      let row = slot / ncols and col = slot mod ncols in
+      t.pending.(parent) <- (row, col, new_v) :: t.pending.(parent)
+  | ACount counts ->
       (* counter drift is covered by the UCounts snapshot pushed at the
          gate's first contact this wave *)
       let ctx = Option.get t.fin_ctx in
       let oi = Perm.Finite.index_of ctx old_v and ni = Perm.Finite.index_of ctx new_v in
       counts.(oi) <- counts.(oi) - 1;
       counts.(ni) <- counts.(ni) + 1
-  | Circuit.Perm _, APerm (_, ncols) ->
-      (* the cons chain is dropped wholesale by the parent's UTouch
-         (between waves every pending list is empty) *)
-      let row = slot / ncols and col = slot mod ncols in
-      t.pending.(parent) <- (row, col, new_v) :: t.pending.(parent)
-  | _ -> ()
+  | ANone ->
+      if t.mode = Ring && gate_is_add t parent then begin
+        (* value drift is covered by the parent's first-contact UTouch *)
+        let neg = Option.get t.ops.neg in
+        vset t parent (t.ops.add (t.ops.add (vget t parent) (neg old_v)) new_v)
+      end
+
+(* Counting gate readout: Σ_e count_e · e via the lasso (Lemma 18). *)
+let count_value t counts =
+  let open Semiring.Intf in
+  let ctx = Option.get t.fin_ctx in
+  let acc = ref t.ops.zero in
+  Array.iteri
+    (fun i cnt ->
+      if cnt > 0 then
+        acc :=
+          t.ops.add !acc
+            (Perm.Finite.scale ctx (Perm.Finite.count_of_int ctx cnt) ctx.Perm.Finite.elems.(i)))
+    counts;
+  !acc
+
+(* Flush a permanent gate's accumulated pending entry writes through one
+   batched [set_many], then read the permanent. The perm undo cell is
+   pushed before the flush starts, so a flush interrupted halfway is
+   still fully covered by the log. *)
+let perm_value t id st =
+  (match t.pending.(id) with
+  | [] -> ()
+  | pend ->
+      (* the gate's UTouch already restores pending to [] on rollback *)
+      t.pending.(id) <- [];
+      (* accumulated newest-first; sequential order = reverse *)
+      let writes = List.rev pend in
+      (match st with
+      | PSeg s ->
+          let u = Perm.Segtree.undo_create () in
+          push_undo t (USeg (s, u));
+          Perm.Segtree.set_many_logged s u writes
+      | PRing s ->
+          let u = Perm.Ring.undo_create () in
+          push_undo t (URing (s, u));
+          Perm.Ring.set_many_logged s u writes
+      | PFin s ->
+          let u = Perm.Finite.undo_create () in
+          push_undo t (UFin (s, u));
+          Perm.Finite.set_many_logged s u writes));
+  match st with
+  | PSeg s -> Perm.Segtree.perm s
+  | PRing s -> Perm.Ring.perm s
+  | PFin s -> Perm.Finite.perm s
 
 (* Recompute a gate's value from its children/auxiliary state. *)
 let recompute t id =
   let open Semiring.Intf in
   (match t.fault_hook with Some h -> h id | None -> ());
   t.update_ops <- t.update_ops + 1;
-  match (t.nodes.(id), t.aux.(id)) with
-  | Circuit.Input _, _ | Circuit.Const _, _ -> t.values.(id)
-  | Circuit.Add _, ANone when t.mode = Ring -> t.values.(id) (* maintained by deltas *)
-  | Circuit.Add _, ACount counts ->
-      (* counting gate: Σ_e count_e · e via the lasso *)
-      let ctx = Option.get t.fin_ctx in
-      let acc = ref t.ops.zero in
-      Array.iteri
-        (fun i cnt ->
-          if cnt > 0 then
-            acc :=
-              t.ops.add !acc
-                (Perm.Finite.scale ctx (Perm.Finite.count_of_int ctx cnt) ctx.Perm.Finite.elems.(i)))
-        counts;
-      !acc
-  | Circuit.Add gs, _ -> Array.fold_left (fun acc g -> t.ops.add acc t.values.(g)) t.ops.zero gs
-  | Circuit.Mul gs, _ -> Array.fold_left (fun acc g -> t.ops.mul acc t.values.(g)) t.ops.one gs
-  | Circuit.Perm _, APerm (st, _) ->
-      (match t.pending.(id) with
-      | [] -> ()
-      | pend ->
-          (* the gate's UTouch already restores pending to [] on rollback *)
-          t.pending.(id) <- [];
-          (* accumulated newest-first; sequential order = reverse *)
-          let writes = List.rev pend in
-          (* The perm undo cell is pushed before the flush starts, so a
-             flush interrupted halfway is still fully covered by the log. *)
-          (match st with
-          | PSeg s ->
-              let u = Perm.Segtree.undo_create () in
-              push_undo t (USeg (s, u));
-              Perm.Segtree.set_many_logged s u writes
-          | PRing s ->
-              let u = Perm.Ring.undo_create () in
-              push_undo t (URing (s, u));
-              Perm.Ring.set_many_logged s u writes
-          | PFin s ->
-              let u = Perm.Finite.undo_create () in
-              push_undo t (UFin (s, u));
-              Perm.Finite.set_many_logged s u writes));
-      (match st with
-      | PSeg s -> Perm.Segtree.perm s
-      | PRing s -> Perm.Ring.perm s
-      | PFin s -> Perm.Finite.perm s)
-  | Circuit.Perm _, _ -> invalid_arg "Dyn: permanent gate without state"
+  match t.topo with
+  | TBoxed b -> (
+      match (b.nodes.(id), t.aux.(id)) with
+      | Circuit.Input _, _ | Circuit.Const _, _ -> vget t id
+      | Circuit.Add _, ANone when t.mode = Ring -> vget t id (* maintained by deltas *)
+      | Circuit.Add _, ACount counts -> count_value t counts
+      | Circuit.Add gs, _ ->
+          Array.fold_left (fun acc g -> t.ops.add acc (vget t g)) t.ops.zero gs
+      | Circuit.Mul gs, _ ->
+          Array.fold_left (fun acc g -> t.ops.mul acc (vget t g)) t.ops.one gs
+      | Circuit.Perm _, APerm (st, _) -> perm_value t id st
+      | Circuit.Perm _, _ -> invalid_arg "Dyn: permanent gate without state")
+  | TFlat fl -> (
+      let cc = fl.cc in
+      match cc.Compact.opcode.(id) with
+      | 0 | 1 -> vget t id
+      | 4 -> (
+          match t.aux.(id) with
+          | APerm (st, _) -> perm_value t id st
+          | _ -> invalid_arg "Dyn: permanent gate without state")
+      | opc -> (
+          match t.aux.(id) with
+          | ACount counts -> count_value t counts
+          | _ when opc = 2 && t.mode = Ring -> vget t id (* maintained by deltas *)
+          | _ ->
+              let off = cc.Compact.child_off and ch = cc.Compact.children in
+              if opc = 2 then begin
+                let acc = ref t.ops.zero in
+                for i = off.(id) to off.(id + 1) - 1 do
+                  acc := t.ops.add !acc (vget t ch.(i))
+                done;
+                !acc
+              end
+              else begin
+                let acc = ref t.ops.one in
+                for i = off.(id) to off.(id + 1) - 1 do
+                  acc := t.ops.mul !acc (vget t ch.(i))
+                done;
+                !acc
+              end))
 
-(* Queue [g]'s parents for recomputation (saving their pre-wave values on
-   first contact) and push the child's delta into their auxiliary state. *)
+(* Queue one parent for recomputation (saving its pre-wave value on first
+   contact) and push the child's delta into its auxiliary state. *)
+let enqueue_one t p slot ~old_v ~new_v =
+  if not t.wave_in.(p) then begin
+    push_undo t (UTouch (p, vget t p));
+    (match t.aux.(p) with
+    | ACount counts -> push_undo t (UCounts (counts, Array.copy counts))
+    | _ -> ());
+    t.wave_in.(p) <- true;
+    t.wave_saved.(p) <- vget t p;
+    heap_push t p
+  end;
+  notify t p slot ~old_v ~new_v
+
+(* Queue [g]'s parents for recomputation; a flat parent scan on the
+   compact backend, a list walk on the boxed twin. *)
 let enqueue_parents t g ~old_v ~new_v =
-  List.iter
-    (fun (p, slot) ->
-      if not t.wave_in.(p) then begin
-        push_undo t (UTouch (p, t.values.(p)));
-        (match t.aux.(p) with
-        | ACount counts -> push_undo t (UCounts (counts, Array.copy counts))
-        | _ -> ());
-        t.wave_in.(p) <- true;
-        t.wave_saved.(p) <- t.values.(p);
-        heap_push t p
-      end;
-      notify t p slot ~old_v ~new_v)
-    t.parents.(g)
+  match t.topo with
+  | TBoxed b -> List.iter (fun (p, slot) -> enqueue_one t p slot ~old_v ~new_v) b.parents.(g)
+  | TFlat fl ->
+      for i = fl.par_off.(g) to fl.par_off.(g + 1) - 1 do
+        enqueue_one t fl.par_gate.(i) fl.par_slot.(i) ~old_v ~new_v
+      done
 
 (* Drain the heap in topological (gate-id) order. Children always have
    smaller ids than parents, so when a gate is popped every queued child
@@ -513,7 +687,7 @@ let run_wave t =
     let old_g = t.wave_saved.(g) in
     let new_g = recompute t g in
     (* the write is covered by the gate's first-contact UTouch *)
-    t.values.(g) <- new_g;
+    vset t g new_g;
     if not (t.ops.Semiring.Intf.equal old_g new_g) then
       enqueue_parents t g ~old_v:old_g ~new_v:new_g
   done
@@ -531,7 +705,7 @@ let set_input t (key : Circuit.input_key) v =
   match Hashtbl.find_opt t.input_ids key with
   | None -> invalid_arg "Dyn.set_input: unknown input (weight symbol, tuple)"
   | Some id ->
-      let old_v = t.values.(id) in
+      let old_v = vget t id in
       if not (t.ops.Semiring.Intf.equal old_v v) then begin
         let instrumented = Obs.is_enabled () in
         let t0 = if instrumented then Obs.now_ns () else 0. in
@@ -541,8 +715,8 @@ let set_input t (key : Circuit.input_key) v =
              during unwinding, before the recovery handler below fires —
              so a post-mortem dump always contains the fatal wave. *)
           Obs.Trace.span ~scope:"dyn" "update" (fun () ->
-              push_undo t (UTouch (id, t.values.(id)));
-              t.values.(id) <- v;
+              push_undo t (UTouch (id, vget t id));
+              vset t id v;
               enqueue_parents t id ~old_v ~new_v:v;
               run_wave t;
               Obs.Trace.add_attr "touched" (Obs.Trace.I (t.update_ops - ops0)))
@@ -599,15 +773,15 @@ let set_inputs t (assignments : (Circuit.input_key * 'a) list) =
                   if t.wave_in.(id) then begin
                     (* re-stamped input: its first UTouch already holds the
                        pre-batch value *)
-                    t.values.(id) <- v;
+                    vset t id v;
                     None
                   end
-                  else if t.ops.Semiring.Intf.equal t.values.(id) v then None
+                  else if t.ops.Semiring.Intf.equal (vget t id) v then None
                   else begin
-                    push_undo t (UTouch (id, t.values.(id)));
+                    push_undo t (UTouch (id, vget t id));
                     t.wave_in.(id) <- true;
-                    t.wave_saved.(id) <- t.values.(id);
-                    t.values.(id) <- v;
+                    t.wave_saved.(id) <- vget t id;
+                    vset t id v;
                     Some id
                   end)
                 resolved
@@ -616,7 +790,7 @@ let set_inputs t (assignments : (Circuit.input_key * 'a) list) =
             List.iter
               (fun id ->
                 t.wave_in.(id) <- false;
-                let old_v = t.wave_saved.(id) and new_v = t.values.(id) in
+                let old_v = t.wave_saved.(id) and new_v = vget t id in
                 if not (t.ops.Semiring.Intf.equal old_v new_v) then begin
                   incr dirty;
                   enqueue_parents t id ~old_v ~new_v
@@ -640,7 +814,7 @@ let set_inputs t (assignments : (Circuit.input_key * 'a) list) =
 (** Current value of an input gate. *)
 let input_value t key =
   match Hashtbl.find_opt t.input_ids key with
-  | Some id -> Some t.values.(id)
+  | Some id -> Some (vget t id)
   | None -> None
 
 let has_input t key = Hashtbl.mem t.input_ids key
@@ -686,15 +860,15 @@ let with_temp t (assignments : (Circuit.input_key * 'a) list) (f : unit -> 'b) :
     (and idempotent) on a healthy structure. *)
 let repair t =
   Obs.Trace.span ~scope:"dyn" "repair"
-    ~attrs:[ ("gates", Obs.Trace.I (Array.length t.nodes)) ]
+    ~attrs:[ ("gates", Obs.Trace.I t.n) ]
   @@ fun () ->
-  for i = 0 to Array.length t.nodes - 1 do
+  for i = 0 to t.n - 1 do
     t.wave_in.(i) <- false;
     t.pending.(i) <- []
   done;
   t.wave_len <- 0;
   undo_reset t;
-  init_derived t.ops t.mode t.fin_ctx t.nodes t.values t.aux;
+  init_derived t.ops t.mode t.fin_ctx t.topo t.values t.aux;
   t.poisoned <- None;
   Obs.Counter.incr m_repairs
 

@@ -35,8 +35,9 @@ let m_degraded = Obs.counter ~scope:"engine" "degraded"
    attempts re-run after a rolled-back or repaired wave. *)
 let m_retries = Obs.counter ~scope:"dyn" "retries"
 
-let prepare (type a) (ops : a Semiring.Intf.ops) ?mode ?opt ?tfa_rounds ?max_depth ?budget
-    (inst : Db.Instance.t) (weights : a Db.Weights.bundle) (expr : a Logic.Expr.t) : a t =
+let prepare (type a) (ops : a Semiring.Intf.ops) ?mode ?backend ?opt ?tfa_rounds ?max_depth
+    ?budget (inst : Db.Instance.t) (weights : a Db.Weights.bundle) (expr : a Logic.Expr.t) :
+    a t =
   Obs.Trace.span ~scope:"engine" "prepare" @@ fun () ->
   Obs.Timer.time h_prepare_ns @@ fun () ->
   let open Semiring.Intf in
@@ -66,7 +67,7 @@ let prepare (type a) (ops : a Semiring.Intf.ops) ?mode ?opt ?tfa_rounds ?max_dep
     if String.starts_with ~prefix:Db.Weights.reserved_prefix w then ops.zero
     else Db.Weights.get (Db.Weights.find weights w) tuple
   in
-  let dyn = Circuits.Dyn.create ?mode ops circuit valuation in
+  let dyn = Circuits.Dyn.create ?mode ?backend ops circuit valuation in
   { ops; dyn; free_vars = fv; meta; circuit }
 
 (** Value of a closed expression (or of the wrapped sum, which is 0 until
@@ -113,16 +114,22 @@ let meta t = t.meta
 let stats t = Circuits.Circuit.stats t.circuit
 
 (** One-shot static evaluation of a closed expression through the circuit
-    pipeline (compile + one linear evaluation, no dynamic structures). *)
-let evaluate (type a) (ops : a Semiring.Intf.ops) ?opt ?tfa_rounds ?max_depth ?budget
+    pipeline (compile + one linear evaluation, no dynamic structures).
+    [~backend:Compact] (the default) converts the optimized circuit to the
+    CSR layout and evaluates over a flat value plane; [~backend:Boxed] is
+    the pointer-graph evaluator, kept as the sequential twin. *)
+let evaluate (type a) (ops : a Semiring.Intf.ops)
+    ?(backend = Circuits.Dyn.Compact) ?opt ?tfa_rounds ?max_depth ?budget
     (inst : Db.Instance.t) (weights : a Db.Weights.bundle) (expr : a Logic.Expr.t) : a =
   let open Semiring.Intf in
   let circuit, _ =
     Compile.compile ~zero:ops.zero ~one:ops.one ~equal:ops.equal ?opt ?tfa_rounds
       ?max_depth ?budget inst expr
   in
-  Circuits.Circuit.eval ops circuit (fun (w, tuple) ->
-      Db.Weights.get (Db.Weights.find weights w) tuple)
+  let valuation (w, tuple) = Db.Weights.get (Db.Weights.find weights w) tuple in
+  match backend with
+  | Circuits.Dyn.Compact -> Circuits.Compact.eval ops (Circuits.Compact.of_circuit circuit) valuation
+  | Circuits.Dyn.Boxed -> Circuits.Circuit.eval ops circuit valuation
 
 (* --- checked entry points (the robustness layer) --- *)
 
@@ -269,11 +276,11 @@ let self_check_now (ck : 'a checked) : unit =
     [SPARSEQ_SELF_CHECK=1]) cross-validates circuit values against the
     reference at preparation, on sampled query points, and after every
     {!update_checked}. *)
-let prepare_checked (type a) (ops : a Semiring.Intf.ops) ?mode ?opt ?tfa_rounds ?max_depth
-    ?budget ?(fallback : fallback = `Naive) ?self_check ?(self_check_samples = 4)
-    ?(recover : recovery option) ?(retries = 2) ?(backoff_ms = 1.0)
-    (inst : Db.Instance.t) (weights : a Db.Weights.bundle) (expr : a Logic.Expr.t) :
-    (a checked, Robust.error) result =
+let prepare_checked (type a) (ops : a Semiring.Intf.ops) ?mode ?backend ?opt ?tfa_rounds
+    ?max_depth ?budget ?(fallback : fallback = `Naive) ?self_check
+    ?(self_check_samples = 4) ?(recover : recovery option) ?(retries = 2)
+    ?(backoff_ms = 1.0) (inst : Db.Instance.t) (weights : a Db.Weights.bundle)
+    (expr : a Logic.Expr.t) : (a checked, Robust.error) result =
   let self_check =
     match self_check with Some b -> b | None -> self_check_env ()
   in
@@ -301,7 +308,8 @@ let prepare_checked (type a) (ops : a Semiring.Intf.ops) ?mode ?opt ?tfa_rounds 
   match
     Robust.protect
       ~classify:(classify_engine None)
-      (fun () -> prepare ops ?mode ?opt ?tfa_rounds ?max_depth ?budget inst weights expr)
+      (fun () ->
+        prepare ops ?mode ?backend ?opt ?tfa_rounds ?max_depth ?budget inst weights expr)
   with
   | Ok t ->
       let ck = mk (Circuit t) None in
@@ -478,14 +486,14 @@ let repair_checked (ck : 'a checked) : unit =
 (** One-shot checked evaluation of a closed expression: [Ok (v, None)]
     from the circuit pipeline, [Ok (v, Some reason)] from the reference
     fallback after a degradable failure, [Error _] otherwise. *)
-let evaluate_checked (type a) (ops : a Semiring.Intf.ops) ?opt ?tfa_rounds ?max_depth
-    ?budget ?(fallback : fallback = `Naive) (inst : Db.Instance.t)
+let evaluate_checked (type a) (ops : a Semiring.Intf.ops) ?backend ?opt ?tfa_rounds
+    ?max_depth ?budget ?(fallback : fallback = `Naive) (inst : Db.Instance.t)
     (weights : a Db.Weights.bundle) (expr : a Logic.Expr.t) :
     (a * Robust.error option, Robust.error) result =
   match
     Robust.protect
       ~classify:(classify_engine None)
-      (fun () -> evaluate ops ?opt ?tfa_rounds ?max_depth ?budget inst weights expr)
+      (fun () -> evaluate ops ?backend ?opt ?tfa_rounds ?max_depth ?budget inst weights expr)
   with
   | Ok v -> Ok (v, None)
   | Error e when Robust.degradable e && fallback = `Naive ->

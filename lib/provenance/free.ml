@@ -60,5 +60,6 @@ module Explicit = struct
       equal;
       neg = None;
       elements = None;
+      repr = Boxed_repr;
     }
 end

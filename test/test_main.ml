@@ -9,6 +9,7 @@ let () =
       ("perm", Test_perm.suite);
       ("circuit", Test_circuit.suite);
       ("opt", Test_opt.suite);
+      ("compact", Test_compact.suite);
       ("engine", Test_engine.suite);
       ("shapes", Test_shapes.suite);
       ("fo", Test_fo.suite);

@@ -176,6 +176,28 @@ let remap_contract () =
         c.Circuit.input_ids)
     [ 1; 17; 23; 99; 1234 ]
 
+let compact_rejects_dropped_perm_child () =
+  (* a consumer that blindly rewrites a Perm matrix through an optimizer
+     remap can plant a dropped gate (remap = -1) in a row; the compact
+     builder must refuse it with a structured error, not an array-bounds
+     [Invalid_argument] from deep inside the CSR packing *)
+  let b = Circuit.builder () in
+  let w0 = Circuit.input b ("w", [ 0 ]) in
+  let w1 = Circuit.input b ("w", [ 1 ]) in
+  let p = Circuit.perm b [| [| w0; w1 |]; [| w1; w0 |] |] in
+  let c = Circuit.finish b ~output:p in
+  c.Circuit.nodes.(p) <- Circuit.Perm [| [| w0; -1 |]; [| w1; w0 |] |];
+  match Circuits.Compact.of_circuit c with
+  | _ -> Alcotest.fail "of_circuit accepted a -1 perm child"
+  | exception Robust.Error (Robust.Bad_input msg) ->
+      check_bool "error names the dropped child" true
+        (let sub = "dropped" in
+         let n = String.length msg and m = String.length sub in
+         let rec at i = i + m <= n && (String.sub msg i m = sub || at (i + 1)) in
+         at 0)
+  | exception Invalid_argument _ ->
+      Alcotest.fail "of_circuit leaked Invalid_argument for a -1 perm child"
+
 (* ------------------------------------- 3. optimized = unoptimized ------ *)
 
 let opt_preserves_value (type a) name (ops : a Intf.ops) ~(zero : a) ~(one : a)
@@ -266,6 +288,8 @@ let suite =
     Alcotest.test_case "dce: dead cone dropped" `Quick dce_drops_dead_cone;
     Alcotest.test_case "balance: fan-in capped" `Quick balance_caps_fan_in;
     Alcotest.test_case "remap contract" `Quick remap_contract;
+    Alcotest.test_case "compact rejects dropped perm child" `Quick
+      compact_rejects_dropped_perm_child;
     opt_preserves_value "nat" nat_ops ~zero:0 ~one:1 ~mk:(fun i -> i mod 7);
     opt_preserves_value "int-ring" int_ops ~zero:0 ~one:1 ~mk:(fun i -> (i mod 9) - 4);
     opt_preserves_value "bool" bool_ops ~zero:false ~one:true ~mk:(fun i -> i mod 3 = 0);

@@ -54,7 +54,7 @@ let random_circuit (type a) ~(zero : a) ~(one : a) ~(mk : int -> a) seed n_input
   let out = Circuit.add b (Array.to_list !pool) in
   Circuit.finish b ~output:out
 
-let snapshot d = Array.init (Array.length d.Dyn.nodes) (Dyn.gate_value d)
+let snapshot d = Array.init (Dyn.num_gates d) (Dyn.gate_value d)
 
 let same_values (type a) (ops : a Intf.ops) (xs : a array) (ys : a array) =
   Array.length xs = Array.length ys
