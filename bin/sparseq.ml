@@ -117,10 +117,22 @@ let compact_arg =
            default) uses the CSR/struct-of-arrays compact runtime with Bigarray value \
            planes for machine-int semirings, $(b,off) the boxed pointer-graph twin.")
 
-(* Budget, optimizer pipeline and storage backend travel together so every
-   run function keeps the fixed arity [guarded] expects. *)
+let domains_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Evaluate circuits level-parallel on $(docv) OCaml domains (compact backend \
+           only; the calling domain participates, so $(docv)=4 spawns three pooled \
+           workers). $(b,1) (the default) is the unchanged sequential evaluator.")
+
+(* Budget, optimizer pipeline, storage backend and domain count travel
+   together so every run function keeps the fixed arity [guarded] expects. *)
 let budget_opt =
-  Term.(const (fun b o c -> (b, o, c)) $ budget_term $ opt_arg $ compact_arg)
+  Term.(
+    const (fun b o c d -> (b, o, c, max 1 d))
+    $ budget_term $ opt_arg $ compact_arg $ domains_arg)
 
 let load_arg =
   Arg.(
@@ -259,7 +271,7 @@ let stats_cmd =
             "Apply the timed updates in batches of $(docv) through the batched \
              propagation wave (Eval.update_many); 1 = one wave per update.")
   in
-  let run kind n seed qname (budget, opt, backend) ((updates, batch), load) =
+  let run kind n seed qname (budget, opt, backend, domains) ((updates, batch), load) =
     match load with
     | Some path ->
         (* A persisted circuit carries no workload: print what the file holds. *)
@@ -293,10 +305,10 @@ let stats_cmd =
               [ Logic.Expr.Guard phi; Logic.Expr.Weight ("w", [ v (List.hd fv) ]) ] )
       in
       let ev =
-        Engine.Eval.prepare nat_ops ~opt ~backend ~tfa_rounds:1 ~budget inst
+        Engine.Eval.prepare nat_ops ~opt ~backend ~domains ~tfa_rounds:1 ~budget inst
           (Db.Weights.bundle [ w ]) wexpr
       in
-      Printf.printf "backend: %s\n" (Circuits.Dyn.backend_name backend);
+      Printf.printf "backend: %s  domains: %d\n" (Circuits.Dyn.backend_name backend) domains;
       let rng = Random.State.make [| seed; 0x5eed |] in
       if batch <= 1 then begin
         let samples = Array.make updates 0. in
@@ -355,7 +367,7 @@ let stats_cmd =
 (* --- count --- *)
 
 let count_cmd =
-  let run kind n seed qname (budget, opt, backend) (fallback, load) =
+  let run kind n seed qname (budget, opt, backend, domains) (fallback, load) =
     match load with
     | Some path ->
         (* Evaluate a persisted circuit directly on the compact runtime.  A
@@ -366,10 +378,13 @@ let count_cmd =
         check_tag path tag "nat";
         let nat_ops = Intf.with_int_repr (Intf.ops_of_module (module Instances.Nat)) in
         let t0 = Sys.time () in
+        let valuation (w, _) =
+          Robust.bad_input
+            "%s holds weight input %S; count evaluates closed circuits only" path w
+        in
         let value =
-          Circuits.Compact.eval nat_ops cc (fun (w, _) ->
-              Robust.bad_input
-                "%s holds weight input %S; count evaluates closed circuits only" path w)
+          if domains > 1 then Circuits.Par.eval ~domains nat_ops cc valuation
+          else Circuits.Compact.eval nat_ops cc valuation
         in
         Printf.printf "answers(%s) = %d   (%.3fs)\n" path value (Sys.time () -. t0)
     | None ->
@@ -381,8 +396,8 @@ let count_cmd =
         let t0 = Sys.time () in
         let value, degraded =
           ok
-            (Engine.Eval.evaluate_checked nat_ops ~opt ~backend ~tfa_rounds:1 ~budget
-               ~fallback inst (Db.Weights.bundle []) expr)
+            (Engine.Eval.evaluate_checked nat_ops ~opt ~backend ~domains ~tfa_rounds:1
+               ~budget ~fallback inst (Db.Weights.bundle []) expr)
         in
         note_degraded degraded;
         Printf.printf "answers(%s) = %d   (%.3fs)\n" qname value (Sys.time () -. t0)
@@ -411,7 +426,7 @@ let enum_cmd =
       answers;
     Printf.printf "total answers: %d\n" total
   in
-  let run kind n seed qname limit ((budget, opt, _backend), fallback) =
+  let run kind n seed qname limit ((budget, opt, _backend, _domains), fallback) =
     let _, inst = setup kind n seed in
     let phi = make_query qname in
     let t0 = Sys.time () in
@@ -440,7 +455,7 @@ let enum_cmd =
 
 let pagerank_cmd =
   let rounds_arg = Arg.(value & opt int 5 & info [ "rounds" ] ~doc:"PageRank rounds.") in
-  let run kind n seed rounds (budget, opt, backend) (fallback, recover) =
+  let run kind n seed rounds (budget, opt, backend, domains) (fallback, recover) =
     let g, inst = setup kind n seed in
     let n = Db.Instance.n inst in
     let d = Rat.of_ints 85 100 in
@@ -471,8 +486,8 @@ let pagerank_cmd =
     let rat_ops = Intf.ops_of_ring (module Rat.Ring) in
     let t =
       ok
-        (Engine.Eval.prepare_checked rat_ops ~opt ~backend ~tfa_rounds:1 ~budget ~fallback
-           ?recover inst
+        (Engine.Eval.prepare_checked rat_ops ~opt ~backend ~domains ~tfa_rounds:1 ~budget
+           ~fallback ?recover inst
            (Db.Weights.bundle [ w; linv ]) expr)
     in
     note_degraded (Engine.Eval.degraded t);
@@ -510,7 +525,7 @@ let explain_cmd =
              finite semiring). Determines which constant-update permanent-gate \
              strategy the dynamic circuit would pick.")
   in
-  let run kind n seed qname (budget, opt, backend) (semiring, load) =
+  let run kind n seed qname (budget, opt, backend, domains) (semiring, load) =
     let sname = match semiring with `Nat -> "nat" | `Int -> "int" | `Bool -> "bool" in
     let strategy (type a) (ops : a Semiring.Intf.ops) =
       Printf.printf "permanent-gate strategy: %s\n"
@@ -544,7 +559,7 @@ let explain_cmd =
     let explain (type a) (ops : a Semiring.Intf.ops) =
       let (ev : a Engine.Eval.t), records =
         Obs.Trace.with_recording (fun () ->
-            Engine.Eval.prepare ops ~opt ~backend ~tfa_rounds:1 ~budget inst
+            Engine.Eval.prepare ops ~opt ~backend ~domains ~tfa_rounds:1 ~budget inst
               (Db.Weights.bundle []) expr)
       in
       print_string (Obs.Trace.render_forest (Obs.Trace.forest_of records));
@@ -594,7 +609,7 @@ let compile_cmd =
             "Semiring whose constants are baked into the saved circuit; recorded in \
              the file tag and checked on $(b,--load).")
   in
-  let run kind n seed qname (budget, opt, _backend) (save, semiring) =
+  let run kind n seed qname (budget, opt, _backend, _domains) (save, semiring) =
     let _, inst = setup kind n seed in
     let phi = make_query qname in
     let fv = Logic.Formula.free_vars_unique phi in

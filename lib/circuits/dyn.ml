@@ -204,9 +204,13 @@ let backend_name = function Boxed -> "boxed" | Compact -> "compact"
 (* (Re)compute every derived gate value and auxiliary structure bottom-up
    from the current input/const values: one topological pass, exactly the
    initial-evaluation semantics on either gate layout. Shared by [create]
-   and [repair]. *)
-let init_derived (ops : 'a Semiring.Intf.ops) mode fin_ctx (topo : 'a topo)
-    (values : 'a Compact.plane) (aux : 'a aux array) =
+   and [repair]. With [~prefilled:true] (compact backend only) every gate
+   value is already in the plane — a parallel full evaluation ran first —
+   and this pass only builds the auxiliary structures: permanent
+   maintenance state (whose [perm] rewrites the gate value with the same
+   permanent) and Finite-mode counters. *)
+let init_derived ?(prefilled = false) (ops : 'a Semiring.Intf.ops) mode fin_ctx
+    (topo : 'a topo) (values : 'a Compact.plane) (aux : 'a aux array) =
   let open Semiring.Intf in
   let vget g = Compact.plane_get values g in
   let vset id v = Compact.plane_set values id v in
@@ -258,36 +262,41 @@ let init_derived (ops : 'a Semiring.Intf.ops) mode fin_ctx (topo : 'a topo)
       for id = 0 to cc.Compact.n - 1 do
         match cc.Compact.opcode.(id) with
         | 0 (* input *) -> ()
-        | 1 (* const *) -> vset id cc.Compact.consts.(cc.Compact.arg.(id))
+        | 1 (* const *) -> if not prefilled then vset id cc.Compact.consts.(cc.Compact.arg.(id))
         | 2 (* add *) ->
-            let acc = ref ops.zero in
-            for i = off.(id) to off.(id + 1) - 1 do
-              acc := ops.add !acc (vget ch.(i))
-            done;
-            vset id !acc;
+            if not prefilled then begin
+              let acc = ref ops.zero in
+              for i = off.(id) to off.(id + 1) - 1 do
+                acc := ops.add !acc (vget ch.(i))
+              done;
+              vset id !acc
+            end;
             mk_counts id (fun visit ->
                 for i = off.(id) to off.(id + 1) - 1 do
                   visit ch.(i)
                 done)
         | 3 (* mul *) ->
-            let acc = ref ops.one in
-            for i = off.(id) to off.(id + 1) - 1 do
-              acc := ops.mul !acc (vget ch.(i))
-            done;
-            vset id !acc
+            if not prefilled then begin
+              let acc = ref ops.one in
+              for i = off.(id) to off.(id + 1) - 1 do
+                acc := ops.mul !acc (vget ch.(i))
+              done;
+              vset id !acc
+            end
         | _ (* perm *) ->
             let ncols = cc.Compact.perm_cols.(cc.Compact.arg.(id)) in
             mk_perm id (Compact.perm_matrix cc values id) ncols
       done
 
-let create ?mode ?(backend = Compact) (ops : 'a Semiring.Intf.ops) (c : 'a Circuit.t)
-    (valuation : Circuit.input_key -> 'a) : 'a t =
+let create ?mode ?(backend = Compact) ?(domains = 1) (ops : 'a Semiring.Intf.ops)
+    (c : 'a Circuit.t) (valuation : Circuit.input_key -> 'a) : 'a t =
   let mode = match mode with Some m -> m | None -> pick_mode ops in
   Obs.Trace.span ~scope:"dyn" "create"
     ~attrs:
       [
         ("mode", Obs.Trace.S (mode_name mode));
         ("backend", Obs.Trace.S (backend_name backend));
+        ("domains", Obs.Trace.I domains);
         ("gates", Obs.Trace.I (Array.length c.Circuit.nodes));
       ]
   @@ fun () ->
@@ -359,7 +368,15 @@ let create ?mode ?(backend = Compact) (ops : 'a Semiring.Intf.ops) (c : 'a Circu
         cc.Compact.opcode);
   let aux = Array.make n ANone in
   let fin_ctx = if mode = Finite then Some (Perm.Finite.make_ctx ops) else None in
-  init_derived ops mode fin_ctx topo values aux;
+  (* With extra domains and the compact backend, the O(size) initial
+     bottom-up evaluation runs level-parallel; the remaining sequential
+     pass only builds aux structures (identical final state — the aux
+     [perm] recomputes the same permanents the parallel pass wrote). *)
+  (match topo with
+  | TFlat fl when domains > 1 ->
+      Par.eval_into ~domains ops fl.cc valuation values;
+      init_derived ~prefilled:true ops mode fin_ctx topo values aux
+  | _ -> init_derived ops mode fin_ctx topo values aux);
   Obs.Counter.incr
     (match mode with
     | General -> m_creates_general

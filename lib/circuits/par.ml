@@ -1,0 +1,384 @@
+(** Level-parallel evaluation of frozen {!Compact} circuits on OCaml 5
+    domains.
+
+    The paper's circuits are bounded-depth and topologically ordered, so a
+    full bottom-up evaluation is embarrassingly level-parallel: group gate
+    ids by depth at freeze time (a CSR {e level index}, {!plan}), then have
+    N domains each evaluate a contiguous chunk of every level, with a
+    barrier between levels. All writes land in the existing {!Compact}
+    value plane at the writer's own gate ids — chunks are disjoint and
+    reads only touch strictly lower levels, so no per-gate synchronization
+    is needed: the inter-level barrier is the only ordering edge, and it
+    publishes every write of the previous level (release/acquire through
+    the barrier's [Atomic]).
+
+    The domain pool is hand-rolled and zero-dependency: workers are
+    spawned once (grow-only, up to {!max_domains}) and reused across
+    calls, idling on a condition variable between evaluations. Faults
+    inside a worker are captured first-fault-wins in an [Atomic] cell —
+    every participant keeps hitting the barriers so nothing hangs — and
+    re-raised by the caller as a structured {!Robust} error.
+
+    [~domains:1] bypasses all of this and runs {!Compact.eval_into}
+    unchanged, so the sequential path stays byte-identical. Concurrent
+    parallel evaluations serialize on the pool (one evaluation owns all
+    workers at a time). *)
+
+(* --- level index --- *)
+
+type plan = {
+  plan_n : int;  (** gate count of the circuit the plan was built for *)
+  n_levels : int;
+  level_off : int array;  (** n_levels+1 CSR offsets into [level_gates] *)
+  level_gates : int array;  (** gate ids grouped by depth, ascending per level *)
+}
+
+(** Build the level index of a compact circuit: gate depth is 0 for
+    leaves, 1 + max child depth otherwise; one counting sort groups the
+    ids. O(gates + wires), done once per frozen circuit. *)
+let plan (t : 'a Compact.t) : plan =
+  let n = t.Compact.n in
+  let child_off = t.Compact.child_off and children = t.Compact.children in
+  let depth = Array.make n 0 in
+  let max_depth = ref 0 in
+  for id = 0 to n - 1 do
+    let d = ref 0 in
+    for i = child_off.(id) to child_off.(id + 1) - 1 do
+      let cd = depth.(children.(i)) + 1 in
+      if cd > !d then d := cd
+    done;
+    depth.(id) <- !d;
+    if !d > !max_depth then max_depth := !d
+  done;
+  let n_levels = !max_depth + 1 in
+  let level_off = Array.make (n_levels + 1) 0 in
+  Array.iter (fun d -> level_off.(d + 1) <- level_off.(d + 1) + 1) depth;
+  for l = 0 to n_levels - 1 do
+    level_off.(l + 1) <- level_off.(l + 1) + level_off.(l)
+  done;
+  let cursor = Array.sub level_off 0 n_levels in
+  let level_gates = Array.make n 0 in
+  for id = 0 to n - 1 do
+    let d = depth.(id) in
+    level_gates.(cursor.(d)) <- id;
+    cursor.(d) <- cursor.(d) + 1
+  done;
+  { plan_n = n; n_levels; level_off; level_gates }
+
+let levels (p : plan) = p.n_levels
+
+(* --- sense-reversing hybrid barrier --- *)
+
+(* Spin briefly on the sense flag (useful only when real cores are
+   available), then fall back to a condition variable. The publisher
+   flips the sense inside the mutex, and waiters re-check it under the
+   same mutex before sleeping, so a wakeup cannot be lost. *)
+type barrier = {
+  parties : int;
+  count : int Atomic.t;
+  sense : bool Atomic.t;
+  bm : Mutex.t;
+  bc : Condition.t;
+}
+
+let spin_budget = if Domain.recommended_domain_count () > 1 then 4096 else 0
+
+let barrier_make parties =
+  {
+    parties;
+    count = Atomic.make 0;
+    sense = Atomic.make false;
+    bm = Mutex.create ();
+    bc = Condition.create ();
+  }
+
+let barrier_await b local_sense =
+  if Atomic.fetch_and_add b.count 1 = b.parties - 1 then begin
+    (* last arriver: reset and release everyone into the new sense *)
+    Atomic.set b.count 0;
+    Mutex.lock b.bm;
+    Atomic.set b.sense local_sense;
+    Condition.broadcast b.bc;
+    Mutex.unlock b.bm
+  end
+  else begin
+    let spins = ref 0 in
+    while Atomic.get b.sense <> local_sense && !spins < spin_budget do
+      incr spins;
+      Domain.cpu_relax ()
+    done;
+    if Atomic.get b.sense <> local_sense then begin
+      Mutex.lock b.bm;
+      while Atomic.get b.sense <> local_sense do
+        Condition.wait b.bc b.bm
+      done;
+      Mutex.unlock b.bm
+    end
+  end
+
+(* --- the domain pool --- *)
+
+(** Hard cap on pool size; also bounds [~domains] (the runtime itself
+    refuses to spawn unboundedly many domains). *)
+let max_domains = 64
+
+type pool = {
+  mutex : Mutex.t;  (** guards every mutable field below *)
+  work_cond : Condition.t;  (** workers wait here for a new generation *)
+  done_cond : Condition.t;  (** the submitter waits here for completion *)
+  submit : Mutex.t;  (** serializes whole evaluations *)
+  mutable job : int -> unit;  (** current job, by worker slot (1-based) *)
+  mutable gen : int;  (** bumped once per submitted job *)
+  mutable pending : int;  (** workers that have not finished the current gen *)
+  mutable size : int;  (** spawned workers *)
+  mutable workers : unit Domain.t list;
+  mutable stop : bool;
+}
+
+let the_pool =
+  {
+    mutex = Mutex.create ();
+    work_cond = Condition.create ();
+    done_cond = Condition.create ();
+    submit = Mutex.create ();
+    job = ignore;
+    gen = 0;
+    pending = 0;
+    size = 0;
+    workers = [];
+    stop = false;
+  }
+
+let rec worker_loop (p : pool) (slot : int) (my_gen : int) =
+  Mutex.lock p.mutex;
+  while p.gen = my_gen && not p.stop do
+    Condition.wait p.work_cond p.mutex
+  done;
+  if p.stop then Mutex.unlock p.mutex
+  else begin
+    let gen = p.gen and job = p.job in
+    Mutex.unlock p.mutex;
+    (* jobs capture their own faults; this is a last-ditch guard so a
+       leak can never wedge the completion accounting *)
+    (try job slot with _ -> ());
+    Mutex.lock p.mutex;
+    p.pending <- p.pending - 1;
+    if p.pending = 0 then Condition.broadcast p.done_cond;
+    Mutex.unlock p.mutex;
+    worker_loop p slot gen
+  end
+
+let shutdown_registered = ref false
+
+(** Stop and join every pooled worker. Runs automatically at exit; safe
+    to call when the pool is empty, and the pool is reusable afterwards. *)
+let shutdown () =
+  let p = the_pool in
+  Mutex.lock p.submit;
+  Fun.protect ~finally:(fun () -> Mutex.unlock p.submit) @@ fun () ->
+  Mutex.lock p.mutex;
+  p.stop <- true;
+  Condition.broadcast p.work_cond;
+  let ws = p.workers in
+  p.workers <- [];
+  p.size <- 0;
+  Mutex.unlock p.mutex;
+  List.iter Domain.join ws;
+  Mutex.lock p.mutex;
+  p.stop <- false;
+  Mutex.unlock p.mutex
+
+(* Grow the pool to [k] workers (best-effort: if the runtime refuses to
+   spawn more domains we keep what we got). Caller holds [p.submit].
+   Returns the worker count actually available. *)
+let ensure_workers (p : pool) (k : int) : int =
+  Mutex.lock p.mutex;
+  let target = min k (max_domains - 1) in
+  (try
+     while p.size < target do
+       let slot = p.size + 1 in
+       let gen = p.gen in
+       let d = Domain.spawn (fun () -> worker_loop p slot gen) in
+       p.workers <- d :: p.workers;
+       p.size <- p.size + 1
+     done
+   with _ -> ());
+  if p.size > 0 && not !shutdown_registered then begin
+    shutdown_registered := true;
+    at_exit shutdown
+  end;
+  let got = p.size in
+  Mutex.unlock p.mutex;
+  got
+
+(** Current pooled worker count (for tests). *)
+let pool_size () =
+  Mutex.lock the_pool.mutex;
+  let s = the_pool.size in
+  Mutex.unlock the_pool.mutex;
+  s
+
+(* Run [job slot] on the caller (slot 0) and [parties - 1] workers, and
+   wait for all of them. Caller holds [p.submit]. Workers beyond the
+   participant count wake, no-op, and go back to sleep — they still count
+   toward [pending] so completion accounting stays uniform. *)
+let run_job (p : pool) (job : int -> unit) =
+  Mutex.lock p.mutex;
+  p.job <- job;
+  p.gen <- p.gen + 1;
+  p.pending <- p.size;
+  Condition.broadcast p.work_cond;
+  Mutex.unlock p.mutex;
+  job 0;
+  Mutex.lock p.mutex;
+  while p.pending > 0 do
+    Condition.wait p.done_cond p.mutex
+  done;
+  Mutex.unlock p.mutex
+
+(* --- chunked gate evaluation --- *)
+
+(* Evaluate [pl.level_gates.(lo..hi-1)] into the plane — the same
+   per-opcode dispatch as {!Compact.eval_into}, restricted to one chunk
+   of one level. The plane match is hoisted out of the gate loop exactly
+   as in the sequential evaluator. *)
+let eval_chunk (type a) (ops : a Semiring.Intf.ops) (t : a Compact.t)
+    (valuation : Circuit.input_key -> a) (vals : a Compact.plane) (pl : plan)
+    (lo : int) (hi : int) : unit =
+  let open Semiring.Intf in
+  let opcode = t.Compact.opcode
+  and arg = t.Compact.arg
+  and child_off = t.Compact.child_off
+  and children = t.Compact.children
+  and gates = pl.level_gates in
+  match vals with
+  | Compact.PInt b ->
+      for k = lo to hi - 1 do
+        let id = Array.unsafe_get gates k in
+        let v =
+          match Array.unsafe_get opcode id with
+          | 0 -> valuation t.Compact.input_keys.(Array.unsafe_get arg id)
+          | 1 -> t.Compact.consts.(Array.unsafe_get arg id)
+          | 2 ->
+              let acc = ref ops.zero in
+              for i = Array.unsafe_get child_off id to Array.unsafe_get child_off (id + 1) - 1 do
+                acc := ops.add !acc (Bigarray.Array1.unsafe_get b (Array.unsafe_get children i))
+              done;
+              !acc
+          | 3 ->
+              let acc = ref ops.one in
+              for i = Array.unsafe_get child_off id to Array.unsafe_get child_off (id + 1) - 1 do
+                acc := ops.mul !acc (Bigarray.Array1.unsafe_get b (Array.unsafe_get children i))
+              done;
+              !acc
+          | _ -> Perm.Static.perm ops (Compact.perm_matrix t vals id)
+        in
+        Bigarray.Array1.unsafe_set b id v
+      done
+  | Compact.PBox a ->
+      for k = lo to hi - 1 do
+        let id = Array.unsafe_get gates k in
+        let v =
+          match Array.unsafe_get opcode id with
+          | 0 -> valuation t.Compact.input_keys.(Array.unsafe_get arg id)
+          | 1 -> t.Compact.consts.(Array.unsafe_get arg id)
+          | 2 ->
+              let acc = ref ops.zero in
+              for i = Array.unsafe_get child_off id to Array.unsafe_get child_off (id + 1) - 1 do
+                acc := ops.add !acc (Array.unsafe_get a (Array.unsafe_get children i))
+              done;
+              !acc
+          | 3 ->
+              let acc = ref ops.one in
+              for i = Array.unsafe_get child_off id to Array.unsafe_get child_off (id + 1) - 1 do
+                acc := ops.mul !acc (Array.unsafe_get a (Array.unsafe_get children i))
+              done;
+              !acc
+          | _ -> Perm.Static.perm ops (Compact.perm_matrix t vals id)
+        in
+        Array.unsafe_set a id v
+      done
+
+(* --- fault injection (tests only) --- *)
+
+(** When set, called by every participant at the top of every level with
+    [(slot, level)]; an exception it raises takes the normal worker-fault
+    path. Used by the chaos tests to prove a faulting domain surfaces as a
+    structured error instead of a hang. *)
+let chaos_hook : (int -> int -> unit) option Atomic.t = Atomic.make None
+
+(* --- evaluation --- *)
+
+let eval_parallel (type a) (ops : a Semiring.Intf.ops) (t : a Compact.t)
+    (valuation : Circuit.input_key -> a) (vals : a Compact.plane) (pl : plan)
+    (domains : int) : unit =
+  let p = the_pool in
+  Mutex.lock p.submit;
+  Fun.protect ~finally:(fun () -> Mutex.unlock p.submit) @@ fun () ->
+  let workers = ensure_workers p (domains - 1) in
+  let parties = 1 + workers in
+  if parties = 1 then Compact.eval_into ops t valuation vals
+  else begin
+    let fault : exn option Atomic.t = Atomic.make None in
+    let bar = barrier_make parties in
+    let job slot =
+      if slot < parties then begin
+        let sense = ref false in
+        for level = 0 to pl.n_levels - 1 do
+          (* after a fault, keep hitting the barriers (cheaply) so the
+             other participants drain instead of deadlocking *)
+          (if Atomic.get fault = None then
+             try
+               (match Atomic.get chaos_hook with
+               | Some f -> f slot level
+               | None -> ());
+               let lo = pl.level_off.(level) and hi = pl.level_off.(level + 1) in
+               let len = hi - lo in
+               let c_lo = lo + (slot * len / parties)
+               and c_hi = lo + ((slot + 1) * len / parties) in
+               if c_hi > c_lo then eval_chunk ops t valuation vals pl c_lo c_hi
+             with e -> ignore (Atomic.compare_and_set fault None (Some e)));
+          sense := not !sense;
+          barrier_await bar !sense
+        done
+      end
+    in
+    run_job p job;
+    match Atomic.get fault with
+    | None -> ()
+    | Some (Robust.Error _ as e) -> raise e
+    | Some e ->
+        Robust.divergence "Par.eval: worker domain faulted: %s" (Printexc.to_string e)
+  end
+
+(** Evaluate every gate bottom-up into [vals], like {!Compact.eval_into},
+    using up to [domains] domains (the calling domain participates, so
+    [domains = 4] means the caller plus three pooled workers).
+    [?plan] reuses a prebuilt level index; it must come from the same
+    circuit. [~domains:1] is exactly the sequential evaluator. *)
+let eval_into (type a) ?plan:(pl : plan option) ~(domains : int)
+    (ops : a Semiring.Intf.ops) (t : a Compact.t)
+    (valuation : Circuit.input_key -> a) (vals : a Compact.plane) : unit =
+  let domains = if domains < 1 then 1 else min domains max_domains in
+  if domains = 1 || t.Compact.n = 1 then Compact.eval_into ops t valuation vals
+  else begin
+    let pl =
+      match pl with
+      | Some p ->
+          if p.plan_n <> t.Compact.n then
+            Robust.bad_input
+              "Par.eval_into: plan built for a %d-gate circuit, got %d gates" p.plan_n
+              t.Compact.n;
+          p
+      | None -> plan t
+    in
+    eval_parallel ops t valuation vals pl domains
+  end
+
+(** Evaluate under a valuation of the input gates and return the output
+    gate's value; the parallel counterpart of {!Compact.eval}. *)
+let eval (type a) ?plan ~(domains : int) (ops : a Semiring.Intf.ops)
+    (t : a Compact.t) (valuation : Circuit.input_key -> a) : a =
+  let vals = Compact.make_plane ops t.Compact.n in
+  eval_into ?plan ~domains ops t valuation vals;
+  Compact.plane_get vals t.Compact.output

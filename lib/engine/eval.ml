@@ -35,9 +35,9 @@ let m_degraded = Obs.counter ~scope:"engine" "degraded"
    attempts re-run after a rolled-back or repaired wave. *)
 let m_retries = Obs.counter ~scope:"dyn" "retries"
 
-let prepare (type a) (ops : a Semiring.Intf.ops) ?mode ?backend ?opt ?tfa_rounds ?max_depth
-    ?budget (inst : Db.Instance.t) (weights : a Db.Weights.bundle) (expr : a Logic.Expr.t) :
-    a t =
+let prepare (type a) (ops : a Semiring.Intf.ops) ?mode ?backend ?domains ?opt ?tfa_rounds
+    ?max_depth ?budget (inst : Db.Instance.t) (weights : a Db.Weights.bundle)
+    (expr : a Logic.Expr.t) : a t =
   Obs.Trace.span ~scope:"engine" "prepare" @@ fun () ->
   Obs.Timer.time h_prepare_ns @@ fun () ->
   let open Semiring.Intf in
@@ -67,7 +67,7 @@ let prepare (type a) (ops : a Semiring.Intf.ops) ?mode ?backend ?opt ?tfa_rounds
     if String.starts_with ~prefix:Db.Weights.reserved_prefix w then ops.zero
     else Db.Weights.get (Db.Weights.find weights w) tuple
   in
-  let dyn = Circuits.Dyn.create ?mode ?backend ops circuit valuation in
+  let dyn = Circuits.Dyn.create ?mode ?backend ?domains ops circuit valuation in
   { ops; dyn; free_vars = fv; meta; circuit }
 
 (** Value of a closed expression (or of the wrapped sum, which is 0 until
@@ -117,9 +117,12 @@ let stats t = Circuits.Circuit.stats t.circuit
     pipeline (compile + one linear evaluation, no dynamic structures).
     [~backend:Compact] (the default) converts the optimized circuit to the
     CSR layout and evaluates over a flat value plane; [~backend:Boxed] is
-    the pointer-graph evaluator, kept as the sequential twin. *)
+    the pointer-graph evaluator, kept as the sequential twin.
+    [~domains] > 1 (compact backend only) evaluates level-parallel on
+    OCaml 5 domains via {!Circuits.Par}; [~domains:1] (the default) is the
+    unchanged sequential path. *)
 let evaluate (type a) (ops : a Semiring.Intf.ops)
-    ?(backend = Circuits.Dyn.Compact) ?opt ?tfa_rounds ?max_depth ?budget
+    ?(backend = Circuits.Dyn.Compact) ?(domains = 1) ?opt ?tfa_rounds ?max_depth ?budget
     (inst : Db.Instance.t) (weights : a Db.Weights.bundle) (expr : a Logic.Expr.t) : a =
   let open Semiring.Intf in
   let circuit, _ =
@@ -128,7 +131,10 @@ let evaluate (type a) (ops : a Semiring.Intf.ops)
   in
   let valuation (w, tuple) = Db.Weights.get (Db.Weights.find weights w) tuple in
   match backend with
-  | Circuits.Dyn.Compact -> Circuits.Compact.eval ops (Circuits.Compact.of_circuit circuit) valuation
+  | Circuits.Dyn.Compact ->
+      let cc = Circuits.Compact.of_circuit circuit in
+      if domains > 1 then Circuits.Par.eval ~domains ops cc valuation
+      else Circuits.Compact.eval ops cc valuation
   | Circuits.Dyn.Boxed -> Circuits.Circuit.eval ops circuit valuation
 
 (* --- checked entry points (the robustness layer) --- *)
@@ -276,8 +282,8 @@ let self_check_now (ck : 'a checked) : unit =
     [SPARSEQ_SELF_CHECK=1]) cross-validates circuit values against the
     reference at preparation, on sampled query points, and after every
     {!update_checked}. *)
-let prepare_checked (type a) (ops : a Semiring.Intf.ops) ?mode ?backend ?opt ?tfa_rounds
-    ?max_depth ?budget ?(fallback : fallback = `Naive) ?self_check
+let prepare_checked (type a) (ops : a Semiring.Intf.ops) ?mode ?backend ?domains
+    ?opt ?tfa_rounds ?max_depth ?budget ?(fallback : fallback = `Naive) ?self_check
     ?(self_check_samples = 4) ?(recover : recovery option) ?(retries = 2)
     ?(backoff_ms = 1.0) (inst : Db.Instance.t) (weights : a Db.Weights.bundle)
     (expr : a Logic.Expr.t) : (a checked, Robust.error) result =
@@ -309,7 +315,8 @@ let prepare_checked (type a) (ops : a Semiring.Intf.ops) ?mode ?backend ?opt ?tf
     Robust.protect
       ~classify:(classify_engine None)
       (fun () ->
-        prepare ops ?mode ?backend ?opt ?tfa_rounds ?max_depth ?budget inst weights expr)
+        prepare ops ?mode ?backend ?domains ?opt ?tfa_rounds ?max_depth ?budget inst
+          weights expr)
   with
   | Ok t ->
       let ck = mk (Circuit t) None in
@@ -486,14 +493,16 @@ let repair_checked (ck : 'a checked) : unit =
 (** One-shot checked evaluation of a closed expression: [Ok (v, None)]
     from the circuit pipeline, [Ok (v, Some reason)] from the reference
     fallback after a degradable failure, [Error _] otherwise. *)
-let evaluate_checked (type a) (ops : a Semiring.Intf.ops) ?backend ?opt ?tfa_rounds
-    ?max_depth ?budget ?(fallback : fallback = `Naive) (inst : Db.Instance.t)
+let evaluate_checked (type a) (ops : a Semiring.Intf.ops) ?backend ?domains ?opt
+    ?tfa_rounds ?max_depth ?budget ?(fallback : fallback = `Naive) (inst : Db.Instance.t)
     (weights : a Db.Weights.bundle) (expr : a Logic.Expr.t) :
     (a * Robust.error option, Robust.error) result =
   match
     Robust.protect
       ~classify:(classify_engine None)
-      (fun () -> evaluate ops ?backend ?opt ?tfa_rounds ?max_depth ?budget inst weights expr)
+      (fun () ->
+        evaluate ops ?backend ?domains ?opt ?tfa_rounds ?max_depth ?budget inst weights
+          expr)
   with
   | Ok v -> Ok (v, None)
   | Error e when Robust.degradable e && fallback = `Naive ->

@@ -115,13 +115,17 @@ end
 (* --- metric kinds --- *)
 
 module Counter = struct
-  type t = { name : string; mutable v : int }
+  (* [Atomic] value: counters are bumped from every domain (the parallel
+     evaluator's workers included), and a plain read-modify-write loses
+     increments under contention. The [enabled_flag] check stays first so
+     the disabled path is a single load, as before. *)
+  type t = { name : string; v : int Atomic.t }
 
-  let make name = { name; v = 0 }
-  let incr t = if !enabled_flag then t.v <- t.v + 1
-  let add t n = if !enabled_flag then t.v <- t.v + n
-  let get t = t.v
-  let reset t = t.v <- 0
+  let make name = { name; v = Atomic.make 0 }
+  let incr t = if !enabled_flag then Atomic.incr t.v
+  let add t n = if !enabled_flag then ignore (Atomic.fetch_and_add t.v n)
+  let get t = Atomic.get t.v
+  let reset t = Atomic.set t.v 0
   let name t = t.name
 end
 
@@ -191,17 +195,21 @@ module Histogram = struct
   let max_value t = t.max_v
 
   (** Quantile estimate: the upper bound of the smallest bucket whose
-      cumulative count reaches q·count, clamped to the exact observed
-      maximum. 0 when empty. *)
+      cumulative count reaches q·count (inclusive — a rank exactly equal
+      to a bucket's cumulative count selects that bucket, not the one
+      above), clamped to the exact observed maximum. 0 when empty. *)
   let quantile t q =
     if t.count = 0 then 0.
     else begin
       let rank = Float.to_int (Float.ceil (q *. float_of_int t.count)) in
       let rank = if rank < 1 then 1 else if rank > t.count then t.count else rank in
-      let cum = ref 0 and i = ref 0 in
-      while !cum < rank && !i < nbuckets do
-        cum := !cum + t.buckets.(!i);
-        if !cum < rank then incr i
+      (* smallest i with cumulative count >= rank; the total reaches
+         [count >= rank], so the scan stays in range — the index guard
+         only matters if a concurrent observe tears count vs buckets *)
+      let cum = ref t.buckets.(0) and i = ref 0 in
+      while !cum < rank && !i < nbuckets - 1 do
+        incr i;
+        cum := !cum + t.buckets.(!i)
       done;
       Float.min (bucket_upper !i) t.max_v
     end
@@ -243,6 +251,17 @@ type metric = C of Counter.t | G of Gauge.t | H of Histogram.t
 
 let registry : (string * string, metric) Hashtbl.t = Hashtbl.create 64
 
+(* Registration happens lazily on first use from any instrumented path —
+   including pooled worker domains — and a bare [Hashtbl] corrupts under
+   concurrent insert. Every registry access goes through this mutex;
+   metric {e updates} don't (counters are atomic, and a registered metric
+   record never moves). *)
+let registry_mutex = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
 let full_name scope name = scope ^ "/" ^ name
 
 let mismatch scope name =
@@ -252,6 +271,7 @@ let mismatch scope name =
     one kind, so modules can bind metrics at load time and tests can look
     the same metrics up by name. *)
 let counter ~scope name =
+  with_registry @@ fun () ->
   match Hashtbl.find_opt registry (scope, name) with
   | Some (C c) -> c
   | Some _ -> mismatch scope name
@@ -261,6 +281,7 @@ let counter ~scope name =
       c
 
 let gauge ~scope name =
+  with_registry @@ fun () ->
   match Hashtbl.find_opt registry (scope, name) with
   | Some (G g) -> g
   | Some _ -> mismatch scope name
@@ -270,6 +291,7 @@ let gauge ~scope name =
       g
 
 let histogram ~scope name =
+  with_registry @@ fun () ->
   match Hashtbl.find_opt registry (scope, name) with
   | Some (H h) -> h
   | Some _ -> mismatch scope name
@@ -280,9 +302,10 @@ let histogram ~scope name =
 
 let timer ~scope name : Timer.t = histogram ~scope name
 
-let find ~scope name = Hashtbl.find_opt registry (scope, name)
+let find ~scope name = with_registry @@ fun () -> Hashtbl.find_opt registry (scope, name)
 
 let scopes () =
+  with_registry @@ fun () ->
   Hashtbl.fold (fun (s, _) _ acc -> if List.mem s acc then acc else s :: acc) registry []
   |> List.sort compare
 
@@ -293,9 +316,11 @@ let reset_metric = function
 
 (** Zero every metric in [scope] (they stay registered). *)
 let reset_scope scope =
+  with_registry @@ fun () ->
   Hashtbl.iter (fun (s, _) m -> if s = scope then reset_metric m) registry
 
-let reset_all () = Hashtbl.iter (fun _ m -> reset_metric m) registry
+let reset_all () =
+  with_registry @@ fun () -> Hashtbl.iter (fun _ m -> reset_metric m) registry
 
 (* --- snapshots --- *)
 
@@ -327,17 +352,24 @@ let metric_json = function
 (** The whole registry as one JSON object: scope → name → metric, with
     scopes and names sorted for deterministic output. *)
 let snapshot_json () =
+  (* grab a consistent entry list under the lock; format outside it *)
+  let entries =
+    with_registry @@ fun () -> Hashtbl.fold (fun k m acc -> (k, m) :: acc) registry []
+  in
   let by_scope = Hashtbl.create 16 in
-  Hashtbl.iter
-    (fun (s, n) m ->
+  List.iter
+    (fun ((s, n), m) ->
       Hashtbl.replace by_scope s ((n, m) :: Option.value ~default:[] (Hashtbl.find_opt by_scope s)))
-    registry;
+    entries;
+  let all_scopes =
+    List.sort_uniq compare (List.map (fun ((s, _), _) -> s) entries)
+  in
   let scope_objs =
     List.map
       (fun s ->
         let entries = List.sort compare (Hashtbl.find by_scope s) in
         (s, Json.O (List.map (fun (n, m) -> (n, metric_json m)) entries)))
-      (scopes ())
+      all_scopes
   in
   Json.O scope_objs
 
@@ -389,7 +421,12 @@ module Trace = struct
 
   let record_ts = function RSpan s -> s.start_ns | REvent e -> e.ts_ns
 
-  let next_id = ref 0
+  (* Atomic: span ids are allocated from any domain; a ref would hand two
+     spans the same id under contention. The open-span stack stays a plain
+     ref — span nesting is a per-caller notion and worker domains never
+     open spans (they run plain gate chunks). *)
+  let next_id = Atomic.make 0
+  let fresh_id () = Atomic.fetch_and_add next_id 1 + 1
   let stack : span list ref = ref []
 
   (* --- sinks --- *)
@@ -400,7 +437,10 @@ module Trace = struct
      [flight_total mod capacity]; [flight_total] counts every record ever
      written, so tests can observe the wrap. *)
   let flight_buf = ref (Array.make 256 None)
-  let flight_total = ref 0
+
+  (* Atomic cursor: each emitter claims its slot with one fetch-and-add,
+     so two domains never write the same ring cell for the same total. *)
+  let flight_total = Atomic.make 0
 
   let flight_capacity () = Array.length !flight_buf
 
@@ -408,24 +448,25 @@ module Trace = struct
   let set_flight_capacity n =
     let n = max 1 n in
     flight_buf := Array.make n None;
-    flight_total := 0
+    Atomic.set flight_total 0
 
   let reset_flight () =
     Array.fill !flight_buf 0 (Array.length !flight_buf) None;
-    flight_total := 0
+    Atomic.set flight_total 0
 
   let emit r =
     (match !collecting with Some acc -> acc := r :: !acc | None -> ());
     let buf = !flight_buf in
-    buf.(!flight_total mod Array.length buf) <- Some r;
-    incr flight_total
+    let slot = Atomic.fetch_and_add flight_total 1 in
+    buf.(slot mod Array.length buf) <- Some r
 
   (** The ring's current contents, oldest first. *)
   let flight_records () =
     let buf = !flight_buf in
     let cap = Array.length buf in
-    let live = min !flight_total cap in
-    let start = !flight_total - live in
+    let total = Atomic.get flight_total in
+    let live = min total cap in
+    let start = total - live in
     List.filter_map (fun i -> buf.((start + i) mod cap)) (List.init live Fun.id)
 
   (* --- span lifecycle --- *)
@@ -450,10 +491,9 @@ module Trace = struct
   let span ?(attrs = []) ~scope name f =
     if not !enabled_flag then f ()
     else begin
-      incr next_id;
       let s =
         {
-          id = !next_id;
+          id = fresh_id ();
           parent = current_parent ();
           name;
           scope;
@@ -501,12 +541,11 @@ module Trace = struct
       by the caller, e.g. one enumeration step) without entering it. *)
   let complete ?(attrs = []) ~scope name ~start_ns =
     if !enabled_flag then begin
-      incr next_id;
       let e = now_ns () in
       emit
         (RSpan
            {
-             id = !next_id;
+             id = fresh_id ();
              parent = current_parent ();
              name;
              scope;
@@ -712,7 +751,7 @@ module Trace = struct
     let buf = Buffer.create 1024 in
     Buffer.add_string buf
       (Printf.sprintf "=== sparseq flight recorder: %s (last %d of %d records) ===\n" reason
-         (List.length records) !flight_total);
+         (List.length records) (Atomic.get flight_total));
     (match records with
     | [] -> Buffer.add_string buf "  (no records; tracing disabled or nothing ran)\n"
     | first :: _ ->
@@ -761,7 +800,7 @@ end
 (** Plain-text dump, one metric per line. *)
 let snapshot_human () =
   let buf = Buffer.create 1024 in
-  Hashtbl.fold (fun k m acc -> (k, m) :: acc) registry []
+  (with_registry @@ fun () -> Hashtbl.fold (fun k m acc -> (k, m) :: acc) registry [])
   |> List.sort compare
   |> List.iter (fun ((scope, n), m) ->
          let name = full_name scope n in

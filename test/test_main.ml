@@ -10,6 +10,7 @@ let () =
       ("circuit", Test_circuit.suite);
       ("opt", Test_opt.suite);
       ("compact", Test_compact.suite);
+      ("par", Test_par.suite);
       ("engine", Test_engine.suite);
       ("shapes", Test_shapes.suite);
       ("fo", Test_fo.suite);

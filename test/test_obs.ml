@@ -52,6 +52,36 @@ let histogram_stats () =
   check_int "reset clears" 0 (Obs.Histogram.count h);
   check_float "reset quantile" 0. (Obs.Histogram.p99 h)
 
+(* --- quantile rank/boundary semantics --- *)
+
+(* pins the inclusive boundary rule: a rank exactly equal to a bucket's
+   cumulative count selects THAT bucket, never the one above *)
+let quantile_boundaries () =
+  (* all mass in a single bucket: every quantile is that bucket, clamped
+     to the exact observed max *)
+  let h = Obs.Histogram.make "qb_single" in
+  for _ = 1 to 7 do
+    Obs.Histogram.observe h 5.
+  done;
+  check_float "single bucket p50" 5. (Obs.Histogram.p50 h);
+  check_float "single bucket p99" 5. (Obs.Histogram.p99 h);
+  check_float "single bucket q=1" 5. (Obs.Histogram.quantile h 1.0);
+  (* rank exactly equal to the first bucket's cumulative count: 5 of 10
+     observations live in bucket [0,1), so p50 (rank 5) must report that
+     bucket's upper bound, not walk on to bucket [2,4) *)
+  let h2 = Obs.Histogram.make "qb_edge" in
+  for _ = 1 to 5 do
+    Obs.Histogram.observe h2 0.5
+  done;
+  for _ = 1 to 5 do
+    Obs.Histogram.observe h2 3.9
+  done;
+  check_float "rank = cumulative stays in bucket" 1. (Obs.Histogram.p50 h2);
+  (* one more observation past the boundary moves the quantile up *)
+  check_float "rank past boundary advances" 3.9 (Obs.Histogram.quantile h2 0.51);
+  (* rank equal to the total count selects the last occupied bucket *)
+  check_float "rank = count hits last bucket" 3.9 (Obs.Histogram.quantile h2 1.0)
+
 (* --- registry scoping and reset --- *)
 
 let registry_scoping () =
@@ -145,10 +175,55 @@ let gauges_match_circuit () =
   check "compile runs counted" true
     (Obs.Counter.get (Obs.counter ~scope:"compile" "runs") > 0)
 
+(* --- domain-safety hammer --- *)
+
+(* four domains hammer the same counter and concurrently register fresh
+   metrics; the Atomic counter must lose no increments and the mutexed
+   registry must neither corrupt (every registration findable, no
+   duplicate identities) nor deadlock *)
+let domain_hammer () =
+  let nd = 4 and per = 25_000 in
+  let shared = Obs.counter ~scope:"test_obs_par" "hits" in
+  Obs.Counter.reset shared;
+  let doms =
+    List.init nd (fun d ->
+        Domain.spawn (fun () ->
+            let scope = Printf.sprintf "test_obs_par_d%d" d in
+            for i = 1 to per do
+              Obs.Counter.incr shared;
+              (* re-registering the shared name from every domain must
+                 keep resolving to the same metric *)
+              if i mod 5_000 = 0 then Obs.Counter.add (Obs.counter ~scope:"test_obs_par" "hits") 0;
+              if i mod 1_000 = 0 then
+                Obs.Histogram.observe
+                  (Obs.histogram ~scope (Printf.sprintf "h%d" (i / 1_000)))
+                  (float_of_int i)
+            done))
+  in
+  List.iter Domain.join doms;
+  check_int "no lost increments" (nd * per) (Obs.Counter.get shared);
+  (* registry integrity: every concurrently registered metric is findable
+     with its full count, and a snapshot taken now still parses *)
+  for d = 0 to nd - 1 do
+    let scope = Printf.sprintf "test_obs_par_d%d" d in
+    for k = 1 to per / 1_000 do
+      let name = Printf.sprintf "h%d" k in
+      check (Printf.sprintf "%s/%s registered" scope name) true
+        (Obs.find ~scope name <> None);
+      check_int
+        (Printf.sprintf "%s/%s observation kept" scope name)
+        1
+        (Obs.Histogram.count (Obs.histogram ~scope name))
+    done
+  done;
+  parse_json (Obs.snapshot ())
+
 let suite =
   [
     Alcotest.test_case "histogram bucket boundaries" `Quick bucket_boundaries;
     Alcotest.test_case "histogram stats and quantiles" `Quick histogram_stats;
+    Alcotest.test_case "quantile rank boundary semantics" `Quick quantile_boundaries;
+    Alcotest.test_case "4-domain counter and registry hammer" `Quick domain_hammer;
     Alcotest.test_case "registry scoping and reset" `Quick registry_scoping;
     Alcotest.test_case "enabled flag gates writes" `Quick enabled_gate;
     Alcotest.test_case "snapshot JSON is parseable" `Quick snapshot_well_formed;

@@ -1,0 +1,247 @@
+(* Tests for the level-parallel compact-circuit evaluator
+   (lib/circuits/par.ml):
+
+   1. qcheck differential eval: [Par.eval ~domains] agrees with the
+      sequential [Compact.eval] and the boxed [Circuit.eval] on random
+      *optimized* circuits in all four semirings (nat / int-ring / bool /
+      zmod6) — nat and int-ring through the machine-int Bigarray plane
+      ([Intf.with_int_repr]), bool and zmod6 through the boxed plane —
+      for domains ∈ {1, 2, 4, 8}, which on these 14-gate circuits
+      includes domains well above the level count;
+   2. plan structure: children sit strictly below their parent's level,
+      the level CSR covers every gate exactly once, a plan is reusable
+      across evaluations, and a plan from a different circuit is rejected
+      as [Robust.Bad_input];
+   3. degenerate shapes: a 1-gate circuit (bare constant output) under
+      many domains;
+   4. end-to-end: [Engine.Eval.evaluate ~domains] = sequential
+      [Engine.Eval.evaluate] = [Engine.Reference.eval] on random sparse
+      databases;
+   5. chaos: a fault injected into a worker domain via [Par.chaos_hook]
+      surfaces as a structured [Robust.Error (Internal_divergence _)] —
+      not a hang, not a bare exception — and the pool stays usable
+      afterwards. *)
+
+open Semiring
+module Circuit = Circuits.Circuit
+module Compact = Circuits.Compact
+module Par = Circuits.Par
+
+let nat_ops = Intf.ops_of_module (module Instances.Nat)
+let int_ops = Intf.ops_of_ring (module Instances.Int_ring)
+let bool_ops = Intf.ops_of_finite (module Instances.Bool)
+let z6_ops = Intf.ops_of_finite (module Zmod.Z6)
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let t p = QCheck_alcotest.to_alcotest p
+let all_domains = [ 1; 2; 4; 8 ]
+
+(* same generator as the compact-runtime tests: random circuit over inputs
+   ("w", [0..n-1]) with adds, muls, 2x2 permanents, and constants *)
+let random_circuit (type a) ~(zero : a) ~(one : a) ~(mk : int -> a) seed n_inputs :
+    a Circuit.t =
+  let rng = Graphs.Rand.create seed in
+  let b = Circuit.builder () in
+  let inputs = List.init n_inputs (fun i -> Circuit.input b ("w", [ i ])) in
+  let pool = ref (Array.of_list (Circuit.const b zero :: Circuit.const b one :: inputs)) in
+  let pick () = !pool.(Graphs.Rand.int rng (Array.length !pool)) in
+  for _ = 1 to 14 do
+    let g =
+      match Graphs.Rand.int rng 6 with
+      | 0 -> Circuit.add b [ pick (); pick (); pick () ]
+      | 1 -> Circuit.add b [ pick (); pick () ]
+      | 2 -> Circuit.mul b [ pick (); pick () ]
+      | 3 -> Circuit.mul b [ pick (); pick (); pick () ]
+      | 4 -> Circuit.perm b [| [| pick (); pick () |]; [| pick (); pick () |] |]
+      | _ -> Circuit.const b (mk (Graphs.Rand.int rng 100))
+    in
+    pool := Array.append !pool [| g |]
+  done;
+  let out = Circuit.add b (Array.to_list !pool) in
+  Circuit.finish b ~output:out
+
+let optimized_compact (type a) (ops : a Intf.ops) ~zero ~one ~mk seed =
+  let c = random_circuit ~zero ~one ~mk seed 6 in
+  let o = Opt.run ~zero ~one ~equal:ops.Intf.equal c in
+  (Compact.of_circuit o.Opt.circuit, o.Opt.circuit)
+
+(* ------------------- 1. parallel = sequential = boxed ------------------- *)
+
+let par_eq_seq (type a) name (ops : a Intf.ops) ~(zero : a) ~(one : a)
+    ~(mk : int -> a) =
+  t
+    (QCheck.Test.make ~count:40
+       ~name:(Printf.sprintf "par eval = seq eval = boxed eval: %s" name)
+       QCheck.(int_range 0 100000)
+       (fun seed ->
+         let cc, boxed = optimized_compact ops ~zero ~one ~mk seed in
+         let v = function "w", [ i ] -> mk ((i * 31) + seed) | _ -> zero in
+         let expect = Compact.eval ops cc v in
+         ops.Intf.equal expect (Circuit.eval ops boxed v)
+         && List.for_all
+              (fun domains -> ops.Intf.equal expect (Par.eval ~domains ops cc v))
+              all_domains))
+
+(* ------------------- 2. the level index --------------------------------- *)
+
+(* every gate appears in exactly one level, and a gate's children all live
+   in strictly lower levels — the property that makes disjoint per-level
+   chunks data-race-free *)
+let plan_is_layered =
+  t
+    (QCheck.Test.make ~count:60 ~name:"plan levels respect wires"
+       QCheck.(int_range 0 100000)
+       (fun seed ->
+         let cc, _ = optimized_compact nat_ops ~zero:0 ~one:1 ~mk:(fun i -> i mod 7) seed in
+         let pl = Par.plan cc in
+         let n = cc.Compact.n in
+         let level_of = Array.make n (-1) in
+         let ok = ref true in
+         for l = 0 to Par.levels pl - 1 do
+           for k = pl.Par.level_off.(l) to pl.Par.level_off.(l + 1) - 1 do
+             let id = pl.Par.level_gates.(k) in
+             if level_of.(id) <> -1 then ok := false;
+             level_of.(id) <- l
+           done
+         done;
+         Array.iter (fun l -> if l < 0 then ok := false) level_of;
+         for id = 0 to n - 1 do
+           for k = cc.Compact.child_off.(id) to cc.Compact.child_off.(id + 1) - 1 do
+             let child = cc.Compact.children.(k) in
+             if level_of.(child) >= level_of.(id) then ok := false
+           done
+         done;
+         !ok))
+
+let plan_reuse () =
+  let cc, _ = optimized_compact nat_ops ~zero:0 ~one:1 ~mk:(fun i -> i mod 7) 77 in
+  let pl = Par.plan cc in
+  let v = function "w", [ i ] -> i + 3 | _ -> 0 in
+  let expect = Compact.eval nat_ops cc v in
+  (* the same plan drives many evaluations, including under fresh
+     valuations *)
+  List.iter
+    (fun domains ->
+      check_int
+        (Printf.sprintf "reused plan, %d domains" domains)
+        expect
+        (Par.eval ~plan:pl ~domains nat_ops cc v))
+    all_domains;
+  let v2 = function "w", [ i ] -> (i * 5) + 1 | _ -> 0 in
+  check_int "reused plan, new valuation" (Compact.eval nat_ops cc v2)
+    (Par.eval ~plan:pl ~domains:4 nat_ops cc v2)
+
+let plan_mismatch_rejected () =
+  let cc_a, _ = optimized_compact nat_ops ~zero:0 ~one:1 ~mk:(fun i -> i mod 7) 5 in
+  (* a different seed gives a circuit with a different gate count *)
+  let other =
+    let rec find s =
+      let cc, _ = optimized_compact nat_ops ~zero:0 ~one:1 ~mk:(fun i -> i mod 7) s in
+      if cc.Compact.n <> cc_a.Compact.n then cc else find (s + 1)
+    in
+    find 6
+  in
+  let pl = Par.plan other in
+  match Par.eval ~plan:pl ~domains:4 nat_ops cc_a (fun _ -> 1) with
+  | _ -> Alcotest.fail "foreign plan accepted"
+  | exception Robust.Error (Robust.Bad_input _) -> ()
+
+(* ------------------- 3. degenerate shapes ------------------------------- *)
+
+let one_gate_circuit () =
+  let b = Circuit.builder () in
+  let out = Circuit.const b 42 in
+  let c = Circuit.finish b ~output:out in
+  let cc = Compact.of_circuit c in
+  check_int "single gate" 1 cc.Compact.n;
+  List.iter
+    (fun domains ->
+      check_int
+        (Printf.sprintf "1-gate circuit, %d domains" domains)
+        42
+        (Par.eval ~domains nat_ops cc (fun _ -> 0)))
+    all_domains
+
+(* ------------------- 4. engine-level three-way agreement ---------------- *)
+
+let vx x = Logic.Term.Var x
+let e x y = Logic.Formula.Rel ("E", [ vx x; vx y ])
+
+let expr_wedge =
+  Logic.Expr.Sum
+    ( [ "x"; "y" ],
+      Logic.Expr.Mul
+        [
+          Logic.Expr.Guard (e "x" "y");
+          Logic.Expr.Weight ("w", [ vx "x" ]);
+          Logic.Expr.Weight ("w", [ vx "y" ]);
+        ] )
+
+let engine_par_eq_reference =
+  t
+    (QCheck.Test.make ~count:25 ~name:"engine parallel = sequential = reference"
+       QCheck.(pair (int_range 4 30) (int_range 0 10000))
+       (fun (n, seed) ->
+         let g = Graphs.Gen.random_bounded_degree ~seed ~n ~max_deg:3 in
+         let inst = Db.Instance.of_graph g in
+         let w = Db.Weights.create ~name:"w" ~arity:1 ~zero:0 in
+         Db.Weights.fill_unary w ~n (fun i -> (i * 7) + seed);
+         let weights = Db.Weights.bundle [ w ] in
+         let expected = Engine.Reference.eval nat_ops inst weights expr_wedge in
+         let seq = Engine.Eval.evaluate nat_ops inst weights expr_wedge in
+         let par = Engine.Eval.evaluate nat_ops ~domains:4 inst weights expr_wedge in
+         expected = seq && seq = par))
+
+(* ------------------- 5. chaos: worker faults surface, never hang -------- *)
+
+let chaos_fault_is_structured () =
+  let cc, _ = optimized_compact nat_ops ~zero:0 ~one:1 ~mk:(fun i -> i mod 7) 1234 in
+  let v = function "w", [ i ] -> i + 1 | _ -> 0 in
+  let expect = Compact.eval nat_ops cc v in
+  Fun.protect
+    ~finally:(fun () -> Atomic.set Par.chaos_hook None)
+    (fun () ->
+      (* fault a *worker* slot (not the caller) at the first level it
+         touches; first-fault-wins must convert it into a structured
+         divergence on the calling domain *)
+      Atomic.set Par.chaos_hook
+        (Some (fun slot _level -> if slot = 1 then failwith "injected fault"));
+      match Par.eval ~domains:4 nat_ops cc v with
+      | _ -> Alcotest.fail "worker fault swallowed"
+      | exception Robust.Error (Robust.Internal_divergence _) -> ()
+      | exception exn ->
+          Alcotest.failf "unstructured escape: %s" (Printexc.to_string exn));
+  (* a fault on the calling domain's slot takes the same route *)
+  Fun.protect
+    ~finally:(fun () -> Atomic.set Par.chaos_hook None)
+    (fun () ->
+      Atomic.set Par.chaos_hook
+        (Some (fun slot _level -> if slot = 0 then failwith "caller fault"));
+      match Par.eval ~domains:4 nat_ops cc v with
+      | _ -> Alcotest.fail "caller fault swallowed"
+      | exception Robust.Error (Robust.Internal_divergence _) -> ());
+  (* the pool survived both faults: the next evaluation is clean *)
+  check_int "pool usable after fault" expect (Par.eval ~domains:4 nat_ops cc v);
+  check_int "sequential path untouched" expect (Par.eval ~domains:1 nat_ops cc v)
+
+let suite =
+  [
+    par_eq_seq "nat (Bigarray plane)" (Intf.with_int_repr nat_ops) ~zero:0 ~one:1
+      ~mk:(fun i -> i mod 7);
+    par_eq_seq "int ring (Bigarray plane)" (Intf.with_int_repr int_ops) ~zero:0
+      ~one:1
+      ~mk:(fun i -> (i mod 11) - 5);
+    par_eq_seq "nat (boxed plane)" nat_ops ~zero:0 ~one:1 ~mk:(fun i -> i mod 7);
+    par_eq_seq "bool (boxed plane)" bool_ops ~zero:false ~one:true
+      ~mk:(fun i -> i mod 2 = 1);
+    par_eq_seq "zmod6 (boxed plane)" z6_ops ~zero:Zmod.Z6.zero ~one:Zmod.Z6.one
+      ~mk:Zmod.Z6.of_int;
+    plan_is_layered;
+    Alcotest.test_case "plan reuse across evaluations" `Quick plan_reuse;
+    Alcotest.test_case "foreign plan rejected as Bad_input" `Quick
+      plan_mismatch_rejected;
+    Alcotest.test_case "1-gate circuit under many domains" `Quick one_gate_circuit;
+    engine_par_eq_reference;
+    Alcotest.test_case "chaos: worker fault is structured, pool survives" `Quick
+      chaos_fault_is_structured;
+  ]
