@@ -42,19 +42,29 @@
    ratio is recorded but not gated, since level-parallel evaluation
    cannot beat sequential on a single-core machine.
 
+   PR 9 adds per-query cost attribution and a telemetry twin: each
+   eval/batch workload replays a fresh update stream through
+   Eval.with_cost / Eval.update_many_cost and requires the summed
+   gates_visited to equal the dyn/touched_gates counter delta exactly
+   (a mismatch fails the workload), and every workload times its own
+   update kernel with the Obs layer on vs off (min-of-5 interleaved) and
+   records the overhead percent — the ≤5% budget, now measured per
+   workload instead of only on the synthetic kernel. --metrics-out FILE
+   keeps an OpenMetrics exposition of the run refreshed on disk.
+
    Each workload draws its update streams from a workload-distinct RNG
    salt (within a workload the twin streams share the salt on purpose —
    they must replay the byte-identical writes), so no two workloads
    re-measure each other's key pattern.
 
-   Run with: dune exec bench/main.exe -- --out BENCH_pr8.json
+   Run with: dune exec bench/main.exe -- --out BENCH_pr9.json
              dune exec bench/main.exe -- --smoke wdeg_ring path2_enum
 
-   The output (default BENCH_pr8.json) carries per-workload numbers, the
+   The output (default BENCH_pr9.json) carries per-workload numbers, the
    full Obs metrics snapshot, and the measured overhead of the metrics
    layer itself (enabled vs disabled), schema "sparseq-bench/v1".
    bench/compare.exe diffs two baseline files and warns on update-latency
-   regressions (CI runs it against the committed BENCH_pr6.json).         *)
+   regressions (CI runs it against the committed BENCH_pr8.json).         *)
 
 open Semiring
 
@@ -91,6 +101,65 @@ let quantile sorted q =
    wall-clock resolution) counts as parity, not a division blow-up *)
 let p50_ratio ~raw ~opt = if opt <= 0. then 1. else raw /. opt
 
+(* cumulative dyn/touched_gates counter — the odometer per-query cost
+   attribution must agree with exactly *)
+let touched_gates_total () =
+  match Obs.find ~scope:"dyn" "touched_gates" with
+  | Some (Obs.C c) -> Obs.Counter.get c
+  | _ -> 0
+
+(* The whole-layer overhead of leaving telemetry on for this workload's
+   own update kernel: the identical kernel timed with Obs enabled (plus a
+   window tick and a GC sample, charged to the enabled side) vs disabled,
+   interleaved min-of-5. Sub-resolution noise can make the difference
+   negative; that clamps to 0 — "no measurable overhead". *)
+let telemetry_overhead_pct kernel =
+  let reps = 51 in
+  let on = Array.make reps 0. and off = Array.make reps 0. in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let leg_on () =
+    Obs.set_enabled true;
+    timed (fun () ->
+        kernel ();
+        Obs.Window.tick ();
+        Obs.Runtime.sample ())
+  in
+  let leg_off () =
+    Obs.set_enabled false;
+    let dt = timed kernel in
+    Obs.set_enabled true;
+    dt
+  in
+  (* warm both legs once so the first timed pair isn't charged the
+     enabled side's code-path warm-up *)
+  ignore (leg_on ());
+  ignore (leg_off ());
+  for i = 0 to reps - 1 do
+    (* alternate leg order so cache/GC position bias cancels instead of
+       always favoring whichever side runs second *)
+    if i land 1 = 0 then begin
+      on.(i) <- leg_on ();
+      off.(i) <- leg_off ()
+    end
+    else begin
+      off.(i) <- leg_off ();
+      on.(i) <- leg_on ()
+    end
+  done;
+  (* paired design: host-load drift moves both legs of a pair together,
+     so the per-pair difference cancels it; the median over pairs then
+     discards the scheduler spikes that would dominate a mean (or hand
+     a min to whichever side got luckier) *)
+  let diffs = Array.init reps (fun i -> on.(i) -. off.(i)) in
+  Array.sort compare diffs;
+  Array.sort compare off;
+  let m_diff = diffs.(reps / 2) and m_off = off.(reps / 2) in
+  Float.max 0. (100. *. m_diff /. Float.max 1e-9 m_off)
+
 (* --- per-workload results --- *)
 
 type result = {
@@ -107,6 +176,22 @@ type result = {
   opt_cmp : opt_cmp option;  (** optimizer twin comparison, when measured *)
   compact_cmp : compact_cmp option;  (** compact-runtime twin, when measured *)
   par_cmp : par_cmp option;  (** parallel-evaluation twin, when measured *)
+  cost_cmp : cost_cmp option;  (** per-query cost attribution, when measured *)
+  telemetry_pct : float option;
+      (** telemetry-on vs telemetry-off overhead on this workload's update
+          kernel, percent (min-of-5 interleaved; negative noise clamps to 0) *)
+}
+
+(* Costed replay of the workload's own update stream through
+   Eval.with_cost / Eval.update_many_cost: the summed per-update
+   gates_visited must equal the dyn/touched_gates counter delta over the
+   same replay — the attribution and the odometer count the same commits. *)
+and cost_cmp = {
+  cost_gates : int;  (** Σ gates_visited over the costed replay *)
+  cost_counter_delta : int;  (** dyn/touched_gates delta over the same replay *)
+  cost_waves : int;
+  cost_minor_words : float;
+  cost_exact : bool;  (** cost_gates = cost_counter_delta *)
 }
 
 (* Default-pipeline vs --opt=none twin on the same instance and weights:
@@ -182,18 +267,31 @@ let result_json r =
             ("compact_ok", Obs.Json.B c.c_ok);
             ("compact_detail", Obs.Json.S c.c_detail);
           ])
+    @ (match r.par_cmp with
+      | None -> []
+      | Some p ->
+          [
+            ("par_domains", Obs.Json.I p.par_domains);
+            ("par_levels", Obs.Json.I p.par_levels);
+            ("par_eval_speedup", Obs.Json.F p.par_eval_speedup);
+            ("par_enforced", Obs.Json.B p.par_enforced);
+            ("par_ok", Obs.Json.B p.par_ok);
+            ("par_detail", Obs.Json.S p.par_detail);
+          ])
+    @ (match r.cost_cmp with
+      | None -> []
+      | Some c ->
+          [
+            ("cost_gates", Obs.Json.I c.cost_gates);
+            ("cost_counter_delta", Obs.Json.I c.cost_counter_delta);
+            ("cost_waves", Obs.Json.I c.cost_waves);
+            ("cost_minor_words", Obs.Json.F c.cost_minor_words);
+            ("cost_exact", Obs.Json.B c.cost_exact);
+          ])
     @
-    match r.par_cmp with
+    match r.telemetry_pct with
     | None -> []
-    | Some p ->
-        [
-          ("par_domains", Obs.Json.I p.par_domains);
-          ("par_levels", Obs.Json.I p.par_levels);
-          ("par_eval_speedup", Obs.Json.F p.par_eval_speedup);
-          ("par_enforced", Obs.Json.B p.par_enforced);
-          ("par_ok", Obs.Json.B p.par_ok);
-          ("par_detail", Obs.Json.S p.par_detail);
-        ])
+    | Some pct -> [ ("telemetry_overhead_pct", Obs.Json.F pct) ])
 
 (* --- shared query shapes --- *)
 
@@ -465,6 +563,57 @@ let eval_workload (type a) ~name ~(ops : a Intf.ops) ?mode ?opt_enforce ?par_enf
       }
   in
   let par_ok = match par_cmp with Some p -> p.par_ok | None -> true in
+  (* park the pool before the cost/telemetry phases: idle worker domains
+     make every minor GC a full-fleet synchronization, which would tax
+     the allocation-heavy enabled legs below far beyond the telemetry
+     layer's own cost *)
+  Circuits.Par.shutdown ();
+  (* costed replay: another [updates]-long stream through the same live
+     evaluator, this time attributed via Eval.with_cost; runs after the
+     twin comparisons so the extra writes cannot desync the twins *)
+  let cost_cmp =
+    let rng_c = Random.State.make [| seed; salt; 3 |] in
+    let touched0 = touched_gates_total () in
+    let agg = ref Engine.Eval.Cost.zero in
+    for _ = 1 to updates do
+      let (), c =
+        Engine.Eval.with_cost ev (fun () ->
+            Engine.Eval.update ev "w"
+              [ Random.State.int rng_c n ]
+              (mk (Random.State.int rng_c 1000)))
+      in
+      agg := Engine.Eval.Cost.add !agg c
+    done;
+    let delta = touched_gates_total () - touched0 in
+    let c = !agg in
+    Some
+      {
+        cost_gates = c.Engine.Eval.Cost.gates_visited;
+        cost_counter_delta = delta;
+        cost_waves = c.Engine.Eval.Cost.waves;
+        cost_minor_words = c.Engine.Eval.Cost.minor_words;
+        cost_exact = c.Engine.Eval.Cost.gates_visited = delta;
+      }
+  in
+  let cost_ok = match cost_cmp with Some c -> c.cost_exact | None -> true in
+  let telemetry_pct =
+    (* floor of 10000 updates per timed leg: smaller legs sit inside the
+       wall-clock jitter and report pure noise. The key sequence restarts
+       every leg so both legs of a pair touch the identical gate sets and
+       the paired diff isolates the telemetry layer; the value stream is
+       offset by a pass counter so replaying the keys never degenerates
+       into equal-value no-op updates *)
+    let pass = ref 0 in
+    Some
+      (telemetry_overhead_pct (fun () ->
+           incr pass;
+           let rng_t = Random.State.make [| seed; salt; 7 |] in
+           for _ = 1 to max updates 10_000 do
+             Engine.Eval.update ev "w"
+               [ Random.State.int rng_t n ]
+               (mk (Random.State.int rng_t 1000 + !pass))
+           done))
+  in
   (* verify phase: updates write through to the bundle so the reference
      evaluator sees the same weights as the circuit *)
   let instv, nv, wv, weightsv = make n_verify in
@@ -508,7 +657,7 @@ let eval_workload (type a) ~name ~(ops : a Intf.ops) ?mode ?opt_enforce ?par_enf
     updates;
     p50_ns = quantile samples 0.5;
     p99_ns = quantile samples 0.99;
-    verified = !mismatches = 0 && opt_ok && c_ok && par_ok && trio_ok;
+    verified = !mismatches = 0 && opt_ok && c_ok && par_ok && trio_ok && cost_ok;
     detail =
       (if !mismatches = 0 then
          Printf.sprintf "reference agreed on n=%d after 25 shared updates" nv
@@ -519,10 +668,19 @@ let eval_workload (type a) ~name ~(ops : a Intf.ops) ?mode ?opt_enforce ?par_enf
           (match compact_cmp with Some c -> c.c_detail | None -> "skipped")
       ^ Printf.sprintf "; par: %s%s"
           (match par_cmp with Some p -> p.par_detail | None -> "skipped")
-          (if trio_ok then "; par=seq=reference" else "; par/seq/reference DISAGREE");
+          (if trio_ok then "; par=seq=reference" else "; par/seq/reference DISAGREE")
+      ^ Printf.sprintf "; cost: %s"
+          (match cost_cmp with
+          | Some c ->
+              Printf.sprintf "%d gates in %d waves vs counter delta %d (%s)"
+                c.cost_gates c.cost_waves c.cost_counter_delta
+                (if c.cost_exact then "exact" else "MISMATCH")
+          | None -> "skipped");
     opt_cmp;
     compact_cmp;
     par_cmp;
+    cost_cmp;
+    telemetry_pct;
   }
 
 (* --- the batched-update workloads (PR 3 tentpole) --- *)
@@ -577,6 +735,48 @@ let batch_workload (type a) ~name ~(ops : a Intf.ops) ~mode ~(mk : int -> a)
   let batch_s = Array.fold_left ( +. ) 0. samples /. 1e9 in
   let speedup = seq_s /. Float.max 1e-9 batch_s in
   let agree = ops.Intf.equal (Engine.Eval.value ev_seq) (Engine.Eval.value ev_batch) in
+  (* costed replay: fresh transactions through the batched twin via
+     update_many_cost; runs after the twin agreement is sampled so the
+     extra writes cannot desync it. One committed wave per non-trivial
+     batch, and the summed gate counts must match the counter delta. *)
+  let cost_cmp =
+    let txns_c = transactions n (Random.State.make [| seed; salt; 6 |]) in
+    let touched0 = touched_gates_total () in
+    let agg = ref Engine.Eval.Cost.zero in
+    List.iter
+      (fun txn ->
+        agg := Engine.Eval.Cost.add !agg (Engine.Eval.update_many_cost ev_batch txn))
+      txns_c;
+    let delta = touched_gates_total () - touched0 in
+    let c = !agg in
+    Some
+      {
+        cost_gates = c.Engine.Eval.Cost.gates_visited;
+        cost_counter_delta = delta;
+        cost_waves = c.Engine.Eval.Cost.waves;
+        cost_minor_words = c.Engine.Eval.Cost.minor_words;
+        cost_exact =
+          c.Engine.Eval.Cost.gates_visited = delta
+          && c.Engine.Eval.Cost.waves <= List.length txns_c;
+      }
+  in
+  let cost_ok = match cost_cmp with Some c -> c.cost_exact | None -> true in
+  let telemetry_pct =
+    (* a cycled pool of pre-generated transaction lists: replaying one
+       fixed list would make every write a same-value no-op after the
+       first pass (the legs would time hash lookups instead of waves),
+       and generating transactions inside the timed leg would add
+       allocation jitter that isn't the telemetry layer's *)
+    let rng_t = Random.State.make [| seed; salt; 7 |] in
+    let pool = Array.init 8 (fun _ -> transactions n rng_t) in
+    let li = ref 0 in
+    Some
+      (telemetry_overhead_pct (fun () ->
+           incr li;
+           List.iter
+             (fun txn -> Engine.Eval.update_many ev_batch txn)
+             pool.(!li mod Array.length pool)))
+  in
   (* verify phase: write-through on a small instance, checked against the
      reference evaluator *)
   let instv, nv, wv, weightsv = make n_verify in
@@ -600,7 +800,7 @@ let batch_workload (type a) ~name ~(ops : a Intf.ops) ~mode ~(mk : int -> a)
     updates = rounds * batch;
     p50_ns = quantile samples 0.5;
     p99_ns = quantile samples 0.99;
-    verified = agree && ref_ok && fast;
+    verified = agree && ref_ok && fast && cost_ok;
     detail =
       Printf.sprintf
         "speedup %.2fx (seq %.1fms vs batch %.1fms; %d txns of %d writes over %d hot \
@@ -611,10 +811,19 @@ let batch_workload (type a) ~name ~(ops : a Intf.ops) ~mode ~(mk : int -> a)
         | _ -> "")
         (if agree then "agree" else "DISAGREE")
         (if ref_ok then "agreed" else "DISAGREED")
-        nv;
+        nv
+      ^ Printf.sprintf "; cost: %s"
+          (match cost_cmp with
+          | Some c ->
+              Printf.sprintf "%d gates in %d waves vs counter delta %d (%s)"
+                c.cost_gates c.cost_waves c.cost_counter_delta
+                (if c.cost_exact then "exact" else "MISMATCH")
+          | None -> "skipped");
     opt_cmp = None;
     compact_cmp = None;
     par_cmp = None;
+    cost_cmp;
+    telemetry_pct;
   }
 
 (* --- the Theorem 24 dynamic enumeration workload --- *)
@@ -738,6 +947,16 @@ let path2_workload ~smoke ~seed () : result =
   let got = List.sort compare (List.map Array.to_list (Fo_enum.answers tv)) in
   let _, want = Engine.Reference.answers (Fo_enum.instance tv) phi_path2 in
   let want = List.sort compare want in
+  (* telemetry twin on the set_tuple kernel; the paired toggles cancel, so
+     the perf instance is unchanged afterwards (updates is even) *)
+  let telemetry_pct =
+    Some
+      (telemetry_overhead_pct (fun () ->
+           for i = 0 to max updates 10_000 - 1 do
+             let tup = edges.((i / 2) mod Array.length edges) in
+             Fo_enum.set_tuple t ~gaifman "E" tup (i mod 2 = 1)
+           done))
+  in
   {
     name = "path2_enum";
     n;
@@ -760,6 +979,8 @@ let path2_workload ~smoke ~seed () : result =
       Some { gates_pre; shrink; eval_speedup; p50_speedup; opt_ok; opt_detail };
     compact_cmp;
     par_cmp = None;
+    cost_cmp = None;
+    telemetry_pct;
   }
 
 (* --- metrics-layer overhead (the ≤5% budget) --- *)
@@ -792,35 +1013,58 @@ let overhead ~smoke ~seed =
   let w = Db.Weights.create ~name:"w" ~arity:1 ~zero:0 in
   Db.Weights.fill_unary w ~n (fun i -> i mod 7);
   let ev = Engine.Eval.prepare nat_ops ~tfa_rounds:1 inst (Db.Weights.bundle [ w ]) wdeg_expr in
-  let rng = Random.State.make [| seed; 3 |] in
+  (* same discipline as the per-workload twin: identical key sequence
+     every leg, values offset per pass so replays never become no-ops,
+     alternating leg order, median over pairs *)
+  let pass = ref 0 in
   let run () =
+    incr pass;
+    let rng = Random.State.make [| seed; 3 |] in
     let t0 = Unix.gettimeofday () in
     for _ = 1 to k do
-      Engine.Eval.update ev "w" [ Random.State.int rng n ] (Random.State.int rng 7)
+      Engine.Eval.update ev "w" [ Random.State.int rng n ] (Random.State.int rng 7 + !pass)
     done;
     (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int k
   in
+  let reps = 9 in
+  let on = Array.make reps 0. and off = Array.make reps 0. in
   ignore (run ());
-  (* warm-up *)
-  let enabled_ns = run () in
   Obs.set_enabled false;
-  let disabled_ns = run () in
+  ignore (run ());
   Obs.set_enabled true;
-  (enabled_ns, disabled_ns)
+  for i = 0 to reps - 1 do
+    if i land 1 = 0 then begin
+      on.(i) <- run ();
+      Obs.set_enabled false;
+      off.(i) <- run ();
+      Obs.set_enabled true
+    end
+    else begin
+      Obs.set_enabled false;
+      off.(i) <- run ();
+      Obs.set_enabled true;
+      on.(i) <- run ()
+    end
+  done;
+  Array.sort compare on;
+  Array.sort compare off;
+  (on.(reps / 2), off.(reps / 2))
 
 (* ----------------------------------------------------------- driver --- *)
 
 let () =
   let seed = ref 20260705 in
-  let out = ref "BENCH_pr8.json" in
+  let out = ref "BENCH_pr9.json" in
   let smoke = ref false in
   let trace = ref "" in
   let domains = ref 4 in
+  let metrics_out = ref "" in
+  let metrics_interval = ref 1000 in
   let only = ref [] in
   Arg.parse
     [
       ("--seed", Arg.Set_int seed, "INT  PRNG seed (default 20260705)");
-      ("--out", Arg.Set_string out, "FILE  JSON baseline output (default BENCH_pr8.json)");
+      ("--out", Arg.Set_string out, "FILE  JSON baseline output (default BENCH_pr9.json)");
       ("--smoke", Arg.Set smoke, "  small instances and fewer updates (CI mode)");
       ( "--domains",
         Arg.Set_int domains,
@@ -828,14 +1072,24 @@ let () =
       ( "--trace",
         Arg.Set_string trace,
         "FILE  record a span trace of the run as Chrome trace-event JSON" );
+      ( "--metrics-out",
+        Arg.Set_string metrics_out,
+        "FILE  rewrite the OpenMetrics exposition here as the run progresses" );
+      ( "--metrics-interval-ms",
+        Arg.Set_int metrics_interval,
+        "MS  minimum interval between exposition rewrites (default 1000)" );
     ]
     (fun w -> only := w :: !only)
-    "bench [--seed INT] [--out FILE] [--smoke] [--domains N] [--trace FILE] [workload ...]";
+    "bench [--seed INT] [--out FILE] [--smoke] [--domains N] [--trace FILE] [--metrics-out \
+     FILE] [workload ...]";
   let smoke = !smoke and seed = !seed in
   let domains = max 1 !domains in
   if Sys.getenv_opt "SPARSEQ_FLIGHT" = None then
     Obs.Trace.set_flight_dest Obs.Trace.Stderr;
   if !trace <> "" then Obs.Trace.start_recording ();
+  if !metrics_out <> "" then
+    Obs.Openmetrics.install
+      (Obs.Openmetrics.Writer.create ~path:!metrics_out ~interval_ms:!metrics_interval);
   let n_wdeg = if smoke then 400 else 2000 in
   let k = if smoke then 200 else 1000 in
   let deg3 seed n = Graphs.Gen.random_bounded_degree ~seed ~n ~max_deg:3 in
@@ -960,8 +1214,13 @@ let () =
            live domains, which taxes the next workload's allocation-heavy
            update loops (measured ~2x on wdeg_ring p50 on one core) *)
         Circuits.Par.shutdown ();
-        Printf.printf "%-14s %8d %10.3f %8d %6d %12.0f %12.0f %9b\n" r.name r.n r.wall_s
+        (* rewrite the exposition between workloads, outside any timed window *)
+        Obs.Openmetrics.pulse ();
+        Printf.printf "%-14s %8d %10.3f %8d %6d %12.0f %12.0f %9b" r.name r.n r.wall_s
           r.gates r.depth r.p50_ns r.p99_ns r.verified;
+        (match r.telemetry_pct with
+        | Some pct -> Printf.printf "  tel %.1f%%\n" pct
+        | None -> print_newline ());
         r)
       selected
   in
@@ -996,6 +1255,13 @@ let () =
   output_char oc '\n';
   close_out oc;
   Printf.printf "baseline written to %s\n" !out;
+  (match !Obs.Openmetrics.installed with
+  | Some w ->
+      Obs.Openmetrics.Writer.write_now w;
+      Obs.Openmetrics.uninstall ();
+      Printf.printf "metrics written to %s (%d writes)\n" (Obs.Openmetrics.Writer.path w)
+        (Obs.Openmetrics.Writer.writes w)
+  | None -> ());
   if !trace <> "" then begin
     let records = Obs.Trace.stop_recording () in
     let oc = open_out !trace in

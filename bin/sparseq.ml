@@ -182,17 +182,45 @@ let fallback_recover = Term.(const (fun f r -> (f, r)) $ fallback_arg $ recover_
 let metrics_arg =
   Arg.(
     value
-    & opt ~vopt:(Some `Human) (some (enum [ ("json", `Json); ("human", `Human) ])) None
+    & opt ~vopt:(Some `Human)
+        (some
+           (enum [ ("json", `Json); ("human", `Human); ("openmetrics", `Openmetrics) ]))
+        None
     & info [ "metrics" ] ~docv:"FORMAT"
         ~doc:
-          "Print the engine metrics snapshot (counters, gauges, latency histograms) \
-           after the run, as $(b,human) text or $(b,json). Printed even when the run \
-           fails, so budget violations leave a trace.")
+          "Print the engine metrics snapshot (counters, gauges, latency histograms with \
+           cumulative and sliding-window quantiles) after the run, as $(b,human) text, \
+           $(b,json), or an $(b,openmetrics) text exposition (Prometheus-scrapeable). \
+           Printed even when the run fails, so budget violations leave a trace.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Periodically rewrite $(docv) with an OpenMetrics text exposition of the \
+           engine metrics during the run, plus once at exit. Rewrites are atomic \
+           (temp file + rename), so a concurrent scraper never reads a torn file — \
+           this is the scrape surface a future sparseqd would serve at /metrics.")
+
+let metrics_interval_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "metrics-interval-ms" ] ~docv:"MS"
+        ~doc:"Minimum milliseconds between two $(b,--metrics-out) rewrites.")
+
+(* Snapshot format, exposition file and rewrite interval travel together
+   so every run function keeps the fixed arity [guarded] expects. *)
+let metrics_term =
+  Term.(
+    const (fun m o i -> (m, o, i)) $ metrics_arg $ metrics_out_arg $ metrics_interval_arg)
 
 let print_metrics = function
   | None -> ()
   | Some `Json -> print_endline (Obs.snapshot ())
   | Some `Human -> print_string (Obs.snapshot_human ())
+  | Some `Openmetrics -> print_string (Obs.Openmetrics.render ())
 
 let trace_arg =
   Arg.(
@@ -216,12 +244,29 @@ let write_trace path records =
 let ok = function Ok x -> x | Error e -> raise (Robust.Error e)
 
 (* Wrap a run function so classified engine errors become Cmdliner-reported
-   errors (nonzero exit) rather than raw backtraces; the metrics snapshot
-   and the span trace (when requested) are emitted on both paths. *)
+   errors (nonzero exit) rather than raw backtraces; the metrics snapshot,
+   the exposition file and the span trace (when requested) are emitted on
+   both paths. *)
 let guarded run =
- fun metrics trace a b c d e f ->
+ fun (metrics, metrics_out, interval_ms) trace a b c d e f ->
+  let writer =
+    Option.map
+      (fun path -> Obs.Openmetrics.Writer.create ~path ~interval_ms)
+      metrics_out
+  in
+  (* Long-running loops re-render the file through Obs.Openmetrics.pulse;
+     installing makes this run's writer the one they drive. *)
+  (match writer with Some w -> Obs.Openmetrics.install w | None -> ());
   if trace <> None then Obs.Trace.start_recording ();
   let finish () =
+    (match writer with
+    | Some w ->
+        Obs.Openmetrics.Writer.write_now w;
+        Obs.Openmetrics.uninstall ();
+        Printf.eprintf "metrics written to %s (%d writes)\n%!"
+          (Obs.Openmetrics.Writer.path w)
+          (Obs.Openmetrics.Writer.writes w)
+    | None -> ());
     (match trace with
     | Some path -> write_trace path (Obs.Trace.stop_recording ())
     | None -> ());
@@ -256,6 +301,13 @@ let sample_quantile sorted q =
   if n = 0 then 0.
   else sorted.(min (n - 1) (int_of_float (Float.of_int n *. q)))
 
+(* Cumulative dyn/touched_gates counter, the odometer the per-query cost
+   reports must agree with exactly. *)
+let touched_gates_total () =
+  match Obs.find ~scope:"dyn" "touched_gates" with
+  | Some (Obs.C c) -> Obs.Counter.get c
+  | _ -> 0
+
 let stats_cmd =
   let updates_arg =
     Arg.(
@@ -271,7 +323,17 @@ let stats_cmd =
             "Apply the timed updates in batches of $(docv) through the batched \
              propagation wave (Eval.update_many); 1 = one wave per update.")
   in
-  let run kind n seed qname (budget, opt, backend, domains) ((updates, batch), load) =
+  let cost_arg =
+    Arg.(
+      value & flag
+      & info [ "cost" ]
+          ~doc:
+            "Attribute cost to each timed update (wall ns, gates recomputed per wave, \
+             minor-heap words, GC collections observed), print the aggregate report, \
+             and cross-check the summed gate counts against the cumulative dyn/* \
+             counters — the two must agree exactly.")
+  in
+  let run kind n seed qname (budget, opt, backend, domains) ((updates, batch, cost), load) =
     match load with
     | Some path ->
         (* A persisted circuit carries no workload: print what the file holds. *)
@@ -310,19 +372,42 @@ let stats_cmd =
       in
       Printf.printf "backend: %s  domains: %d\n" (Circuits.Dyn.backend_name backend) domains;
       let rng = Random.State.make [| seed; 0x5eed |] in
+      let agg = ref Engine.Eval.Cost.zero in
+      let touched0 = touched_gates_total () in
+      let report_cost () =
+        let c = !agg in
+        Printf.printf "cost: %s\n" (Engine.Eval.Cost.summary c);
+        if updates > 0 then
+          Printf.printf "cost/update: %.1f gates  %.0f minor words\n"
+            (float_of_int c.Engine.Eval.Cost.gates_visited /. float_of_int updates)
+            (c.Engine.Eval.Cost.minor_words /. float_of_int updates);
+        let delta = touched_gates_total () - touched0 in
+        Printf.printf "cost cross-check: sum(gates_visited) %d vs dyn/touched_gates delta %d (%s)\n"
+          c.Engine.Eval.Cost.gates_visited delta
+          (if c.Engine.Eval.Cost.gates_visited = delta then "exact" else "MISMATCH")
+      in
       if batch <= 1 then begin
         let samples = Array.make updates 0. in
         for i = 0 to updates - 1 do
           let x = Random.State.int rng nn in
+          let w' = Random.State.int rng 5 in
           let u0 = Unix.gettimeofday () in
-          Engine.Eval.update ev "w" [ x ] (Random.State.int rng 5);
-          samples.(i) <- (Unix.gettimeofday () -. u0) *. 1e9
+          if cost then begin
+            let (), c =
+              Engine.Eval.with_cost ev (fun () -> Engine.Eval.update ev "w" [ x ] w')
+            in
+            agg := Engine.Eval.Cost.add !agg c
+          end
+          else Engine.Eval.update ev "w" [ x ] w';
+          samples.(i) <- (Unix.gettimeofday () -. u0) *. 1e9;
+          Obs.Openmetrics.pulse ()
         done;
         Array.sort compare samples;
         Format.printf "updates: %d  p50 %.0fns  p99 %.0fns  (value now %d)@." updates
           (sample_quantile samples 0.5)
           (sample_quantile samples 0.99)
-          (Engine.Eval.value ev)
+          (Engine.Eval.value ev);
+        if cost then report_cost ()
       end
       else begin
         let nbatches = (updates + batch - 1) / batch in
@@ -335,9 +420,12 @@ let stats_cmd =
                 ("w", [ Random.State.int rng nn ], Random.State.int rng 5))
           in
           let u0 = Unix.gettimeofday () in
-          Engine.Eval.update_many ev writes;
+          if cost then
+            agg := Engine.Eval.Cost.add !agg (Engine.Eval.update_many_cost ev writes)
+          else Engine.Eval.update_many ev writes;
           samples.(i) <- (Unix.gettimeofday () -. u0) *. 1e9;
-          total := !total +. samples.(i)
+          total := !total +. samples.(i);
+          Obs.Openmetrics.pulse ()
         done;
         Array.sort compare samples;
         Format.printf
@@ -347,12 +435,17 @@ let stats_cmd =
           (sample_quantile samples 0.5)
           (sample_quantile samples 0.99)
           (!total /. float_of_int updates)
-          (Engine.Eval.value ev)
+          (Engine.Eval.value ev);
+        if cost then begin
+          report_cost ();
+          Printf.printf "cost waves: %d (one committed wave per batch)\n"
+            !agg.Engine.Eval.Cost.waves
+        end
       end
     end
   in
   let updates_batch =
-    Term.(const (fun u b l -> ((u, b), l)) $ updates_arg $ batch_arg $ load_arg)
+    Term.(const (fun u b c l -> ((u, b, c), l)) $ updates_arg $ batch_arg $ cost_arg $ load_arg)
   in
   Cmd.v
     (Cmd.info "stats"
@@ -361,7 +454,7 @@ let stats_cmd =
           (Theorems 6 and 8).")
     Term.(
       ret
-        (const (guarded run) $ metrics_arg $ trace_arg $ graph_arg $ n_arg $ seed_arg $ query_arg
+        (const (guarded run) $ metrics_term $ trace_arg $ graph_arg $ n_arg $ seed_arg $ query_arg
        $ budget_opt $ updates_batch))
 
 (* --- count --- *)
@@ -406,7 +499,7 @@ let count_cmd =
   Cmd.v (Cmd.info "count" ~doc:"Count the answers of a query through the circuit pipeline.")
     Term.(
       ret
-        (const (guarded run) $ metrics_arg $ trace_arg $ graph_arg $ n_arg $ seed_arg $ query_arg
+        (const (guarded run) $ metrics_term $ trace_arg $ graph_arg $ n_arg $ seed_arg $ query_arg
        $ budget_opt $ fallback_load))
 
 (* --- enum --- *)
@@ -448,7 +541,7 @@ let enum_cmd =
     (Cmd.info "enum" ~doc:"Enumerate query answers with constant delay (Theorem 24).")
     Term.(
       ret
-        (const (guarded run) $ metrics_arg $ trace_arg $ graph_arg $ n_arg $ seed_arg $ query_arg
+        (const (guarded run) $ metrics_term $ trace_arg $ graph_arg $ n_arg $ seed_arg $ query_arg
        $ limit_arg $ pair))
 
 (* --- pagerank --- *)
@@ -495,7 +588,8 @@ let pagerank_cmd =
       let next = Array.init n (fun x -> ok (Engine.Eval.query_checked t [ x ])) in
       for x = 0 to n - 1 do
         ok (Engine.Eval.update_checked t "w" [ x ] next.(x))
-      done
+      done;
+      Obs.Openmetrics.pulse ()
     done;
     let ranks = Array.init n (fun x -> (Db.Weights.get w [ x ], x)) in
     Array.sort (fun (a, _) (b, _) -> Rat.compare b a) ranks;
@@ -509,7 +603,7 @@ let pagerank_cmd =
     (Cmd.info "pagerank" ~doc:"PageRank rounds as a dynamic weighted query (Example 9).")
     Term.(
       ret
-        (const (guarded run) $ metrics_arg $ trace_arg $ graph_arg $ n_arg $ seed_arg $ rounds_arg
+        (const (guarded run) $ metrics_term $ trace_arg $ graph_arg $ n_arg $ seed_arg $ rounds_arg
        $ budget_opt $ fallback_recover))
 
 (* --- explain --- *)
@@ -568,7 +662,16 @@ let explain_cmd =
         (Circuits.Circuit.stats ev.Engine.Eval.circuit);
       Format.printf "optimizer (per-pass shrink):@.%a@." Opt.pp_report
         ev.Engine.Eval.meta.Engine.Compile.opt;
-      strategy ops
+      strategy ops;
+      (* Cost of one cold evaluation of the same query: every gate is computed
+         once, so gates_visited is the circuit size and there are no waves. *)
+      let cell = ref None in
+      ignore
+        (Engine.Eval.evaluate ops ~opt ~backend ~domains ~tfa_rounds:1 ~budget ~cost:cell
+           inst (Db.Weights.bundle []) expr);
+      match !cell with
+      | Some c -> Printf.printf "one-shot cost: %s\n" (Engine.Eval.Cost.summary c)
+      | None -> ()
     in
     match semiring with
     | `Nat -> explain (Intf.with_int_repr (Intf.ops_of_module (module Instances.Nat)))
@@ -585,7 +688,7 @@ let explain_cmd =
     (let semiring_load = Term.(const (fun s l -> (s, l)) $ semiring_arg $ load_arg) in
      Term.(
        ret
-         (const (guarded run) $ metrics_arg $ trace_arg $ graph_arg $ n_arg $ seed_arg
+         (const (guarded run) $ metrics_term $ trace_arg $ graph_arg $ n_arg $ seed_arg
         $ query_arg $ budget_opt $ semiring_load)))
 
 (* --- compile --- *)
@@ -641,7 +744,7 @@ let compile_cmd =
           so later runs load it in O(size) instead of recompiling.")
     Term.(
       ret
-        (const (guarded run) $ metrics_arg $ trace_arg $ graph_arg $ n_arg $ seed_arg $ query_arg
+        (const (guarded run) $ metrics_term $ trace_arg $ graph_arg $ n_arg $ seed_arg $ query_arg
        $ budget_opt $ save_semiring))
 
 let () =

@@ -140,6 +140,18 @@ type 'a t = {
           its last recomputation, flushed in one {!Perm.Segtree.set_many}
           (resp. Ring/Finite) when the wave reaches the gate *)
   mutable update_ops : int;  (** gate recomputations since creation (for benches) *)
+  mutable obs_tick : int;
+      (** single-wave update counter driving the 1-in-64 systematic
+          sample of the per-update latency/size histograms and flight
+          spans: counters stay exact (cost attribution and the
+          cross-checks read those), while the histograms trade
+          completeness for keeping the whole telemetry layer inside its
+          ≤5% budget on sub-µs updates *)
+  mutable cost_log : int list ref option;
+      (** when attached ({!set_cost_log}), the touched-gate count of every
+          {e committed} wave is pushed onto the list — the raw material of
+          per-query cost attribution (rolled-back waves never commit, so
+          the log agrees with the "dyn" touched counters by construction) *)
   mutable undo_log : 'a undo_entry array;
       (** reusable scratch log of the running wave's prior cells; unwound
           in reverse on a mid-wave fault, reset on commit *)
@@ -398,6 +410,8 @@ let create ?mode ?(backend = Compact) ?(domains = 1) (ops : 'a Semiring.Intf.ops
     wave_saved = Array.make n ops.Semiring.Intf.zero;
     pending = Array.make n [];
     update_ops = 0;
+    obs_tick = 0;
+    cost_log = None;
     undo_log = Array.make 64 UNop;
     undo_len = 0;
     journal = None;
@@ -409,6 +423,16 @@ let create ?mode ?(backend = Compact) ?(domains = 1) (ops : 'a Semiring.Intf.ops
 let poisoned t = t.poisoned
 let set_fault_hook t h = t.fault_hook <- h
 let set_rollback_fault_hook t h = t.rollback_fault_hook <- h
+
+(** Total gate recomputations since creation; the cumulative counter the
+    per-query cost reports are cross-checked against. *)
+let update_ops t = t.update_ops
+
+(** Attach (or detach, with [None]) a per-wave cost sink: each committed
+    wave appends its touched-gate count. One sink at a time; [Eval]'s cost
+    measurement owns the attach/detach bracket. *)
+let set_cost_log t sink = t.cost_log <- sink
+
 let num_gates t = t.n
 let backend t = match t.topo with TBoxed _ -> Boxed | TFlat _ -> Compact
 
@@ -725,26 +749,51 @@ let set_input t (key : Circuit.input_key) v =
       let old_v = vget t id in
       if not (t.ops.Semiring.Intf.equal old_v v) then begin
         let instrumented = Obs.is_enabled () in
-        let t0 = if instrumented then Obs.now_ns () else 0. in
+        (* 1-in-64 systematic sample: the wall-clock reads, histogram
+           observes and flight-ring span below cost more than a small
+           wave itself; the exact counters carry the totals, while the
+           latency/size histograms and the flight context see every 64th
+           wave (and every wave while a trace is being recorded) *)
+        let sampled =
+          instrumented
+          &&
+          (t.obs_tick <- t.obs_tick + 1;
+           t.obs_tick land 63 = 0)
+        in
+        let t0 = if sampled then Obs.now_ns () else 0. in
         let ops0 = t.update_ops in
         (try
-          (* The wave span finishes (and lands in the flight recorder)
-             during unwinding, before the recovery handler below fires —
-             so a post-mortem dump always contains the fatal wave. *)
-          Obs.Trace.span ~scope:"dyn" "update" (fun () ->
+          (* The wave span lands in the flight recorder during unwinding,
+             before the recovery handler below fires — span_hot
+             materializes the span on a fault even when this wave was not
+             sampled, so a post-mortem dump always contains the fatal
+             wave. *)
+          Obs.Trace.span_hot ~force:sampled ~scope:"dyn" "update" (fun () ->
               push_undo t (UTouch (id, vget t id));
               vset t id v;
               enqueue_parents t id ~old_v ~new_v:v;
               run_wave t;
-              Obs.Trace.add_attr "touched" (Obs.Trace.I (t.update_ops - ops0)))
+              (* only a live span can carry the attribute; skipping the
+                 call on the bare path saves a boxed attr per wave *)
+              if sampled || Obs.Trace.is_recording () then
+                Obs.Trace.add_attr "touched" (Obs.Trace.I (t.update_ops - ops0)))
         with e -> fault_wave t e);
         commit_wave t [ (key, v) ];
+        (match t.cost_log with
+        | Some sink -> sink := (t.update_ops - ops0) :: !sink
+        | None -> ());
         if instrumented then begin
           let touched = t.update_ops - ops0 in
-          Obs.Counter.incr m_updates;
+          (* touched_gates stays exact per wave (cost attribution
+             cross-checks it); the updates counter advances in blocks of
+             64 on the sampled tick — ≤63 single waves per instance are
+             in flight at any instant, a diagnostic-grade lag *)
           Obs.Counter.add m_touched touched;
-          Obs.Histogram.observe h_touched (float_of_int touched);
-          Obs.Histogram.observe h_update_ns (Obs.elapsed_ns t0)
+          if sampled then begin
+            Obs.Counter.add m_updates 64;
+            Obs.Histogram.observe h_touched (float_of_int touched);
+            Obs.Histogram.observe h_update_ns (Obs.elapsed_ns t0)
+          end
         end
       end
 
@@ -818,6 +867,9 @@ let set_inputs t (assignments : (Circuit.input_key * 'a) list) =
             Obs.Trace.add_attr "touched" (Obs.Trace.I (t.update_ops - ops0)))
       with e -> fault_wave t e);
       commit_wave t assignments;
+      (match t.cost_log with
+      | Some sink -> sink := (t.update_ops - ops0) :: !sink
+      | None -> ());
       if instrumented then begin
         let touched = t.update_ops - ops0 in
         Obs.Counter.incr m_batches;

@@ -67,6 +67,27 @@ let plan (t : 'a Compact.t) : plan =
 
 let levels (p : plan) = p.n_levels
 
+(* --- pool telemetry ---
+
+   Per-participant busy / barrier-wait nanoseconds for every parallel
+   evaluation, plus worker idle time between jobs — the "where does the
+   --domains N time actually go" view. Totals accumulate in counters;
+   the latest evaluation's per-slot split lands in slot gauges, and each
+   barrier crossing feeds a wait histogram (so wait outliers show up in
+   the windowed p99). Everything is gated on [Obs.is_enabled]: the
+   telemetry-off cost is one load and branch per evaluation and per
+   level, never per gate. *)
+
+let m_evals = Obs.counter ~scope:"par" "evals"
+let g_domains = Obs.gauge ~scope:"par" "domains"
+let h_barrier_wait = Obs.histogram ~scope:"par" "barrier_wait_ns"
+let m_busy = Obs.counter ~scope:"par" "busy_ns"
+let m_wait = Obs.counter ~scope:"par" "wait_ns"
+let m_idle = Obs.counter ~scope:"par" "idle_ns"
+
+(* Lazily registered: slots that never run never appear in snapshots. *)
+let slot_gauge slot which = Obs.gauge ~scope:"par" (Printf.sprintf "slot%d_%s" slot which)
+
 (* --- sense-reversing hybrid barrier --- *)
 
 (* Spin briefly on the sense flag (useful only when real cores are
@@ -150,6 +171,8 @@ let the_pool =
   }
 
 let rec worker_loop (p : pool) (slot : int) (my_gen : int) =
+  (* time spent parked between jobs: the idle leg of busy/wait/idle *)
+  let idle0 = if Obs.is_enabled () then Obs.now_ns () else Float.nan in
   Mutex.lock p.mutex;
   while p.gen = my_gen && not p.stop do
     Condition.wait p.work_cond p.mutex
@@ -158,6 +181,11 @@ let rec worker_loop (p : pool) (slot : int) (my_gen : int) =
   else begin
     let gen = p.gen and job = p.job in
     Mutex.unlock p.mutex;
+    if not (Float.is_nan idle0) then begin
+      let idle = Obs.elapsed_ns idle0 in
+      Obs.Counter.add m_idle (int_of_float idle);
+      Obs.Gauge.set (slot_gauge slot "idle_ns") idle
+    end;
     (* jobs capture their own faults; this is a last-ditch guard so a
        leak can never wedge the completion accounting *)
     (try job slot with _ -> ());
@@ -321,9 +349,16 @@ let eval_parallel (type a) (ops : a Semiring.Intf.ops) (t : a Compact.t)
   else begin
     let fault : exn option Atomic.t = Atomic.make None in
     let bar = barrier_make parties in
+    let instrumented = Obs.is_enabled () in
+    if instrumented then begin
+      Obs.Counter.incr m_evals;
+      Obs.Gauge.set_int g_domains parties
+    end;
     let job slot =
       if slot < parties then begin
         let sense = ref false in
+        let job0 = if instrumented then Obs.now_ns () else 0. in
+        let busy = ref 0. and wait = ref 0. in
         for level = 0 to pl.n_levels - 1 do
           (* after a fault, keep hitting the barriers (cheaply) so the
              other participants drain instead of deadlocking *)
@@ -336,11 +371,32 @@ let eval_parallel (type a) (ops : a Semiring.Intf.ops) (t : a Compact.t)
                let len = hi - lo in
                let c_lo = lo + (slot * len / parties)
                and c_hi = lo + ((slot + 1) * len / parties) in
-               if c_hi > c_lo then eval_chunk ops t valuation vals pl c_lo c_hi
+               if c_hi > c_lo then
+                 if instrumented then begin
+                   let t0 = Obs.now_ns () in
+                   eval_chunk ops t valuation vals pl c_lo c_hi;
+                   busy := !busy +. Obs.elapsed_ns t0
+                 end
+                 else eval_chunk ops t valuation vals pl c_lo c_hi
              with e -> ignore (Atomic.compare_and_set fault None (Some e)));
           sense := not !sense;
-          barrier_await bar !sense
-        done
+          if instrumented then begin
+            let t0 = Obs.now_ns () in
+            barrier_await bar !sense;
+            let w = Obs.elapsed_ns t0 in
+            wait := !wait +. w;
+            Obs.Histogram.observe h_barrier_wait w
+          end
+          else barrier_await bar !sense
+        done;
+        if instrumented then begin
+          Obs.Counter.add m_busy (int_of_float !busy);
+          Obs.Counter.add m_wait (int_of_float !wait);
+          Obs.Gauge.set (slot_gauge slot "busy_ns") !busy;
+          Obs.Gauge.set (slot_gauge slot "wait_ns") !wait;
+          let wall = Obs.elapsed_ns job0 in
+          Obs.Gauge.set (slot_gauge slot "util") (if wall > 0. then !busy /. wall else 0.)
+        end
       end
     in
     run_job p job;

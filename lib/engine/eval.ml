@@ -18,6 +18,12 @@ type 'a t = {
   free_vars : string list;  (** in query-argument order *)
   meta : Compile.meta;
   circuit : 'a Circuits.Circuit.t;
+  mutable upd_pending : int;
+      (** engine/updates increments buffered here and flushed to the
+          global counter in blocks of 32: one atomic add per 32 calls
+          instead of one per call keeps {!update} inside the telemetry
+          budget (the counter is diagnostic; ≤31 calls lag at any
+          instant) *)
 }
 
 let query_weight i = Printf.sprintf "%s%d" Db.Weights.reserved_prefix i
@@ -68,7 +74,7 @@ let prepare (type a) (ops : a Semiring.Intf.ops) ?mode ?backend ?domains ?opt ?t
     else Db.Weights.get (Db.Weights.find weights w) tuple
   in
   let dyn = Circuits.Dyn.create ?mode ?backend ?domains ops circuit valuation in
-  { ops; dyn; free_vars = fv; meta; circuit }
+  { ops; dyn; free_vars = fv; meta; circuit; upd_pending = 0 }
 
 (** Value of a closed expression (or of the wrapped sum, which is 0 until
     queried, for expressions with free variables). *)
@@ -91,7 +97,11 @@ let query (type a) (t : a t) (args : int list) : a =
     is never read by the circuit) are ignored. *)
 let update t w tuple v =
   let key = (w, tuple) in
-  Obs.Counter.incr m_updates;
+  t.upd_pending <- t.upd_pending + 1;
+  if t.upd_pending >= 32 then begin
+    Obs.Counter.add m_updates t.upd_pending;
+    t.upd_pending <- 0
+  end;
   if Circuits.Dyn.has_input t.dyn key then Circuits.Dyn.set_input t.dyn key v
 
 (** Batched weight updates: semantically equivalent to applying {!update}
@@ -100,18 +110,126 @@ let update t w tuple v =
     wave, so gates shared between the updated weights recompute once per
     batch instead of once per update. *)
 let update_many t (updates : (string * int list * 'a) list) =
+  let total = ref 0 in
   let relevant =
     List.filter_map
       (fun (w, tuple, v) ->
-        Obs.Counter.incr m_updates;
+        incr total;
         let key = (w, tuple) in
         if Circuits.Dyn.has_input t.dyn key then Some (key, v) else None)
       updates
   in
+  (* one atomic add for the whole batch: a per-item Counter.incr is an
+     atomic RMW per write and dominated sub-ms waves *)
+  Obs.Counter.add m_updates !total;
   Circuits.Dyn.set_inputs t.dyn relevant
 
 let meta t = t.meta
 let stats t = Circuits.Circuit.stats t.circuit
+
+(** Per-operation cost attribution (Theorem 8 made inspectable): what one
+    query or one update batch actually spent — wall time, gate
+    recomputations (split per propagation wave), minor-heap allocation,
+    and GC activity observed during the operation. The gate numbers come
+    from the same [update_ops] odometer that feeds the cumulative "dyn"
+    counters, so for any bracket of operations
+    Σ [gates_visited] = Δ sparseq dyn/touched_gates — exactly; the bench
+    and the test suite cross-check that identity. *)
+module Cost = struct
+  type t = {
+    wall_ns : float;  (** wall-clock duration of the operation *)
+    gates_visited : int;  (** gate recomputations (one-shot eval: gates evaluated) *)
+    waves : int;  (** committed propagation waves (one-shot eval: 0) *)
+    wave_touched : int list;  (** [gates_visited] split per wave, in wave order *)
+    minor_words : float;  (** minor-heap words allocated *)
+    gc_minor : int;  (** minor collections observed *)
+    gc_major : int;  (** major collections observed *)
+  }
+
+  let zero =
+    {
+      wall_ns = 0.;
+      gates_visited = 0;
+      waves = 0;
+      wave_touched = [];
+      minor_words = 0.;
+      gc_minor = 0;
+      gc_major = 0;
+    }
+
+  (** Aggregate two reports (waves concatenate in order). *)
+  let add a b =
+    {
+      wall_ns = a.wall_ns +. b.wall_ns;
+      gates_visited = a.gates_visited + b.gates_visited;
+      waves = a.waves + b.waves;
+      wave_touched = a.wave_touched @ b.wave_touched;
+      minor_words = a.minor_words +. b.minor_words;
+      gc_minor = a.gc_minor + b.gc_minor;
+      gc_major = a.gc_major + b.gc_major;
+    }
+
+  let to_json c =
+    Obs.Json.O
+      [
+        ("wall_ns", Obs.Json.F c.wall_ns);
+        ("gates_visited", Obs.Json.I c.gates_visited);
+        ("waves", Obs.Json.I c.waves);
+        ("wave_touched", Obs.Json.A (List.map (fun n -> Obs.Json.I n) c.wave_touched));
+        ("minor_words", Obs.Json.F c.minor_words);
+        ("gc_minor", Obs.Json.I c.gc_minor);
+        ("gc_major", Obs.Json.I c.gc_major);
+      ]
+
+  let summary c =
+    Printf.sprintf
+      "wall %.0fns  gates %d in %d wave%s  minor_words %.0f  gc %d minor / %d major"
+      c.wall_ns c.gates_visited c.waves
+      (if c.waves = 1 then "" else "s")
+      c.minor_words c.gc_minor c.gc_major
+end
+
+(** Measure [f]'s cost against [t]'s dynamic circuit: a per-wave cost sink
+    is attached for the duration ({!Circuits.Dyn.set_cost_log}), the gate
+    odometer and [Gc.quick_stat] are read on both sides. Detaches the sink
+    on every exit path. Not reentrant (one sink at a time), matching the
+    engine's single-writer update discipline. *)
+let with_cost (t : 'a t) (f : unit -> 'b) : 'b * Cost.t =
+  let sink = ref [] in
+  Circuits.Dyn.set_cost_log t.dyn (Some sink);
+  let finish () = Circuits.Dyn.set_cost_log t.dyn None in
+  let ops0 = Circuits.Dyn.update_ops t.dyn in
+  let g0 = Gc.quick_stat () in
+  let t0 = Obs.now_ns () in
+  match f () with
+  | r ->
+      let wall_ns = Obs.elapsed_ns t0 in
+      let g1 = Gc.quick_stat () in
+      finish ();
+      let wave_touched = List.rev !sink in
+      ( r,
+        {
+          Cost.wall_ns;
+          gates_visited = Circuits.Dyn.update_ops t.dyn - ops0;
+          waves = List.length wave_touched;
+          wave_touched;
+          minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+          gc_minor = g1.Gc.minor_collections - g0.Gc.minor_collections;
+          gc_major = g1.Gc.major_collections - g0.Gc.major_collections;
+        } )
+  | exception e ->
+      finish ();
+      raise e
+
+(** {!query} with its cost report (2 waves: flip the query weights, value,
+    restore). *)
+let query_cost (t : 'a t) (args : int list) : 'a * Cost.t = with_cost t (fun () -> query t args)
+
+(** {!update_many} with its cost report (1 committed wave when anything
+    changed). *)
+let update_many_cost (t : 'a t) (updates : (string * int list * 'a) list) : Cost.t =
+  let (), c = with_cost t (fun () -> update_many t updates) in
+  c
 
 (** One-shot static evaluation of a closed expression through the circuit
     pipeline (compile + one linear evaluation, no dynamic structures).
@@ -120,9 +238,12 @@ let stats t = Circuits.Circuit.stats t.circuit
     the pointer-graph evaluator, kept as the sequential twin.
     [~domains] > 1 (compact backend only) evaluates level-parallel on
     OCaml 5 domains via {!Circuits.Par}; [~domains:1] (the default) is the
-    unchanged sequential path. *)
+    unchanged sequential path. [?cost] receives a {!Cost.t} for the
+    evaluation proper (compile excluded): every gate is evaluated exactly
+    once, so [gates_visited] is the circuit's gate count and [waves] 0. *)
 let evaluate (type a) (ops : a Semiring.Intf.ops)
     ?(backend = Circuits.Dyn.Compact) ?(domains = 1) ?opt ?tfa_rounds ?max_depth ?budget
+    ?(cost : Cost.t option ref option)
     (inst : Db.Instance.t) (weights : a Db.Weights.bundle) (expr : a Logic.Expr.t) : a =
   let open Semiring.Intf in
   let circuit, _ =
@@ -130,12 +251,34 @@ let evaluate (type a) (ops : a Semiring.Intf.ops)
       ?max_depth ?budget inst expr
   in
   let valuation (w, tuple) = Db.Weights.get (Db.Weights.find weights w) tuple in
-  match backend with
-  | Circuits.Dyn.Compact ->
-      let cc = Circuits.Compact.of_circuit circuit in
-      if domains > 1 then Circuits.Par.eval ~domains ops cc valuation
-      else Circuits.Compact.eval ops cc valuation
-  | Circuits.Dyn.Boxed -> Circuits.Circuit.eval ops circuit valuation
+  let run () =
+    match backend with
+    | Circuits.Dyn.Compact ->
+        let cc = Circuits.Compact.of_circuit circuit in
+        if domains > 1 then Circuits.Par.eval ~domains ops cc valuation
+        else Circuits.Compact.eval ops cc valuation
+    | Circuits.Dyn.Boxed -> Circuits.Circuit.eval ops circuit valuation
+  in
+  match cost with
+  | None -> run ()
+  | Some cell ->
+      let g0 = Gc.quick_stat () in
+      let t0 = Obs.now_ns () in
+      let v = run () in
+      let wall_ns = Obs.elapsed_ns t0 in
+      let g1 = Gc.quick_stat () in
+      cell :=
+        Some
+          {
+            Cost.wall_ns;
+            gates_visited = Array.length circuit.Circuits.Circuit.nodes;
+            waves = 0;
+            wave_touched = [];
+            minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+            gc_minor = g1.Gc.minor_collections - g0.Gc.minor_collections;
+            gc_major = g1.Gc.major_collections - g0.Gc.major_collections;
+          };
+      v
 
 (* --- checked entry points (the robustness layer) --- *)
 
@@ -446,9 +589,11 @@ let update_checked (ck : 'a checked) (w : string) (tuple : int list) (v : 'a) :
     weight bundle — so the reference fallback and the self-check observe
     either the full batch or none of it. The self-check, when enabled,
     runs once per batch rather than once per update. A fault mid-batch is
-    handled per the [recover] policy exactly like {!update_checked}. *)
-let update_many_checked (ck : 'a checked) (updates : (string * int list * 'a) list) :
-    (unit, Robust.error) result =
+    handled per the [recover] policy exactly like {!update_checked}.
+    [?cost] receives the batch's {!Cost.t} (retries included in the
+    measured bracket; a degraded backend leaves the cell untouched). *)
+let update_many_checked ?(cost : Cost.t option ref option) (ck : 'a checked)
+    (updates : (string * int list * 'a) list) : (unit, Robust.error) result =
   Robust.protect
     ~classify:(classify_engine (Some ck.backend))
     (fun () ->
@@ -463,7 +608,13 @@ let update_many_checked (ck : 'a checked) (updates : (string * int list * 'a) li
           updates
       in
       (match ck.backend with
-      | Circuit t -> apply_with_recovery ck t updates (fun () -> update_many t updates)
+      | Circuit t -> (
+          let run () = apply_with_recovery ck t updates (fun () -> update_many t updates) in
+          match cost with
+          | None -> run ()
+          | Some cell ->
+              let (), c = with_cost t run in
+              cell := Some c)
       | Degraded _ -> ());
       List.iter (fun (col, tuple, v) -> Db.Weights.set col tuple v) cols;
       if ck.self_check then self_check_now ck)
@@ -492,17 +643,19 @@ let repair_checked (ck : 'a checked) : unit =
 
 (** One-shot checked evaluation of a closed expression: [Ok (v, None)]
     from the circuit pipeline, [Ok (v, Some reason)] from the reference
-    fallback after a degradable failure, [Error _] otherwise. *)
+    fallback after a degradable failure, [Error _] otherwise. [?cost]
+    receives the circuit evaluation's {!Cost.t}; the degraded reference
+    path leaves the cell untouched (there is no circuit to attribute to). *)
 let evaluate_checked (type a) (ops : a Semiring.Intf.ops) ?backend ?domains ?opt
-    ?tfa_rounds ?max_depth ?budget ?(fallback : fallback = `Naive) (inst : Db.Instance.t)
-    (weights : a Db.Weights.bundle) (expr : a Logic.Expr.t) :
+    ?tfa_rounds ?max_depth ?budget ?cost ?(fallback : fallback = `Naive)
+    (inst : Db.Instance.t) (weights : a Db.Weights.bundle) (expr : a Logic.Expr.t) :
     (a * Robust.error option, Robust.error) result =
   match
     Robust.protect
       ~classify:(classify_engine None)
       (fun () ->
-        evaluate ops ?backend ?domains ?opt ?tfa_rounds ?max_depth ?budget inst weights
-          expr)
+        evaluate ops ?backend ?domains ?opt ?tfa_rounds ?max_depth ?budget ?cost inst
+          weights expr)
   with
   | Ok v -> Ok (v, None)
   | Error e when Robust.degradable e && fallback = `Naive ->

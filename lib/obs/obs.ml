@@ -9,16 +9,24 @@
     - {!Counter} — monotone event counts (updates applied, budgets fired);
     - {!Gauge} — last-written values (gates, depth of the latest circuit);
     - {!Histogram} — log₂-bucketed magnitude distributions, used for
-      latencies in nanoseconds and for per-answer work counts;
+      latencies in nanoseconds and for per-answer work counts; every
+      histogram also maintains a sliding window (last {!Window.slots}
+      epochs) so a regression in the recent past is visible next to the
+      whole-run aggregate;
     - {!Timer} — sugar for timing a thunk into a histogram;
+    - {!Runtime} — a [Gc.quick_stat] delta sampler (allocation rates,
+      collection counts, heap size) under the "runtime" scope;
     - a global registry of named scopes ("compile", "dyn", "perm", …) with
-      {!snapshot} (machine-readable JSON, no external JSON library) and
-      {!snapshot_human} dumps.
+      {!snapshot} (machine-readable JSON, no external JSON library),
+      {!snapshot_human}, and {!Openmetrics.render} (Prometheus-scrapeable
+      text exposition, plus an atomic periodic file writer) dumps.
 
     All write paths are gated on a single mutable flag ({!set_enabled}):
     when disabled, an instrumented operation costs one load and branch, so
-    the engine's hot paths stay within the ≤5% overhead budget. Metrics are
-    process-global and not thread-safe, matching the rest of the engine. *)
+    the engine's hot paths stay within the ≤5% overhead budget. Metrics
+    are process-global and domain-safe: counters, gauges and histogram
+    cells are [Atomic]-backed, so concurrent writers (the parallel
+    evaluator's pooled domains included) never tear or lose updates. *)
 
 let enabled_flag = ref true
 let set_enabled b = enabled_flag := b
@@ -112,6 +120,100 @@ module Json = struct
     Buffer.contents buf
 end
 
+(* --- atomic float cells --- *)
+
+(* Read-modify-write on a boxed-float atomic. An OCaml immediate int has
+   63 bits, so a float's 64 bits cannot be packed into an [int Atomic.t];
+   instead the cell holds the boxed float and [Atomic.set] is an atomic
+   pointer swap — no torn writes. [compare_and_set] compares boxes
+   physically: a failed CAS only ever means another write landed in
+   between, so the loop retries from a fresh read and can never succeed
+   with a lost update. *)
+let atomic_add_float (a : float Atomic.t) x =
+  if x <> 0. then begin
+    let rec go () =
+      let cur = Atomic.get a in
+      if not (Atomic.compare_and_set a cur (cur +. x)) then begin
+        Domain.cpu_relax ();
+        go ()
+      end
+    in
+    go ()
+  end
+
+(* Improve-only bounds: write only when [v] beats the current bound, so
+   the loop stops as soon as the cell is at least as tight. *)
+let atomic_min_float (a : float Atomic.t) v =
+  let rec go () =
+    let cur = Atomic.get a in
+    if v < cur && not (Atomic.compare_and_set a cur v) then begin
+      Domain.cpu_relax ();
+      go ()
+    end
+  in
+  go ()
+
+let atomic_max_float (a : float Atomic.t) v =
+  let rec go () =
+    let cur = Atomic.get a in
+    if v > cur && not (Atomic.compare_and_set a cur v) then begin
+      Domain.cpu_relax ();
+      go ()
+    end
+  in
+  go ()
+
+(* --- the sliding-window epoch clock --- *)
+
+(** Global epoch clock for the sliding-window side of every histogram.
+
+    Time is cut into fixed-length epochs; each histogram keeps a ring of
+    {!slots} per-epoch sub-histograms, and "the window" is the union of
+    the sub-histograms whose epoch tag lies in the last {!slots} epochs.
+    The epoch only advances when {!tick} is called — snapshot paths
+    ({!snapshot_json}, {!Openmetrics.render}, the periodic writer) drive
+    it, so there is no background thread and a test with an injected
+    clock ({!set_clock}) steps epochs deterministically. *)
+module Window = struct
+  (** Ring size: the window spans the last 8 epochs (with the default
+      1s epoch length, an 8-second sliding window). *)
+  let slots = 8
+
+  let cur_epoch = Atomic.make 0
+  let epoch_len = ref 1e9 (* ns *)
+  let epoch_start = ref Float.nan (* anchored lazily by the first tick *)
+
+  (** Epoch length in milliseconds (default 1000). *)
+  let set_epoch_ms ms = epoch_len := float_of_int (max 1 ms) *. 1e6
+
+  let epoch_ms () = int_of_float (!epoch_len /. 1e6)
+  let current_epoch () = Atomic.get cur_epoch
+
+  (** Advance the epoch to match the clock. Multiple elapsed epochs are
+      caught up in one step; a backwards clock step re-anchors the epoch
+      start without rewinding the epoch counter (epochs are monotone).
+      Meant to be called from snapshot paths, not from hot loops. *)
+  let tick () =
+    let now = now_ns () in
+    if Float.is_nan !epoch_start then epoch_start := now
+    else begin
+      let d = now -. !epoch_start in
+      if d < 0. then epoch_start := now
+      else if d >= !epoch_len then begin
+        let k = int_of_float (d /. !epoch_len) in
+        ignore (Atomic.fetch_and_add cur_epoch k);
+        epoch_start := !epoch_start +. (float_of_int k *. !epoch_len)
+      end
+    end
+
+  (** Rewind the epoch clock (tests only). Histograms observed before the
+      reset keep stale slot tags; reset them too ({!Histogram.reset}) or
+      use fresh histograms. *)
+  let reset () =
+    Atomic.set cur_epoch 0;
+    epoch_start := Float.nan
+end
+
 (* --- metric kinds --- *)
 
 module Counter = struct
@@ -127,37 +229,90 @@ module Counter = struct
   let get t = Atomic.get t.v
   let reset t = Atomic.set t.v 0
   let name t = t.name
+
+  (** A single-writer front for a counter on paths too hot for one atomic
+      RMW per event: bumps accumulate in a plain cell and flush to the
+      shared counter in blocks of 64, so the published total lags by at
+      most 63 — diagnostic-grade, like the blocked [dyn/updates] counter.
+      Safe only where all bumps come from one domain at a time (the wave
+      engines are single-writer); a concurrent bump can drop a tick,
+      never corrupt the counter. *)
+  module Local = struct
+    type counter = t
+    type t = { c : counter; mutable pending : int }
+
+    let make c = { c; pending = 0 }
+
+    let bump t =
+      let p = t.pending + 1 in
+      if p land 63 = 0 then begin
+        t.pending <- 0;
+        add t.c 64
+      end
+      else t.pending <- p
+  end
 end
 
 module Gauge = struct
-  type t = { name : string; mutable v : float }
+  (* Boxed-float [Atomic]: a gauge written from a worker domain while the
+     main domain snapshots must not tear. The 63-bit immediate int cannot
+     carry a float's 64 bits, so the cell holds the box and [set] swaps
+     the pointer atomically. *)
+  type t = { name : string; v : float Atomic.t }
 
-  let make name = { name; v = 0. }
-  let set t x = if !enabled_flag then t.v <- x
+  let make name = { name; v = Atomic.make 0. }
+  let set t x = if !enabled_flag then Atomic.set t.v x
   let set_int t i = set t (float_of_int i)
-  let get t = t.v
-  let reset t = t.v <- 0.
+  let get t = Atomic.get t.v
+  let reset t = Atomic.set t.v 0.
   let name t = t.name
 end
 
 (** Log₂-scale histogram over non-negative magnitudes (latencies in
     nanoseconds, per-answer work counts, …). Bucket 0 holds values in
     [0, 1); bucket i ≥ 1 holds [2^(i−1), 2^i). 64 buckets cover every
-    magnitude a float can meaningfully carry here. *)
+    magnitude a float can meaningfully carry here.
+
+    Next to the cumulative series, each histogram keeps a ring of
+    {!Window.slots} per-epoch sub-histograms; {!window_stats} merges the
+    live slots into sliding-window count/sum/p50/p99. All cells are
+    [Atomic]-backed: cumulative totals are exact under concurrent
+    observers; the windowed series is exact single-domain and best-effort
+    at epoch boundaries (a slot being recycled while another domain
+    observes into it may misplace that one boundary observation). *)
 module Histogram = struct
   let nbuckets = 64
 
   type t = {
     name : string;
-    buckets : int array;
-    mutable count : int;
-    mutable sum : float;
-    mutable min_v : float;
-    mutable max_v : float;
+    buckets : int Atomic.t array;
+    count : int Atomic.t;
+    sum : float Atomic.t;
+    min_v : float Atomic.t; (* +inf when empty *)
+    max_v : float Atomic.t; (* -inf when empty *)
+    (* the sliding-window ring: slot e mod slots carries epoch e's
+       sub-histogram, tagged with e (min_int = never used) *)
+    w_epoch : int Atomic.t array;
+    w_buckets : int Atomic.t array; (* slots × nbuckets, flattened *)
+    w_sums : float Atomic.t array;
+    w_maxs : float Atomic.t array;
+    w_rotate : Mutex.t; (* serialises slot recycling, nothing else *)
   }
 
   let make name =
-    { name; buckets = Array.make nbuckets 0; count = 0; sum = 0.; min_v = 0.; max_v = 0. }
+    {
+      name;
+      buckets = Array.init nbuckets (fun _ -> Atomic.make 0);
+      count = Atomic.make 0;
+      sum = Atomic.make 0.;
+      min_v = Atomic.make Float.infinity;
+      max_v = Atomic.make Float.neg_infinity;
+      w_epoch = Array.init Window.slots (fun _ -> Atomic.make min_int);
+      w_buckets = Array.init (Window.slots * nbuckets) (fun _ -> Atomic.make 0);
+      w_sums = Array.init Window.slots (fun _ -> Atomic.make 0.);
+      w_maxs = Array.init Window.slots (fun _ -> Atomic.make Float.neg_infinity);
+      w_rotate = Mutex.create ();
+    }
 
   (** Bucket index of a value: 0 for v < 1, else the exponent e with
       v ∈ [2^(e−1), 2^e), clamped to the last bucket. *)
@@ -172,57 +327,124 @@ module Histogram = struct
 
   let bucket_upper i = Float.ldexp 1. i
 
+  (* Recycle window slot [slot] for epoch [e]. The mutex (with the tag
+     double-checked under it) makes the clear-then-retag sequence happen
+     once per epoch change even when several domains hit the stale slot
+     together. The tag is set last, so a concurrent observer either sees
+     the old tag (and queues behind the mutex) or a fully-cleared slot. *)
+  let rotate_slot t slot e =
+    Mutex.lock t.w_rotate;
+    if Atomic.get t.w_epoch.(slot) <> e then begin
+      let base = slot * nbuckets in
+      for i = 0 to nbuckets - 1 do
+        Atomic.set t.w_buckets.(base + i) 0
+      done;
+      Atomic.set t.w_sums.(slot) 0.;
+      Atomic.set t.w_maxs.(slot) Float.neg_infinity;
+      Atomic.set t.w_epoch.(slot) e
+    end;
+    Mutex.unlock t.w_rotate
+
   let observe t v =
     if !enabled_flag then begin
       let v = if Float.is_nan v || v < 0. then 0. else v in
-      t.buckets.(bucket_of v) <- t.buckets.(bucket_of v) + 1;
-      if t.count = 0 then begin
-        t.min_v <- v;
-        t.max_v <- v
-      end
-      else begin
-        if v < t.min_v then t.min_v <- v;
-        if v > t.max_v then t.max_v <- v
-      end;
-      t.count <- t.count + 1;
-      t.sum <- t.sum +. v
+      let b = bucket_of v in
+      ignore (Atomic.fetch_and_add t.buckets.(b) 1);
+      ignore (Atomic.fetch_and_add t.count 1);
+      atomic_add_float t.sum v;
+      atomic_min_float t.min_v v;
+      atomic_max_float t.max_v v;
+      let e = Window.current_epoch () in
+      let slot = e mod Window.slots in
+      if Atomic.get t.w_epoch.(slot) <> e then rotate_slot t slot e;
+      ignore (Atomic.fetch_and_add t.w_buckets.((slot * nbuckets) + b) 1);
+      atomic_add_float t.w_sums.(slot) v;
+      atomic_max_float t.w_maxs.(slot) v
     end
 
-  let count t = t.count
-  let sum t = t.sum
-  let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count
-  let min_value t = t.min_v
-  let max_value t = t.max_v
+  let count t = Atomic.get t.count
+  let sum t = Atomic.get t.sum
+  let mean t = if count t = 0 then 0. else sum t /. float_of_int (count t)
+  let min_value t = if count t = 0 then 0. else Atomic.get t.min_v
+  let max_value t = if count t = 0 then 0. else Atomic.get t.max_v
+  let bucket_count t i = Atomic.get t.buckets.(i)
 
-  (** Quantile estimate: the upper bound of the smallest bucket whose
-      cumulative count reaches q·count (inclusive — a rank exactly equal
-      to a bucket's cumulative count selects that bucket, not the one
-      above), clamped to the exact observed maximum. 0 when empty. *)
-  let quantile t q =
-    if t.count = 0 then 0.
+  (** Quantile over any bucket-count view: the upper bound of the smallest
+      bucket whose cumulative count reaches q·count (inclusive — a rank
+      exactly equal to a bucket's cumulative count selects that bucket,
+      not the one above), clamped to the observed maximum. 0 when empty. *)
+  let quantile_over ~(bucket : int -> int) ~count ~max_v q =
+    if count = 0 then 0.
     else begin
-      let rank = Float.to_int (Float.ceil (q *. float_of_int t.count)) in
-      let rank = if rank < 1 then 1 else if rank > t.count then t.count else rank in
+      let rank = Float.to_int (Float.ceil (q *. float_of_int count)) in
+      let rank = if rank < 1 then 1 else if rank > count then count else rank in
       (* smallest i with cumulative count >= rank; the total reaches
          [count >= rank], so the scan stays in range — the index guard
          only matters if a concurrent observe tears count vs buckets *)
-      let cum = ref t.buckets.(0) and i = ref 0 in
+      let cum = ref (bucket 0) and i = ref 0 in
       while !cum < rank && !i < nbuckets - 1 do
         incr i;
-        cum := !cum + t.buckets.(!i)
+        cum := !cum + bucket !i
       done;
-      Float.min (bucket_upper !i) t.max_v
+      Float.min (bucket_upper !i) max_v
     end
+
+  let quantile t q =
+    quantile_over ~bucket:(fun i -> Atomic.get t.buckets.(i)) ~count:(count t)
+      ~max_v:(max_value t) q
 
   let p50 t = quantile t 0.5
   let p99 t = quantile t 0.99
 
+  (** Merged view of the sliding window (the last {!Window.slots} epochs,
+      as of the current epoch — call {!Window.tick} first on snapshot
+      paths). Count and quantiles come from one merged bucket array, so
+      they are internally consistent. *)
+  type wstats = { wcount : int; wsum : float; wp50 : float; wp99 : float; wmax : float }
+
+  let window_stats t =
+    let e = Window.current_epoch () in
+    let counts = Array.make nbuckets 0 in
+    let s = ref 0. and mx = ref Float.neg_infinity in
+    for slot = 0 to Window.slots - 1 do
+      let tag = Atomic.get t.w_epoch.(slot) in
+      if tag <= e && tag > e - Window.slots then begin
+        let base = slot * nbuckets in
+        for i = 0 to nbuckets - 1 do
+          counts.(i) <- counts.(i) + Atomic.get t.w_buckets.(base + i)
+        done;
+        s := !s +. Atomic.get t.w_sums.(slot);
+        let m = Atomic.get t.w_maxs.(slot) in
+        if m > !mx then mx := m
+      end
+    done;
+    let n = Array.fold_left ( + ) 0 counts in
+    let mx = if n = 0 then 0. else !mx in
+    {
+      wcount = n;
+      wsum = (if n = 0 then 0. else !s);
+      wmax = mx;
+      wp50 = quantile_over ~bucket:(Array.get counts) ~count:n ~max_v:mx 0.5;
+      wp99 = quantile_over ~bucket:(Array.get counts) ~count:n ~max_v:mx 0.99;
+    }
+
+  let window_count t = (window_stats t).wcount
+  let window_sum t = (window_stats t).wsum
+  let window_p50 t = (window_stats t).wp50
+  let window_p99 t = (window_stats t).wp99
+
   let reset t =
-    Array.fill t.buckets 0 nbuckets 0;
-    t.count <- 0;
-    t.sum <- 0.;
-    t.min_v <- 0.;
-    t.max_v <- 0.
+    Array.iter (fun a -> Atomic.set a 0) t.buckets;
+    Atomic.set t.count 0;
+    Atomic.set t.sum 0.;
+    Atomic.set t.min_v Float.infinity;
+    Atomic.set t.max_v Float.neg_infinity;
+    Mutex.lock t.w_rotate;
+    Array.iter (fun a -> Atomic.set a min_int) t.w_epoch;
+    Array.iter (fun a -> Atomic.set a 0) t.w_buckets;
+    Array.iter (fun a -> Atomic.set a 0.) t.w_sums;
+    Array.iter (fun a -> Atomic.set a Float.neg_infinity) t.w_maxs;
+    Mutex.unlock t.w_rotate
 
   let name t = t.name
 end
@@ -254,8 +476,8 @@ let registry : (string * string, metric) Hashtbl.t = Hashtbl.create 64
 (* Registration happens lazily on first use from any instrumented path —
    including pooled worker domains — and a bare [Hashtbl] corrupts under
    concurrent insert. Every registry access goes through this mutex;
-   metric {e updates} don't (counters are atomic, and a registered metric
-   record never moves). *)
+   metric {e updates} don't (the metric cells are atomic, and a registered
+   metric record never moves). *)
 let registry_mutex = Mutex.create ()
 
 let with_registry f =
@@ -322,6 +544,15 @@ let reset_scope scope =
 let reset_all () =
   with_registry @@ fun () -> Hashtbl.iter (fun _ m -> reset_metric m) registry
 
+(* A consistent (key, metric) listing, sorted by key only — metric
+   payloads contain mutexes and atomics that polymorphic compare must
+   never touch. Every dump (JSON, human, OpenMetrics) starts here, which
+   is what makes two runs of the same seed diff cleanly. *)
+let sorted_entries () =
+  (with_registry @@ fun () -> Hashtbl.fold (fun k m acc -> (k, m) :: acc) registry [])
+  |> List.sort (fun ((sa, na), _) ((sb, nb), _) ->
+         match compare (sa : string) sb with 0 -> compare (na : string) nb | c -> c)
+
 (* --- snapshots --- *)
 
 let metric_json = function
@@ -331,11 +562,12 @@ let metric_json = function
       let buckets =
         List.filter_map
           (fun i ->
-            if h.Histogram.buckets.(i) = 0 then None
-            else
-              Some (Json.A [ Json.F (Histogram.bucket_upper i); Json.I h.Histogram.buckets.(i) ]))
+            let n = Histogram.bucket_count h i in
+            if n = 0 then None
+            else Some (Json.A [ Json.F (Histogram.bucket_upper i); Json.I n ]))
           (List.init Histogram.nbuckets Fun.id)
       in
+      let w = Histogram.window_stats h in
       Json.O
         [
           ("type", Json.S "histogram");
@@ -346,34 +578,213 @@ let metric_json = function
           ("max", Json.F (Histogram.max_value h));
           ("p50", Json.F (Histogram.p50 h));
           ("p99", Json.F (Histogram.p99 h));
+          ( "window",
+            Json.O
+              [
+                ("count", Json.I w.Histogram.wcount);
+                ("sum", Json.F w.Histogram.wsum);
+                ("p50", Json.F w.Histogram.wp50);
+                ("p99", Json.F w.Histogram.wp99);
+                ("max", Json.F w.Histogram.wmax);
+              ] );
           ("buckets", Json.A buckets);
         ]
 
 (** The whole registry as one JSON object: scope → name → metric, with
-    scopes and names sorted for deterministic output. *)
+    scopes and names sorted for deterministic output. Taking a snapshot
+    advances the window epoch ({!Window.tick}) — the snapshot path is the
+    epoch driver; there is no background thread. *)
 let snapshot_json () =
-  (* grab a consistent entry list under the lock; format outside it *)
-  let entries =
-    with_registry @@ fun () -> Hashtbl.fold (fun k m acc -> (k, m) :: acc) registry []
-  in
-  let by_scope = Hashtbl.create 16 in
-  List.iter
-    (fun ((s, n), m) ->
-      Hashtbl.replace by_scope s ((n, m) :: Option.value ~default:[] (Hashtbl.find_opt by_scope s)))
-    entries;
-  let all_scopes =
-    List.sort_uniq compare (List.map (fun ((s, _), _) -> s) entries)
-  in
+  Window.tick ();
+  let entries = sorted_entries () in
+  let all_scopes = List.sort_uniq compare (List.map (fun ((s, _), _) -> s) entries) in
   let scope_objs =
     List.map
       (fun s ->
-        let entries = List.sort compare (Hashtbl.find by_scope s) in
-        (s, Json.O (List.map (fun (n, m) -> (n, metric_json m)) entries)))
+        let in_scope = List.filter (fun ((s', _), _) -> s' = s) entries in
+        (s, Json.O (List.map (fun ((_, n), m) -> (n, metric_json m)) in_scope)))
       all_scopes
   in
   Json.O scope_objs
 
 let snapshot () = Json.to_string (snapshot_json ())
+
+(* --- runtime (GC / heap) telemetry --- *)
+
+(** Zero-dependency runtime sampler: each {!sample} folds the delta since
+    the previous sample of [Gc.quick_stat] into counters (allocation and
+    collection totals under the "runtime" scope) and gauges (current and
+    peak heap size). The first sample after {!reset} accounts the
+    process-lifetime totals. Sampling is driven by the same paths that
+    snapshot metrics (the periodic writer, bench phases, `stats --cost`);
+    there is no background thread. *)
+module Runtime = struct
+  let last : Gc.stat option ref = ref None
+  let reset () = last := None
+
+  let sample () =
+    if !enabled_flag then begin
+      let s = Gc.quick_stat () in
+      let dfloat f = match !last with None -> f s | Some p -> f s -. f p in
+      let dint f = match !last with None -> f s | Some p -> f s - f p in
+      let cadd name v = Counter.add (counter ~scope:"runtime" name) (max 0 v) in
+      cadd "minor_words" (int_of_float (dfloat (fun (g : Gc.stat) -> g.minor_words)));
+      cadd "promoted_words" (int_of_float (dfloat (fun (g : Gc.stat) -> g.promoted_words)));
+      cadd "major_words" (int_of_float (dfloat (fun (g : Gc.stat) -> g.major_words)));
+      cadd "minor_collections" (dint (fun (g : Gc.stat) -> g.minor_collections));
+      cadd "major_collections" (dint (fun (g : Gc.stat) -> g.major_collections));
+      cadd "compactions" (dint (fun (g : Gc.stat) -> g.compactions));
+      cadd "forced_major_collections" (dint (fun (g : Gc.stat) -> g.forced_major_collections));
+      Gauge.set_int (gauge ~scope:"runtime" "heap_words") s.heap_words;
+      Gauge.set_int (gauge ~scope:"runtime" "top_heap_words") s.top_heap_words;
+      last := Some s
+    end
+end
+
+(* --- OpenMetrics / Prometheus text exposition --- *)
+
+(** The registry as an OpenMetrics text exposition — the scrape surface a
+    future [sparseqd] will serve at [/metrics], already consumable by
+    Prometheus via file-based collection today:
+
+    - counters → one [<family>_total] sample;
+    - gauges → one [<family>] sample;
+    - histograms → cumulative [<family>_bucket{le="…"}] samples (occupied
+      buckets plus the mandatory [le="+Inf"], which equals
+      [<family>_count]), [_sum], and [_count], with the sliding-window
+      p50/p99/count exported as companion [_win_*] gauge families;
+    - families sorted by name, [# EOF] terminated — the output of two
+      identical registries is byte-identical.
+
+    Metric names are [sparseq_<scope>_<name>] with non-[a-zA-Z0-9_]
+    characters mapped to '_'. *)
+module Openmetrics = struct
+  let sanitize s =
+    let b = Bytes.of_string s in
+    Bytes.iteri
+      (fun i c ->
+        let ok =
+          (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+        in
+        if not ok then Bytes.set b i '_')
+      b;
+    let s = Bytes.to_string b in
+    if s = "" then "_" else if s.[0] >= '0' && s.[0] <= '9' then "_" ^ s else s
+
+  let family ~scope ~name = "sparseq_" ^ sanitize scope ^ "_" ^ sanitize name
+
+  (* Exposition floats: unlike JSON, the format has literal spellings for
+     the specials, so nothing needs clamping. *)
+  let float_str f =
+    if Float.is_nan f then "NaN"
+    else if f = Float.infinity then "+Inf"
+    else if f = Float.neg_infinity then "-Inf"
+    else Printf.sprintf "%.17g" f
+
+  let block ~fam ~kind ~scope ~name body =
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" fam kind);
+    Buffer.add_string buf (Printf.sprintf "# HELP %s sparseq metric %s\n" fam (full_name scope name));
+    body buf;
+    (fam, Buffer.contents buf)
+
+  let gauge_block ~fam ~scope ~name v =
+    block ~fam ~kind:"gauge" ~scope ~name (fun buf ->
+        Buffer.add_string buf (Printf.sprintf "%s %s\n" fam (float_str v)))
+
+  (* One registry entry as a list of (family, text) blocks; histograms
+     expand to the histogram family plus the windowed companion gauges. *)
+  let blocks_of ((scope, name), m) =
+    let fam = family ~scope ~name in
+    match m with
+    | C c ->
+        [
+          block ~fam ~kind:"counter" ~scope ~name (fun buf ->
+              Buffer.add_string buf (Printf.sprintf "%s_total %d\n" fam (Counter.get c)));
+        ]
+    | G g -> [ gauge_block ~fam ~scope ~name (Gauge.get g) ]
+    | H h ->
+        let w = Histogram.window_stats h in
+        (* Cumulative counts from one pass over the buckets; the +Inf
+           bucket and _count both use the bucket total, so the exposition
+           is self-consistent even if a concurrent observe lands between
+           reads of the bucket array and the count cell. *)
+        let hist =
+          block ~fam ~kind:"histogram" ~scope ~name (fun buf ->
+              let cum = ref 0 in
+              for i = 0 to Histogram.nbuckets - 1 do
+                let n = Histogram.bucket_count h i in
+                if n > 0 then begin
+                  cum := !cum + n;
+                  Buffer.add_string buf
+                    (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" fam
+                       (float_str (Histogram.bucket_upper i))
+                       !cum)
+                end
+              done;
+              Buffer.add_string buf (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" fam !cum);
+              Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" fam (float_str (Histogram.sum h)));
+              Buffer.add_string buf (Printf.sprintf "%s_count %d\n" fam !cum))
+        in
+        [
+          hist;
+          gauge_block ~fam:(fam ^ "_win_count") ~scope ~name (float_of_int w.Histogram.wcount);
+          gauge_block ~fam:(fam ^ "_win_p50") ~scope ~name w.Histogram.wp50;
+          gauge_block ~fam:(fam ^ "_win_p99") ~scope ~name w.Histogram.wp99;
+        ]
+
+  (** Render the whole registry. Advances the window epoch, like every
+      snapshot path. *)
+  let render () =
+    Window.tick ();
+    let blocks = List.concat_map blocks_of (sorted_entries ()) in
+    let blocks = List.sort (fun (fa, _) (fb, _) -> compare (fa : string) fb) blocks in
+    let buf = Buffer.create 4096 in
+    List.iter (fun (_, text) -> Buffer.add_string buf text) blocks;
+    Buffer.add_string buf "# EOF\n";
+    Buffer.contents buf
+
+  (** Periodic exposition writer: [tick] re-renders into the target file
+      at most once per interval, [write_now] unconditionally. Rewrites are
+      atomic (temp file in the same directory, then rename), so a scraper
+      reading mid-write sees the previous complete exposition, never a
+      torn one. Each write also takes a {!Runtime} sample, so a scraped
+      file carries fresh GC/heap numbers. *)
+  module Writer = struct
+    type t = {
+      path : string;
+      interval_ns : float;
+      mutable last_write : float;
+      mutable writes : int;
+    }
+
+    let create ~path ~interval_ms =
+      { path; interval_ns = float_of_int (max 0 interval_ms) *. 1e6; last_write = Float.neg_infinity; writes = 0 }
+
+    let write_now w =
+      Runtime.sample ();
+      let text = render () in
+      let tmp = w.path ^ ".tmp" in
+      let oc = open_out tmp in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text);
+      Sys.rename tmp w.path;
+      w.last_write <- now_ns ();
+      w.writes <- w.writes + 1
+
+    let tick w = if now_ns () -. w.last_write >= w.interval_ns then write_now w
+    let writes w = w.writes
+    let path w = w.path
+  end
+
+  (* The process-global installed writer: long-running loops (bench
+     iterations, `stats --updates`, pagerank rounds) call [pulse] between
+     operations — outside any timed region — and the CLI installs/flushes
+     it around each subcommand. *)
+  let installed : Writer.t option ref = ref None
+  let install w = installed := Some w
+  let uninstall () = installed := None
+  let pulse () = match !installed with None -> () | Some w -> Writer.tick w
+end
 
 (* --- hierarchical span tracing + the post-mortem flight recorder --- *)
 
@@ -382,15 +793,17 @@ let snapshot () = Json.to_string (snapshot_json ())
     that was open when it started); an {e event} is an instant record.
     Both are gated on the same single {!set_enabled} flag as the metrics,
     so the disabled cost of an instrumented operation stays one load and
-    one branch.
+    one branch. Every record carries the integer id of the domain that
+    emitted it, so a post-mortem dump from a [--domains N] run attributes
+    spans to workers.
 
     Finished records flow into two sinks:
 
     - an optional in-memory {e recording} ({!with_recording},
       {!start_recording}/{!stop_recording}), exported as Chrome
       trace-event JSON ({!to_chrome}, loadable in Perfetto /
-      [chrome://tracing]) or folded into a span tree ({!forest_of}) for
-      explain plans;
+      [chrome://tracing], one [tid] lane per domain) or folded into a
+      span tree ({!forest_of}) for explain plans;
     - an always-on fixed-size ring — the {e flight recorder} — retaining
       the last N records for post-mortem dumps ({!dump_flight}), fired
       automatically when [Robust] raises a structured error or a dynamic
@@ -401,6 +814,7 @@ module Trace = struct
   type span = {
     id : int;
     parent : int;  (** id of the enclosing span, or -1 for roots *)
+    dom : int;  (** id of the domain that opened the span *)
     name : string;
     scope : string;
     start_ns : float;
@@ -411,6 +825,7 @@ module Trace = struct
 
   type event = {
     ev_parent : int;
+    ev_dom : int;  (** id of the domain that emitted the event *)
     ev_name : string;
     ev_scope : string;
     ts_ns : float;
@@ -420,6 +835,8 @@ module Trace = struct
   type record = RSpan of span | REvent of event
 
   let record_ts = function RSpan s -> s.start_ns | REvent e -> e.ts_ns
+
+  let self_dom () = (Domain.self () :> int)
 
   (* Atomic: span ids are allocated from any domain; a ref would hand two
      spans the same id under contention. The open-span stack stays a plain
@@ -495,6 +912,7 @@ module Trace = struct
         {
           id = fresh_id ();
           parent = current_parent ();
+          dom = self_dom ();
           name;
           scope;
           start_ns = now_ns ();
@@ -518,6 +936,45 @@ module Trace = struct
             Printexc.raise_with_backtrace e bt)
     end
 
+  (** True while a recording sink is attached ({!with_recording} /
+      {!start_recording}). Hot paths consult this to decide whether a
+      per-operation span is worth its two clock reads. *)
+  let is_recording () = !collecting <> None
+
+  (** Hot-path variant of {!span} for sub-microsecond operations that run
+      millions of times: a full span is opened only while a recording is
+      being collected (traces stay complete) or when the caller marks
+      this call [~force] (callers pass their systematic-sampling
+      decision, so the flight ring keeps context around a crash). All
+      other calls run [f] bare — and if [f] raises, the span is
+      materialized post-hoc with the error attached, so a post-mortem
+      flight dump always contains the fatal operation even though the
+      healthy ones around it were skipped. The bare path costs two flag
+      checks; the ≤5% telemetry budget on per-update workloads depends
+      on it. *)
+  let span_hot ?(force = false) ?attrs ~scope name f =
+    if not !enabled_flag then f ()
+    else if force || !collecting <> None then span ?attrs ~scope name f
+    else
+      try f ()
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        let t = now_ns () in
+        emit
+          (RSpan
+             {
+               id = fresh_id ();
+               parent = current_parent ();
+               dom = self_dom ();
+               name;
+               scope;
+               start_ns = t;
+               end_ns = t;
+               attrs = Option.value ~default:[] attrs;
+               err = Some (Printexc.to_string e);
+             });
+        Printexc.raise_with_backtrace e bt
+
   (** Attach an attribute to the innermost open span (no-op when disabled
       or outside every span). *)
   let add_attr key v =
@@ -531,6 +988,7 @@ module Trace = struct
         (REvent
            {
              ev_parent = current_parent ();
+             ev_dom = self_dom ();
              ev_name = name;
              ev_scope = scope;
              ts_ns = now_ns ();
@@ -547,6 +1005,7 @@ module Trace = struct
            {
              id = fresh_id ();
              parent = current_parent ();
+             dom = self_dom ();
              name;
              scope;
              start_ns;
@@ -607,7 +1066,8 @@ module Trace = struct
   (** Records as a Chrome trace-event document (the JSON object form, with
       complete "X" events for spans and instant "i" events), loadable in
       Perfetto or [chrome://tracing]. Timestamps are microseconds, as the
-      format requires. *)
+      format requires; the emitting domain becomes the [tid], so a
+      [--domains N] recording renders one lane per worker. *)
   let to_chrome (records : record list) : Json.t =
     let one = function
       | RSpan s ->
@@ -619,7 +1079,7 @@ module Trace = struct
               ("ts", Json.F (s.start_ns /. 1e3));
               ("dur", Json.F ((s.end_ns -. s.start_ns) /. 1e3));
               ("pid", Json.I 1);
-              ("tid", Json.I 1);
+              ("tid", Json.I s.dom);
               ( "args",
                 args_json
                   ~ids:[ ("span_id", Json.I s.id); ("parent", Json.I s.parent) ]
@@ -634,7 +1094,7 @@ module Trace = struct
               ("s", Json.S "t");
               ("ts", Json.F (e.ts_ns /. 1e3));
               ("pid", Json.I 1);
-              ("tid", Json.I 1);
+              ("tid", Json.I e.ev_dom);
               ("args", args_json ~ids:[ ("parent", Json.I e.ev_parent) ] e.ev_attrs None);
             ]
     in
@@ -761,16 +1221,16 @@ module Trace = struct
             match r with
             | RSpan s ->
                 Buffer.add_string buf
-                  (Printf.sprintf "  [+%10.3fms] span  %s/%s (id %d, parent %d) %.3fms %s%s\n"
+                  (Printf.sprintf "  [+%10.3fms] span  %s/%s (id %d, parent %d, dom %d) %.3fms %s%s\n"
                      ((s.start_ns -. t0) /. 1e6)
-                     s.scope s.name s.id s.parent (duration_ns s /. 1e6)
+                     s.scope s.name s.id s.parent s.dom (duration_ns s /. 1e6)
                      (attrs_to_string s.attrs)
                      (match s.err with Some m -> "  RAISED " ^ m | None -> ""))
             | REvent e ->
                 Buffer.add_string buf
-                  (Printf.sprintf "  [+%10.3fms] event %s/%s (parent %d) %s\n"
+                  (Printf.sprintf "  [+%10.3fms] event %s/%s (parent %d, dom %d) %s\n"
                      ((e.ts_ns -. t0) /. 1e6)
-                     e.ev_scope e.ev_name e.ev_parent (attrs_to_string e.ev_attrs)))
+                     e.ev_scope e.ev_name e.ev_parent e.ev_dom (attrs_to_string e.ev_attrs)))
           records);
     Buffer.add_string buf "=== end of flight recorder ===\n";
     Buffer.contents buf
@@ -797,19 +1257,24 @@ module Trace = struct
     end
 end
 
-(** Plain-text dump, one metric per line. *)
+(** Plain-text dump, one metric per line, sorted by (scope, name) so two
+    runs of the same seed diff cleanly. Advances the window epoch, like
+    every snapshot path. *)
 let snapshot_human () =
+  Window.tick ();
   let buf = Buffer.create 1024 in
-  (with_registry @@ fun () -> Hashtbl.fold (fun k m acc -> (k, m) :: acc) registry [])
-  |> List.sort compare
+  sorted_entries ()
   |> List.iter (fun ((scope, n), m) ->
          let name = full_name scope n in
          match m with
          | C c -> Buffer.add_string buf (Printf.sprintf "%-40s %d\n" name (Counter.get c))
          | G g -> Buffer.add_string buf (Printf.sprintf "%-40s %.12g\n" name (Gauge.get g))
          | H h ->
+             let w = Histogram.window_stats h in
              Buffer.add_string buf
-               (Printf.sprintf "%-40s count=%d mean=%.0f p50=%.0f p99=%.0f max=%.0f\n" name
-                  (Histogram.count h) (Histogram.mean h) (Histogram.p50 h) (Histogram.p99 h)
-                  (Histogram.max_value h)));
+               (Printf.sprintf
+                  "%-40s count=%d mean=%.0f p50=%.0f p99=%.0f max=%.0f win(count=%d p50=%.0f p99=%.0f)\n"
+                  name (Histogram.count h) (Histogram.mean h) (Histogram.p50 h)
+                  (Histogram.p99 h) (Histogram.max_value h) w.Histogram.wcount
+                  w.Histogram.wp50 w.Histogram.wp99));
   Buffer.contents buf

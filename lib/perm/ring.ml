@@ -117,11 +117,16 @@ let log_sums undo t =
   | Some u -> if u.u_sums = None then u.u_sums <- Some (Array.copy t.sums)
   | None -> ()
 
+(* single-entry sets happen once per touched permanent gate per wave —
+   too hot for an atomic RMW each, so they count through the blocked
+   single-writer front; multi-entry flushes publish exactly via [add] *)
+let m_sets_local = Obs.Counter.Local.make m_sets
+
 let set_impl t undo ~row ~col v =
   let open Semiring.Intf in
   if row < 0 || row >= t.k then invalid_arg "Ring_perm.set: bad row";
   if col < 0 || col >= t.n then invalid_arg "Ring_perm.set: bad col";
-  Obs.Counter.incr m_sets;
+  Obs.Counter.Local.bump m_sets_local;
   log_sums undo t;
   let old_col = Array.copy t.columns.(col) in
   log_col undo col row t.columns.(col).(row);
@@ -148,9 +153,14 @@ let set_many_impl t undo (updates : (int * int * 'a) list) =
   | [] -> ()
   | [ (row, col, v) ] -> set_impl t undo ~row ~col v
   | _ ->
+      let writes = List.length updates in
       Obs.Counter.incr m_batches;
-      Obs.Trace.span ~scope:"perm" "ring.flush"
-        ~attrs:[ ("writes", Obs.Trace.I (List.length updates)); ("k", Obs.Trace.I t.k) ]
+      (* one atomic add for the whole flush — a wave flushes one batch per
+         touched permanent gate, and a per-entry incr put an atomic RMW on
+         every pending write *)
+      Obs.Counter.add m_sets writes;
+      Obs.Trace.span_hot ~scope:"perm" "ring.flush"
+        ~attrs:[ ("writes", Obs.Trace.I writes); ("k", Obs.Trace.I t.k) ]
       @@ fun () ->
       List.iter
         (fun (row, col, _) ->
@@ -177,13 +187,11 @@ let set_many_impl t undo (updates : (int * int * 'a) list) =
         | [] -> ()
         | (row, col, v) :: rest ->
             let old_col = Array.copy t.columns.(col) in
-            Obs.Counter.incr m_sets;
             log_col undo col row t.columns.(col).(row);
             t.columns.(col).(row) <- v;
             let changed = ref (1 lsl row) in
             let rec eat = function
               | (r2, c2, v2) :: more when c2 = col ->
-                  Obs.Counter.incr m_sets;
                   log_col undo col r2 t.columns.(col).(r2);
                   t.columns.(col).(r2) <- v2;
                   changed := !changed lor (1 lsl r2);

@@ -134,10 +134,15 @@ let undo_apply t (u : 'a undo) =
 let log_col undo c r prior =
   match undo with Some u -> u.u_cols <- (c, r, prior) :: u.u_cols | None -> ()
 
+(* single-entry sets happen once per touched permanent gate per wave —
+   too hot for an atomic RMW each, so they count through the blocked
+   single-writer front; multi-entry flushes publish exactly via [add] *)
+let m_sets_local = Obs.Counter.Local.make m_sets
+
 let set_impl t undo ~row ~col v =
   if row < 0 || row >= t.k then invalid_arg "Segtree.set: bad row";
   if col < 0 || col >= t.n then invalid_arg "Segtree.set: bad col";
-  Obs.Counter.incr m_sets;
+  Obs.Counter.Local.bump m_sets_local;
   log_col undo col row t.columns.(col).(row);
   t.columns.(col).(row) <- v;
   let i = ref (t.size + col) in
@@ -165,9 +170,14 @@ let set_many_impl t undo (updates : (int * int * 'a) list) =
   | [] -> ()
   | [ (row, col, v) ] -> set_impl t undo ~row ~col v
   | _ ->
+      let writes = List.length updates in
       Obs.Counter.incr m_batches;
-      Obs.Trace.span ~scope:"perm" "segtree.flush"
-        ~attrs:[ ("writes", Obs.Trace.I (List.length updates)); ("k", Obs.Trace.I t.k) ]
+      (* one atomic add for the whole flush — a wave flushes one batch per
+         touched permanent gate, and a per-entry incr put an atomic RMW on
+         every pending write *)
+      Obs.Counter.add m_sets writes;
+      Obs.Trace.span_hot ~scope:"perm" "segtree.flush"
+        ~attrs:[ ("writes", Obs.Trace.I writes); ("k", Obs.Trace.I t.k) ]
       @@ fun () ->
       List.iter
         (fun (row, col, _) ->
@@ -176,7 +186,6 @@ let set_many_impl t undo (updates : (int * int * 'a) list) =
         updates;
       List.iter
         (fun (row, col, v) ->
-          Obs.Counter.incr m_sets;
           log_col undo col row t.columns.(col).(row);
           t.columns.(col).(row) <- v)
         updates;

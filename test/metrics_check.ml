@@ -1,0 +1,31 @@
+(* metrics_check FILE... — validate that each file is a well-formed
+   OpenMetrics text exposition using the same checker the test suite
+   applies to `Obs.Openmetrics.render` output. CI runs this over the
+   `--metrics-out` artifacts; any failure exits nonzero. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if args = [] then begin
+    prerr_endline "usage: metrics_check FILE...";
+    exit 2
+  end;
+  let failed = ref false in
+  List.iter
+    (fun path ->
+      match Om_check.validate (read_file path) with
+      | Ok () -> Printf.printf "%s: ok\n" path
+      | Error msg ->
+          Printf.eprintf "%s: %s\n" path msg;
+          failed := true
+      | exception Sys_error msg ->
+          Printf.eprintf "%s\n" msg;
+          failed := true)
+    args;
+  if !failed then exit 1

@@ -1,0 +1,216 @@
+(* Hand-rolled OpenMetrics text-exposition checker (the environment has
+   no prometheus client library, in the same spirit as [Json_parse]): a
+   recursive line walk validating the subset `Obs.Openmetrics.render`
+   emits, strictly enough to catch real regressions —
+
+   - every line is `# TYPE`, `# HELP`, `# EOF`, or a sample;
+   - `# EOF` is present, last, and unique;
+   - TYPE lines carry a known kind and arrive in strictly sorted family
+     order (the renderer sorts; a duplicate family is also an error);
+   - metric and label names match the OpenMetrics charset, sample values
+     parse as floats (including +Inf/-Inf/NaN spellings);
+   - every sample belongs to the most recently declared family, with a
+     kind-appropriate name: counters expose exactly `<family>_total`,
+     gauges `<family>`, histograms `<family>_bucket{le="…"}` /
+     `<family>_sum` / `<family>_count`;
+   - histogram buckets are cumulative (monotone non-decreasing in file
+     order), include `le="+Inf"`, and the +Inf count equals `_count`.
+
+   Used three ways: the test suite validates `render ()` output, the
+   [metrics_check] executable validates `--metrics-out` files in CI, and
+   the qcheck suite throws randomized registries at it. *)
+
+let is_name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+let valid_name s =
+  s <> "" && is_name_start s.[0] && String.for_all is_name_char s
+
+let valid_value s =
+  match s with
+  | "+Inf" | "-Inf" | "NaN" -> true
+  | _ -> ( match float_of_string_opt s with Some _ -> true | None -> false)
+
+let split_lines s =
+  (* keep a trailing unterminated fragment as a line so "no final
+     newline" is still checked against the EOF rule *)
+  String.split_on_char '\n' s |> List.filter (fun l -> l <> "")
+
+(* "name{label=\"v\",…}" -> (name, Some [(label, v); …]); no brace ->
+   (s, None). Label values are quoted strings with \-escapes. *)
+let parse_series err s =
+  match String.index_opt s '{' with
+  | None -> if valid_name s then Ok (s, None) else err (Printf.sprintf "bad metric name %S" s)
+  | Some lb ->
+      if String.length s = 0 || s.[String.length s - 1] <> '}' then
+        err (Printf.sprintf "unterminated label set in %S" s)
+      else begin
+        let name = String.sub s 0 lb in
+        if not (valid_name name) then err (Printf.sprintf "bad metric name %S" name)
+        else begin
+          let body = String.sub s (lb + 1) (String.length s - lb - 2) in
+          let n = String.length body in
+          let rec labels i acc =
+            if i >= n then Ok (name, Some (List.rev acc))
+            else begin
+              let j = ref i in
+              while !j < n && body.[!j] <> '=' do incr j done;
+              if !j >= n then err (Printf.sprintf "label without '=' in %S" s)
+              else begin
+                let lname = String.sub body i (!j - i) in
+                if not (valid_name lname) then err (Printf.sprintf "bad label name %S" lname)
+                else if !j + 1 >= n || body.[!j + 1] <> '"' then
+                  err (Printf.sprintf "unquoted label value in %S" s)
+                else begin
+                  let buf = Buffer.create 8 in
+                  let k = ref (!j + 2) in
+                  let closed = ref false in
+                  while (not !closed) && !k < n do
+                    (match body.[!k] with
+                    | '\\' when !k + 1 < n ->
+                        Buffer.add_char buf body.[!k + 1];
+                        incr k
+                    | '"' -> closed := true
+                    | c -> Buffer.add_char buf c);
+                    incr k
+                  done;
+                  if not !closed then err (Printf.sprintf "unterminated label value in %S" s)
+                  else
+                    let acc = (lname, Buffer.contents buf) :: acc in
+                    if !k < n && body.[!k] = ',' then labels (!k + 1) acc
+                    else if !k >= n then Ok (name, Some (List.rev acc))
+                    else err (Printf.sprintf "junk after label value in %S" s)
+                end
+              end
+            end
+          in
+          labels 0 []
+        end
+      end
+
+type family = {
+  fam : string;
+  kind : string;  (* counter | gauge | histogram *)
+  mutable samples : int;  (* samples seen for this family *)
+  mutable last_bucket : float option;  (* histogram: last cumulative count *)
+  mutable inf_bucket : float option;
+  mutable count_val : float option;
+  mutable sum_seen : bool;
+}
+
+let validate (text : string) : (unit, string) result =
+  let exception Bad of string in
+  let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt in
+  let err m = Error m in
+  try
+    let lines = split_lines text in
+    if lines = [] then fail "empty exposition";
+    (* EOF: exactly one, and it is the last line *)
+    let n_eof = List.length (List.filter (( = ) "# EOF") lines) in
+    if n_eof = 0 then fail "missing # EOF terminator";
+    if n_eof > 1 then fail "multiple # EOF lines";
+    if List.nth lines (List.length lines - 1) <> "# EOF" then fail "# EOF is not the last line";
+    let close_family = function
+      | Some f when f.kind = "histogram" -> begin
+          if f.samples = 0 then fail "family %s declared but has no samples" f.fam;
+          if not f.sum_seen then fail "histogram %s missing _sum" f.fam;
+          match (f.inf_bucket, f.count_val) with
+          | None, _ -> fail "histogram %s missing le=\"+Inf\" bucket" f.fam
+          | _, None -> fail "histogram %s missing _count" f.fam
+          | Some b, Some c ->
+              if b <> c then fail "histogram %s: +Inf bucket %g <> _count %g" f.fam b c
+        end
+      | Some f -> if f.samples = 0 then fail "family %s declared but has no samples" f.fam
+      | None -> ()
+    in
+    let current : family option ref = ref None in
+    let last_fam = ref "" in
+    let sample f series labels value =
+      (if not (valid_value value) then fail "bad sample value %S for %s" value series);
+      let v = match value with "+Inf" -> infinity | "-Inf" -> neg_infinity | "NaN" -> nan | s -> float_of_string s in
+      f.samples <- f.samples + 1;
+      match f.kind with
+      | "counter" ->
+          if series <> f.fam ^ "_total" then
+            fail "counter %s exposes %s, expected %s_total" f.fam series f.fam;
+          if labels <> None then fail "unexpected labels on counter sample %s" series
+      | "gauge" ->
+          if series <> f.fam then fail "gauge %s exposes %s" f.fam series;
+          if labels <> None then fail "unexpected labels on gauge sample %s" series
+      | "histogram" ->
+          if series = f.fam ^ "_bucket" then begin
+            let le =
+              match labels with
+              | Some [ ("le", le) ] -> le
+              | _ -> fail "histogram bucket of %s needs exactly the le label" f.fam
+            in
+            if not (valid_value le) then fail "bad le value %S on %s" le series;
+            (match f.last_bucket with
+            | Some prev when v < prev ->
+                fail "histogram %s buckets not cumulative: %g after %g" f.fam v prev
+            | _ -> ());
+            f.last_bucket <- Some v;
+            if le = "+Inf" then f.inf_bucket <- Some v
+          end
+          else if series = f.fam ^ "_sum" then begin
+            if labels <> None then fail "unexpected labels on %s" series;
+            f.sum_seen <- true
+          end
+          else if series = f.fam ^ "_count" then begin
+            if labels <> None then fail "unexpected labels on %s" series;
+            f.count_val <- Some v
+          end
+          else fail "histogram %s exposes unexpected series %s" f.fam series
+      | k -> fail "unknown kind %s" k
+    in
+    List.iter
+      (fun line ->
+        if line = "# EOF" then ()
+        else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+          match String.split_on_char ' ' line with
+          | [ "#"; "TYPE"; fam; kind ] ->
+              if not (valid_name fam) then fail "bad family name %S" fam;
+              if not (List.mem kind [ "counter"; "gauge"; "histogram" ]) then
+                fail "unknown metric kind %S for %s" kind fam;
+              if fam <= !last_fam then fail "family %s out of order (after %s)" fam !last_fam;
+              close_family !current;
+              last_fam := fam;
+              current :=
+                Some
+                  {
+                    fam;
+                    kind;
+                    samples = 0;
+                    last_bucket = None;
+                    inf_bucket = None;
+                    count_val = None;
+                    sum_seen = false;
+                  }
+          | _ -> fail "malformed TYPE line %S" line
+        end
+        else if String.length line >= 7 && String.sub line 0 7 = "# HELP " then begin
+          match !current with
+          | Some f
+            when String.length line >= 8 + String.length f.fam
+                 && String.sub line 7 (String.length f.fam) = f.fam
+                 && line.[7 + String.length f.fam] = ' ' ->
+              ()
+          | _ -> fail "HELP line outside its family: %S" line
+        end
+        else if String.length line >= 1 && line.[0] = '#' then fail "unknown comment line %S" line
+        else begin
+          (* sample: <series> <value> *)
+          match String.rindex_opt line ' ' with
+          | None -> fail "malformed sample line %S" line
+          | Some sp ->
+              let series = String.sub line 0 sp in
+              let value = String.sub line (sp + 1) (String.length line - sp - 1) in
+              let f = match !current with Some f -> f | None -> fail "sample before any TYPE line: %S" line in
+              (match parse_series err series with
+              | Ok (name, labels) -> sample f name labels value
+              | Error m -> fail "%s" m)
+        end)
+      lines;
+    close_family !current;
+    Ok ()
+  with Bad m -> Error m

@@ -1,0 +1,172 @@
+(* Tests for per-operation cost attribution (Engine.Eval.Cost): the
+   exactness contract — Σ gates_visited over any bracket of operations
+   equals the delta of the cumulative dyn/touched_gates counter — plus
+   the wave-count semantics of each instrumented entry point (one
+   committed wave per batch, two per free-variable query, zero for a
+   no-op update and for one-shot evaluation). *)
+
+open Semiring
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let nat_ops = Intf.with_int_repr (Intf.ops_of_module (module Instances.Nat))
+let v x = Logic.Term.Var x
+let e x y = Logic.Formula.Rel ("E", [ v x; v y ])
+
+(* weighted degree: Σ_{x,y} [E(x,y)] · w(y) *)
+let wdeg_expr =
+  Logic.Expr.Sum
+    ( [ "x"; "y" ],
+      Logic.Expr.Mul [ Logic.Expr.Guard (e "x" "y"); Logic.Expr.Weight ("w", [ v "y" ]) ] )
+
+(* f(x) = Σ_y [E(x,y)] · w(y) — one free variable, so a query costs two
+   hidden indicator-weight flips *)
+let wdeg_query_expr =
+  Logic.Expr.Sum
+    ( [ "y" ],
+      Logic.Expr.Mul [ Logic.Expr.Guard (e "x" "y"); Logic.Expr.Weight ("w", [ v "y" ]) ] )
+
+let make_eval expr =
+  let g = Graphs.Gen.triangulated_grid 4 4 in
+  let inst = Db.Instance.of_graph g in
+  let n = Db.Instance.n inst in
+  let w = Db.Weights.create ~name:"w" ~arity:1 ~zero:0 in
+  Db.Weights.fill_unary w ~n (fun i -> (i mod 5) + 1);
+  (Engine.Eval.prepare nat_ops ~tfa_rounds:1 inst (Db.Weights.bundle [ w ]) wdeg_expr, inst, w, expr)
+
+let touched_total () =
+  match Obs.find ~scope:"dyn" "touched_gates" with
+  | Some (Obs.C c) -> Obs.Counter.get c
+  | _ -> 0
+
+(* Σ gates_visited = Δ dyn/touched_gates, exactly, over a mixed bracket
+   of single updates and batches — the identity the CLI's `stats --cost`
+   cross-check and the bench both rely on *)
+let cost_matches_counters () =
+  Obs.set_enabled true;
+  let ev, inst, _, _ = make_eval wdeg_expr in
+  let n = Db.Instance.n inst in
+  let rng = Random.State.make [| 2026 |] in
+  let agg = ref Engine.Eval.Cost.zero in
+  let t0 = touched_total () in
+  for _ = 1 to 40 do
+    let x = Random.State.int rng n and w' = Random.State.int rng 9 in
+    let (), c = Engine.Eval.with_cost ev (fun () -> Engine.Eval.update ev "w" [ x ] w') in
+    agg := Engine.Eval.Cost.add !agg c
+  done;
+  for _ = 1 to 5 do
+    let batch =
+      List.init 16 (fun _ -> ("w", [ Random.State.int rng n ], Random.State.int rng 9))
+    in
+    agg := Engine.Eval.Cost.add !agg (Engine.Eval.update_many_cost ev batch)
+  done;
+  let delta = touched_total () - t0 in
+  check_bool "bracket saw real work" true (!agg.Engine.Eval.Cost.gates_visited > 0);
+  check_int "sum of gates_visited = counter delta (exact)" delta
+    !agg.Engine.Eval.Cost.gates_visited;
+  (* the per-wave split re-sums to the total *)
+  check_int "wave_touched re-sums to gates_visited" !agg.Engine.Eval.Cost.gates_visited
+    (List.fold_left ( + ) 0 !agg.Engine.Eval.Cost.wave_touched);
+  check_int "one wave_touched entry per wave" !agg.Engine.Eval.Cost.waves
+    (List.length !agg.Engine.Eval.Cost.wave_touched)
+
+let wave_semantics () =
+  Obs.set_enabled true;
+  let ev, inst, _, _ = make_eval wdeg_expr in
+  let n = Db.Instance.n inst in
+  (* a real batch commits exactly one shared wave *)
+  let batch = List.init 12 (fun i -> ("w", [ i mod n ], 7 + i)) in
+  let c = Engine.Eval.update_many_cost ev batch in
+  check_int "one committed wave per batch" 1 c.Engine.Eval.Cost.waves;
+  check_bool "batch touched gates" true (c.Engine.Eval.Cost.gates_visited > 0);
+  (* writing the value already in place is free: no wave, no gates *)
+  let (), c0 =
+    Engine.Eval.with_cost ev (fun () -> Engine.Eval.update ev "w" [ 0 ] 7)
+  in
+  check_int "equal-value update commits no wave" 0 c0.Engine.Eval.Cost.waves;
+  check_int "equal-value update touches no gate" 0 c0.Engine.Eval.Cost.gates_visited;
+  (* a tuple the circuit never reads is filtered before the wave *)
+  let (), cx =
+    Engine.Eval.with_cost ev (fun () -> Engine.Eval.update ev "nope" [ 0 ] 1)
+  in
+  check_int "irrelevant weight commits no wave" 0 cx.Engine.Eval.Cost.waves
+
+let query_costs_two_waves () =
+  Obs.set_enabled true;
+  let g = Graphs.Gen.grid 4 3 in
+  let inst = Db.Instance.of_graph g in
+  let n = Db.Instance.n inst in
+  let w = Db.Weights.create ~name:"w" ~arity:1 ~zero:0 in
+  Db.Weights.fill_unary w ~n (fun i -> i + 1);
+  let t = Engine.Eval.prepare nat_ops ~tfa_rounds:1 inst (Db.Weights.bundle [ w ]) wdeg_query_expr in
+  let expected =
+    Logic.Expr.eval (module Instances.Nat) inst (Db.Weights.bundle [ w ]) wdeg_query_expr
+      ~env:[ ("x", 1) ] ()
+  in
+  let r, c = Engine.Eval.query_cost t [ 1 ] in
+  check_int "query_cost returns the query answer" expected r;
+  (* flip the indicator weights in, read, flip them back: two waves *)
+  check_int "query = flip + restore waves" 2 c.Engine.Eval.Cost.waves;
+  check_bool "both waves did work" true
+    (List.for_all (fun g -> g > 0) c.Engine.Eval.Cost.wave_touched)
+
+let one_shot_cost () =
+  Obs.set_enabled true;
+  let g = Graphs.Gen.grid 5 4 in
+  let inst = Db.Instance.of_graph g in
+  let cell = ref None in
+  let total =
+    Engine.Eval.evaluate nat_ops ~tfa_rounds:1 ~cost:cell inst (Db.Weights.bundle [])
+      (Logic.Expr.Sum
+         ( [ "x"; "y" ],
+           Logic.Expr.Guard (e "x" "y") ))
+  in
+  check_bool "one-shot answer sane (edge endpoints)" true (total > 0);
+  match !cell with
+  | None -> Alcotest.fail "evaluate ?cost left the cell empty"
+  | Some c ->
+      check_int "one-shot has no propagation waves" 0 c.Engine.Eval.Cost.waves;
+      check_bool "one-shot split is empty" true (c.Engine.Eval.Cost.wave_touched = []);
+      (* every gate evaluated exactly once: gates_visited is the compiled
+         circuit's gate count, which the compile gauges carry *)
+      check_int "gates_visited = compiled gate count"
+        (int_of_float (Obs.Gauge.get (Obs.gauge ~scope:"compile" "gates")))
+        c.Engine.Eval.Cost.gates_visited
+
+let checked_batch_cost () =
+  Obs.set_enabled true;
+  let g = Graphs.Gen.triangulated_grid 3 3 in
+  let inst = Db.Instance.of_graph g in
+  let n = Db.Instance.n inst in
+  let w = Db.Weights.create ~name:"w" ~arity:1 ~zero:0 in
+  Db.Weights.fill_unary w ~n (fun i -> i + 1);
+  match
+    Engine.Eval.prepare_checked nat_ops ~tfa_rounds:1 ~self_check:false inst
+      (Db.Weights.bundle [ w ]) wdeg_expr
+  with
+  | Error _ -> Alcotest.fail "prepare_checked failed"
+  | Ok ck ->
+      let cell = ref None in
+      let t0 = touched_total () in
+      (match
+         Engine.Eval.update_many_checked ~cost:cell ck
+           (List.init 6 (fun i -> ("w", [ i mod n ], 50 + i)))
+       with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "checked batch failed");
+      (match !cell with
+      | None -> Alcotest.fail "update_many_checked ~cost left the cell empty"
+      | Some c ->
+          check_int "checked batch: one wave" 1 c.Engine.Eval.Cost.waves;
+          check_int "checked batch: gates = counter delta" (touched_total () - t0)
+            c.Engine.Eval.Cost.gates_visited)
+
+let suite =
+  [
+    Alcotest.test_case "sum of costs = touched counter delta" `Quick cost_matches_counters;
+    Alcotest.test_case "wave-count semantics per entry point" `Quick wave_semantics;
+    Alcotest.test_case "free-variable query costs two waves" `Quick query_costs_two_waves;
+    Alcotest.test_case "one-shot evaluate cost" `Quick one_shot_cost;
+    Alcotest.test_case "checked batched update fills the cost cell" `Quick checked_batch_cost;
+  ]

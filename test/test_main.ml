@@ -19,5 +19,6 @@ let () =
       ("recovery", Test_recovery.suite);
       ("obs", Test_obs.suite);
       ("trace", Test_trace.suite);
+      ("cost", Test_cost.suite);
       ("props", Test_props.suite);
     ]

@@ -175,6 +175,177 @@ let gauges_match_circuit () =
   check "compile runs counted" true
     (Obs.Counter.get (Obs.counter ~scope:"compile" "runs") > 0)
 
+(* --- sliding-window aggregation (injected clock, deterministic) --- *)
+
+(* Run [f] with a controllable clock and a short epoch, restoring the
+   wall clock and the 1s default epoch afterwards — the window clock is
+   process-global, so leaking a frozen clock would wedge every later
+   test's histograms in one epoch. *)
+let with_fake_clock f =
+  let t = ref 1e9 in
+  Obs.set_clock (Some (fun () -> !t));
+  Obs.Window.reset ();
+  Obs.Window.set_epoch_ms 100;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_clock None;
+      Obs.Window.set_epoch_ms 1000;
+      Obs.Window.reset ())
+    (fun () -> f t)
+
+let window_slides () =
+  with_fake_clock @@ fun t ->
+  let h = Obs.histogram ~scope:"test_obs_win" "lat" in
+  Obs.Histogram.reset h;
+  Obs.Window.tick ();
+  (* epoch 0: five fast observations *)
+  List.iter (Obs.Histogram.observe h) [ 1.; 1.; 1.; 1.; 1. ];
+  let w = Obs.Histogram.window_stats h in
+  check_int "epoch 0 window count" 5 w.Obs.Histogram.wcount;
+  check_float "epoch 0 window sum" 5. w.Obs.Histogram.wsum;
+  (* one epoch later: one slow observation joins the window *)
+  t := !t +. 100e6;
+  Obs.Window.tick ();
+  Obs.Histogram.observe h 1000.;
+  let w = Obs.Histogram.window_stats h in
+  check_int "epoch 1 window count" 6 w.Obs.Histogram.wcount;
+  check_float "window p50 sees the fast mass" 2. w.Obs.Histogram.wp50;
+  check_float "window p99 sees the slow tail" 1000. w.Obs.Histogram.wp99;
+  check_float "window max" 1000. w.Obs.Histogram.wmax;
+  (* cumulative stats never forget... *)
+  check_int "cumulative count keeps everything" 6 (Obs.Histogram.count h);
+  (* ...but after [slots] further epochs the early epochs leave the
+     window: only observations from the last 8 epochs remain *)
+  t := !t +. (float_of_int Obs.Window.slots *. 100e6);
+  Obs.Window.tick ();
+  Obs.Histogram.observe h 7.;
+  let w = Obs.Histogram.window_stats h in
+  check_int "old epochs expired" 1 w.Obs.Histogram.wcount;
+  check_float "window p99 after expiry" 7. w.Obs.Histogram.wp99;
+  check_float "window sum after expiry" 7. w.Obs.Histogram.wsum;
+  (* a slot is recycled in place: 9 epochs after its tag it carries the
+     new epoch's data only *)
+  check_int "cumulative count still grows" 7 (Obs.Histogram.count h)
+
+(* the windowed quantiles must equal a from-scratch recompute over the
+   same observations (same bucket geometry, same inclusive-rank rule) *)
+let window_matches_naive =
+  QCheck.Test.make ~count:100 ~name:"windowed quantiles = naive recompute"
+    QCheck.(list_of_size Gen.(1 -- 200) (float_bound_exclusive 1e6))
+    (fun values ->
+      with_fake_clock @@ fun _t ->
+      let h = Obs.histogram ~scope:"test_obs_win" "qc" in
+      Obs.Histogram.reset h;
+      Obs.Window.tick ();
+      List.iter (Obs.Histogram.observe h) values;
+      let w = Obs.Histogram.window_stats h in
+      let clean = List.map (fun v -> if v < 0. then 0. else v) values in
+      let n = List.length clean in
+      let buckets = Array.make Obs.Histogram.nbuckets 0 in
+      List.iter
+        (fun v ->
+          let b = Obs.Histogram.bucket_of v in
+          buckets.(b) <- buckets.(b) + 1)
+        clean;
+      let mx = List.fold_left Float.max 0. clean in
+      let naive q =
+        let rank = Float.to_int (Float.ceil (q *. float_of_int n)) in
+        let rank = if rank < 1 then 1 else if rank > n then n else rank in
+        let cum = ref buckets.(0) and i = ref 0 in
+        while !cum < rank && !i < Obs.Histogram.nbuckets - 1 do
+          incr i;
+          cum := !cum + buckets.(!i)
+        done;
+        Float.min (Obs.Histogram.bucket_upper !i) mx
+      in
+      w.Obs.Histogram.wcount = n
+      && w.Obs.Histogram.wp50 = naive 0.5
+      && w.Obs.Histogram.wp99 = naive 0.99
+      && Float.abs (w.Obs.Histogram.wsum -. List.fold_left ( +. ) 0. clean) < 1e-6)
+
+(* --- OpenMetrics exposition --- *)
+
+let om_validate s =
+  match Om_check.validate s with Ok () -> () | Error msg -> Alcotest.fail msg
+
+let openmetrics_well_formed () =
+  (* a populated registry (counters, gauges, histograms with window
+     companions, names needing sanitising) must pass the format checker *)
+  Obs.Counter.incr (Obs.counter ~scope:"test_obs_om" "hits");
+  Obs.Gauge.set (Obs.gauge ~scope:"test_obs_om" "depth") 3.5;
+  let h = Obs.histogram ~scope:"test_obs_om" "lat.ns-weird name" in
+  List.iter (Obs.Histogram.observe h) [ 1.; 3.; 1000.; 0.2 ];
+  om_validate (Obs.Openmetrics.render ());
+  (* the checker is not a rubber stamp: hand-broken expositions fail *)
+  let rejects what text =
+    check (Printf.sprintf "checker rejects %s" what) true
+      (match Om_check.validate text with Error _ -> true | Ok () -> false)
+  in
+  rejects "missing EOF" "# TYPE a counter\n# HELP a x\na_total 1\n";
+  rejects "EOF not last" "# EOF\n# TYPE a counter\n# HELP a x\na_total 1\n";
+  rejects "unsorted families" "# TYPE b counter\n# HELP b x\nb_total 1\n# TYPE a counter\n# HELP a x\na_total 1\n# EOF\n";
+  rejects "counter without _total" "# TYPE a counter\n# HELP a x\na 1\n# EOF\n";
+  rejects "unknown kind" "# TYPE a summary\n# HELP a x\na 1\n# EOF\n";
+  rejects "bad value" "# TYPE a gauge\n# HELP a x\na wat\n# EOF\n";
+  rejects "non-cumulative buckets"
+    "# TYPE a histogram\n# HELP a x\na_bucket{le=\"1\"} 5\na_bucket{le=\"2\"} 3\na_bucket{le=\"+Inf\"} 5\na_sum 9\na_count 5\n# EOF\n";
+  rejects "+Inf bucket <> count"
+    "# TYPE a histogram\n# HELP a x\na_bucket{le=\"+Inf\"} 4\na_sum 9\na_count 5\n# EOF\n";
+  rejects "histogram without _sum"
+    "# TYPE a histogram\n# HELP a x\na_bucket{le=\"+Inf\"} 5\na_count 5\n# EOF\n";
+  rejects "sample before TYPE" "a_total 1\n# EOF\n"
+
+let openmetrics_deterministic () =
+  (* with a frozen clock and an untouched registry, two renders are
+     byte-identical — the property CI diffing relies on *)
+  with_fake_clock @@ fun _t ->
+  Obs.Counter.incr (Obs.counter ~scope:"test_obs_om" "det");
+  let a = Obs.Openmetrics.render () in
+  let b = Obs.Openmetrics.render () in
+  check "render is deterministic" true (String.equal a b);
+  let ha = Obs.snapshot_human () in
+  let hb = Obs.snapshot_human () in
+  check "snapshot_human is deterministic" true (String.equal ha hb);
+  om_validate a
+
+let openmetrics_writer () =
+  let path = Filename.temp_file "sparseq_test_metrics" ".prom" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let w = Obs.Openmetrics.Writer.create ~path ~interval_ms:0 in
+      Obs.Openmetrics.Writer.write_now w;
+      Obs.Openmetrics.Writer.tick w;
+      (* interval 0: every tick rewrites *)
+      check_int "tick with zero interval writes" 2 (Obs.Openmetrics.Writer.writes w);
+      check "writer path" true (String.equal path (Obs.Openmetrics.Writer.path w));
+      let ic = open_in_bin path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      om_validate text;
+      (* the atomic-rename protocol leaves no temp file behind *)
+      check "no stale temp file" false (Sys.file_exists (path ^ ".tmp")))
+
+(* --- runtime (GC) telemetry --- *)
+
+let runtime_sampler () =
+  Obs.Runtime.reset ();
+  Obs.Runtime.sample ();
+  let gv name = Obs.Gauge.get (Obs.gauge ~scope:"runtime" name) in
+  check "heap gauge populated" true (gv "heap_words" > 0.);
+  check "peak >= current heap" true (gv "top_heap_words" >= gv "heap_words");
+  let c = Obs.counter ~scope:"runtime" "minor_words" in
+  let before = Obs.Counter.get c in
+  (* allocate enough to show up in the next delta *)
+  let junk = Array.init 100_000 (fun i -> [ i ]) in
+  ignore (Sys.opaque_identity junk);
+  Obs.Runtime.sample ();
+  check "allocation delta accounted" true (Obs.Counter.get c - before > 100_000);
+  (* deltas, not absolutes: a third immediate sample adds almost nothing *)
+  let mid = Obs.Counter.get c in
+  Obs.Runtime.sample ();
+  check "delta accounting (not cumulative re-add)" true (Obs.Counter.get c - mid < mid)
+
 (* --- domain-safety hammer --- *)
 
 (* four domains hammer the same counter and concurrently register fresh
@@ -218,12 +389,59 @@ let domain_hammer () =
   done;
   parse_json (Obs.snapshot ())
 
+(* four domains hammer one histogram's atomic bucket/sum/min/max cells
+   and one gauge; increments must not be lost across buckets, the float
+   sum must come out exact (integral values, so no rounding slack), and
+   gauge reads must never tear (a torn boxed-float read would surface a
+   value nobody wrote) *)
+let histogram_hammer () =
+  let nd = 4 and per = 25_000 in
+  let h = Obs.histogram ~scope:"test_obs_par" "lat_hammer" in
+  let g = Obs.gauge ~scope:"test_obs_par" "g_hammer" in
+  Obs.Histogram.reset h;
+  let written = [| 1e300; -1e300; 3.25; -0.5 |] in
+  let tear = Atomic.make false in
+  let doms =
+    List.init nd (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              Obs.Histogram.observe h (float_of_int (i mod 100));
+              Obs.Gauge.set g written.(d);
+              let v = Obs.Gauge.get g in
+              if not (Array.exists (fun w -> w = v) written) && v <> 0. then
+                Atomic.set tear true
+            done))
+  in
+  List.iter Domain.join doms;
+  check "no torn gauge read" false (Atomic.get tear);
+  check "final gauge value was written" true
+    (Array.exists (fun w -> w = Obs.Gauge.get g) written);
+  check_int "histogram count exact" (nd * per) (Obs.Histogram.count h);
+  (* Σ (i mod 100) over 25k iterations = 250 full cycles of 0+…+99 *)
+  check_float "histogram sum exact" (float_of_int (nd * 250 * 4950)) (Obs.Histogram.sum h);
+  let bucket_total = ref 0 in
+  for i = 0 to Obs.Histogram.nbuckets - 1 do
+    bucket_total := !bucket_total + Obs.Histogram.bucket_count h i
+  done;
+  check_int "bucket totals = count" (nd * per) !bucket_total;
+  check_float "max survived the hammer" 99. (Obs.Histogram.max_value h);
+  (* the merged window view over the same cells is consistent too *)
+  let w = Obs.Histogram.window_stats h in
+  check_int "window count consistent" (nd * per) w.Obs.Histogram.wcount
+
 let suite =
   [
     Alcotest.test_case "histogram bucket boundaries" `Quick bucket_boundaries;
     Alcotest.test_case "histogram stats and quantiles" `Quick histogram_stats;
     Alcotest.test_case "quantile rank boundary semantics" `Quick quantile_boundaries;
     Alcotest.test_case "4-domain counter and registry hammer" `Quick domain_hammer;
+    Alcotest.test_case "4-domain histogram and gauge hammer" `Quick histogram_hammer;
+    Alcotest.test_case "sliding window slides and expires" `Quick window_slides;
+    QCheck_alcotest.to_alcotest window_matches_naive;
+    Alcotest.test_case "openmetrics exposition is well-formed" `Quick openmetrics_well_formed;
+    Alcotest.test_case "openmetrics render is deterministic" `Quick openmetrics_deterministic;
+    Alcotest.test_case "openmetrics periodic writer" `Quick openmetrics_writer;
+    Alcotest.test_case "runtime GC sampler" `Quick runtime_sampler;
     Alcotest.test_case "registry scoping and reset" `Quick registry_scoping;
     Alcotest.test_case "enabled flag gates writes" `Quick enabled_gate;
     Alcotest.test_case "snapshot JSON is parseable" `Quick snapshot_well_formed;

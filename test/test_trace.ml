@@ -141,6 +141,58 @@ let chrome_parseable () =
   check_bool "has traceEvents" true
     (String.length j > 15 && String.sub j 0 15 = "{\"traceEvents\":")
 
+(* --- records carry the emitting domain, end to end into chrome tids --- *)
+
+(* regression for multi-domain attribution: a span opened on a spawned
+   domain must carry that domain's id (not the recording domain's), and
+   the chrome export must surface exactly that id as the event's [tid] *)
+let domain_ids_attributed () =
+  let spawned_dom = ref (-1) in
+  let (), records =
+    Obs.Trace.with_recording (fun () ->
+        Obs.Trace.span ~scope:"test" "main_span" (fun () -> ());
+        let d =
+          Domain.spawn (fun () ->
+              Obs.Trace.span ~scope:"test" "worker_span" (fun () ->
+                  Obs.Trace.event ~scope:"test" "worker_event");
+              (Domain.self () :> int))
+        in
+        spawned_dom := Domain.join d)
+  in
+  let main_dom = (Domain.self () :> int) in
+  check_bool "spawned domain has its own id" true (!spawned_dom <> main_dom);
+  let find name =
+    match
+      List.find_opt (fun s -> s.Obs.Trace.name = name) (spans_of records)
+    with
+    | Some s -> s
+    | None -> Alcotest.failf "span %s not recorded" name
+  in
+  check_int "main span carries the main domain" main_dom (find "main_span").Obs.Trace.dom;
+  check_int "worker span carries the spawned domain" !spawned_dom
+    (find "worker_span").Obs.Trace.dom;
+  let ev =
+    match
+      List.find_opt
+        (function Obs.Trace.REvent e -> e.Obs.Trace.ev_name = "worker_event" | _ -> false)
+        records
+    with
+    | Some (Obs.Trace.REvent e) -> e
+    | _ -> Alcotest.fail "worker event not recorded"
+  in
+  check_int "worker event carries the spawned domain" !spawned_dom ev.Obs.Trace.ev_dom;
+  (* chrome export: the tid field is exactly the emitting domain id *)
+  let j = Obs.Json.to_string (Obs.Trace.to_chrome records) in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "chrome export has a lane for the worker" true
+    (contains (Printf.sprintf "\"tid\":%d" !spawned_dom) j);
+  check_bool "chrome export has a lane for main" true
+    (contains (Printf.sprintf "\"tid\":%d" main_dom) j)
+
 (* --- acceptance: a fault mid-wave dumps the faulting wave's span,
    tagged with the rolled_back outcome --- *)
 
@@ -190,5 +242,6 @@ let suite =
     flight_ring_wraps;
     Alcotest.test_case "backwards clock clamps durations" `Quick backwards_clock_clamps;
     Alcotest.test_case "chrome export parses" `Quick chrome_parseable;
+    Alcotest.test_case "records carry the emitting domain id" `Quick domain_ids_attributed;
     Alcotest.test_case "mid-wave fault dumps the wave span" `Quick poison_dumps_wave_span;
   ]
