@@ -2,13 +2,17 @@
    regressions.
 
    Usage: dune exec bench/compare.exe -- OLD.json NEW.json [--threshold PCT]
+                                         [--strict]
 
    For every workload present in both files, the sequential update p50 is
    compared; a slowdown beyond the threshold (default 25%) prints a WARN
    line. Warnings never fail the run — absolute latencies are machine- and
    load-dependent, so CI surfaces them for a human instead of gating on
-   them. The exit code is nonzero only for malformed input or when either
-   file marks a workload unverified. A baseline recorded with --smoke is
+   them. The exit code is nonzero only for malformed input, when either
+   file marks a workload unverified, or — under --strict — when a
+   workload recorded in the old baseline is missing from the new one
+   (coverage must never silently shrink: a renamed or dropped workload
+   has to show up in the diff, not vanish from it). A baseline recorded with --smoke is
    not comparable to a full run; the mismatch is reported and the
    comparison downgraded to an informational listing.
 
@@ -193,11 +197,17 @@ let load path =
 
 let () =
   let threshold = ref 25.0 in
+  let strict = ref false in
   let files = ref [] in
   Arg.parse
-    [ ("--threshold", Arg.Set_float threshold, "PCT  regression warning threshold (default 25)") ]
+    [
+      ("--threshold", Arg.Set_float threshold, "PCT  regression warning threshold (default 25)");
+      ( "--strict",
+        Arg.Set strict,
+        "  fail (exit nonzero) when a workload in OLD.json is missing from NEW.json" );
+    ]
     (fun f -> files := f :: !files)
-    "compare OLD.json NEW.json [--threshold PCT]";
+    "compare OLD.json NEW.json [--threshold PCT] [--strict]";
   let old_path, new_path =
     match List.rev !files with
     | [ o; n ] -> (o, n)
@@ -234,11 +244,22 @@ let () =
               nw.w_name delta_pct ow.p50 nw.p50 ow.p99 nw.p99
           end)
     new_ws;
+  let gone = ref [] in
   List.iter
     (fun ow ->
-      if not (List.exists (fun nw -> nw.w_name = ow.w_name) new_ws) then
-        Printf.printf "%-16s %14.0f %14s %10s\n" ow.w_name ow.p50 "(gone)" "-")
+      if not (List.exists (fun nw -> nw.w_name = ow.w_name) new_ws) then begin
+        gone := ow.w_name :: !gone;
+        Printf.printf "%-16s %14.0f %14s %10s\n" ow.w_name ow.p50 "(gone)" "-"
+      end)
     old_ws;
+  let gone = List.rev !gone in
+  if gone <> [] then
+    List.iter
+      (fun name ->
+        Printf.printf "WARN %s: recorded in %s but missing from %s%s\n" name old_path
+          new_path
+          (if !strict then " (strict: failing)" else ""))
+      gone;
   if !warnings > 0 then
     Printf.printf "%d workload(s) above the %.0f%% regression threshold\n" !warnings !threshold
   else if comparable then Printf.printf "no regressions above %.0f%%\n" !threshold;
@@ -267,5 +288,10 @@ let () =
   end;
   if !unverified > 0 then begin
     Printf.eprintf "%d unverified workload result(s)\n" !unverified;
+    exit 1
+  end;
+  if !strict && gone <> [] then begin
+    Printf.eprintf "%d workload(s) missing from %s under --strict\n" (List.length gone)
+      new_path;
     exit 1
   end

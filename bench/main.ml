@@ -177,6 +177,7 @@ type result = {
   compact_cmp : compact_cmp option;  (** compact-runtime twin, when measured *)
   par_cmp : par_cmp option;  (** parallel-evaluation twin, when measured *)
   cost_cmp : cost_cmp option;  (** per-query cost attribution, when measured *)
+  churn_cmp : churn_cmp option;  (** structural-churn twin, when measured *)
   telemetry_pct : float option;
       (** telemetry-on vs telemetry-off overhead on this workload's update
           kernel, percent (min-of-5 interleaved; negative noise clamps to 0) *)
@@ -192,6 +193,22 @@ and cost_cmp = {
   cost_waves : int;
   cost_minor_words : float;
   cost_exact : bool;  (** cost_gates = cost_counter_delta *)
+}
+
+(* Structural churn vs full-recompile twin: every insert/delete is served
+   once through the localized recompile + splice path and once by
+   compiling the mutated instance from scratch; the two must land on the
+   identical value after every op, the localized path must win on wall
+   clock, and the splices must carry more gates than they rebuild. *)
+and churn_cmp = {
+  churn_ops : int;  (** structural ops in the mixed stream *)
+  churn_localized : int;
+  churn_fallbacks : int;
+  churn_rebuilt : int;  (** gates rebuilt across all structural ops *)
+  churn_carried : int;  (** gates carried across all splices *)
+  churn_speedup : float;  (** full-recompile twin wall / incremental wall *)
+  churn_ok : bool;
+  churn_detail : string;
 }
 
 (* Default-pipeline vs --opt=none twin on the same instance and weights:
@@ -287,6 +304,19 @@ let result_json r =
             ("cost_waves", Obs.Json.I c.cost_waves);
             ("cost_minor_words", Obs.Json.F c.cost_minor_words);
             ("cost_exact", Obs.Json.B c.cost_exact);
+          ])
+    @ (match r.churn_cmp with
+      | None -> []
+      | Some ch ->
+          [
+            ("churn_ops", Obs.Json.I ch.churn_ops);
+            ("churn_localized", Obs.Json.I ch.churn_localized);
+            ("churn_fallbacks", Obs.Json.I ch.churn_fallbacks);
+            ("churn_gates_rebuilt", Obs.Json.I ch.churn_rebuilt);
+            ("churn_gates_carried", Obs.Json.I ch.churn_carried);
+            ("churn_speedup", Obs.Json.F ch.churn_speedup);
+            ("churn_ok", Obs.Json.B ch.churn_ok);
+            ("churn_detail", Obs.Json.S ch.churn_detail);
           ])
     @
     match r.telemetry_pct with
@@ -680,6 +710,7 @@ let eval_workload (type a) ~name ~(ops : a Intf.ops) ?mode ?opt_enforce ?par_enf
     compact_cmp;
     par_cmp;
     cost_cmp;
+    churn_cmp = None;
     telemetry_pct;
   }
 
@@ -823,6 +854,7 @@ let batch_workload (type a) ~name ~(ops : a Intf.ops) ~mode ~(mk : int -> a)
     compact_cmp = None;
     par_cmp = None;
     cost_cmp;
+    churn_cmp = None;
     telemetry_pct;
   }
 
@@ -980,6 +1012,7 @@ let path2_workload ~smoke ~seed () : result =
     compact_cmp;
     par_cmp = None;
     cost_cmp = None;
+    churn_cmp = None;
     telemetry_pct;
   }
 
@@ -1050,11 +1083,124 @@ let overhead ~smoke ~seed =
   Array.sort compare off;
   (on.(reps / 2), off.(reps / 2))
 
+(* --- structural churn workload (PR 10) --- *)
+
+(* Mixed weight + structural churn on weighted triangle counting over a
+   grid: each round writes a couple of random weights, then toggles one
+   cell-diagonal arc (insert it if absent, delete it if present) through
+   Eval.insert_tuple/delete_tuple — the localized-recompile + splice
+   path. Single arcs keep the comparison honest: one structural op on
+   the incremental side against one scratch pipeline on the twin. A full-recompile twin applies the same mutation to a
+   copied instance and re-runs the whole compile+prepare pipeline from
+   scratch; after every structural op the two must hold the identical
+   value, and at the end the live evaluator must agree with the
+   brute-force reference on the mutated instance. Enforced: exact
+   agreement throughout, zero fallbacks (diagonal toggles never deepen
+   the elimination forest past the compiled bound), more gates carried
+   than rebuilt across the splices, and an incremental-vs-scratch
+   wall-clock speedup floor. *)
+let churn_workload ~smoke ~seed ~salt () : result =
+  let side = if smoke then 5 else 7 in
+  let inst = Db.Instance.of_graph (Graphs.Gen.grid side side) in
+  let n = Db.Instance.n inst in
+  let w = Db.Weights.create ~name:"w" ~arity:1 ~zero:0 in
+  Db.Weights.fill_unary w ~n (fun i -> (i mod 5) + 1);
+  let weights = Db.Weights.bundle [ w ] in
+  let wall_s, ev =
+    time (fun () -> Engine.Eval.prepare nat_ops ~tfa_rounds:1 inst weights wtri_expr)
+  in
+  let cs = Circuits.Circuit.stats ev.Engine.Eval.circuit in
+  let twin_inst = Db.Instance.copy inst in
+  let rng = Random.State.make [| seed; salt |] in
+  let ops = if smoke then 10 else 24 in
+  let t_inc = ref 0. and t_full = ref 0. in
+  let samples = Array.make ops 0. in
+  let mismatches = ref 0 in
+  for i = 0 to ops - 1 do
+    for _ = 1 to 2 do
+      let x = Random.State.int rng n and value = Random.State.int rng 5 in
+      Db.Weights.set w [ x ] value;
+      Engine.Eval.update ev "w" [ x ] value
+    done;
+    let r = Random.State.int rng (side - 1) and c = Random.State.int rng (side - 1) in
+    let u = (r * side) + c and v2 = ((r + 1) * side) + c + 1 in
+    let present = Db.Instance.mem inst "E" [ u; v2 ] in
+    let dt, () =
+      time (fun () ->
+          if present then Engine.Eval.delete_tuple ev "E" [ u; v2 ]
+          else Engine.Eval.insert_tuple ev "E" [ u; v2 ])
+    in
+    t_inc := !t_inc +. dt;
+    samples.(i) <- dt *. 1e9;
+    if present then Db.Instance.remove twin_inst "E" [ u; v2 ]
+    else Db.Instance.add twin_inst "E" [ u; v2 ];
+    let dt_full, twin_value =
+      time (fun () ->
+          let evf = Engine.Eval.prepare nat_ops ~tfa_rounds:1 twin_inst weights wtri_expr in
+          Engine.Eval.value evf)
+    in
+    t_full := !t_full +. dt_full;
+    if Engine.Eval.value ev <> twin_value then incr mismatches
+  done;
+  Array.sort compare samples;
+  let want = Engine.Reference.eval nat_ops inst weights wtri_expr in
+  let ref_ok = Engine.Eval.value ev = want in
+  let ch = Engine.Eval.churn_stats ev in
+  let speedup = !t_full /. Float.max 1e-9 !t_inc in
+  let speedup_floor = if smoke then 0.9 else 1.1 in
+  let localization_ok =
+    ch.Engine.Eval.ch_fallbacks = 0
+    && ch.Engine.Eval.ch_gates_rebuilt < ch.Engine.Eval.ch_gates_carried
+  in
+  let churn_ok =
+    !mismatches = 0 && ref_ok && localization_ok && speedup >= speedup_floor
+  in
+  let churn_detail =
+    Printf.sprintf
+      "%d structural ops (%d ins %d del): %d localized %d fallbacks, rebuilt %d vs \
+       carried %d, twin speedup %.2fx (floor %.2fx)%s%s"
+      ops ch.Engine.Eval.ch_inserts ch.Engine.Eval.ch_deletes
+      ch.Engine.Eval.ch_localized ch.Engine.Eval.ch_fallbacks
+      ch.Engine.Eval.ch_gates_rebuilt ch.Engine.Eval.ch_gates_carried speedup
+      speedup_floor
+      (if !mismatches > 0 then Printf.sprintf ", %d twin MISMATCHES" !mismatches else "")
+      (if ref_ok then "" else ", reference DISAGREES")
+  in
+  {
+    name = "churn_nat";
+    n;
+    wall_s;
+    gates = cs.Circuits.Circuit.gates;
+    depth = cs.Circuits.Circuit.depth;
+    updates = ops;
+    p50_ns = quantile samples 0.5;
+    p99_ns = quantile samples 0.99;
+    verified = churn_ok;
+    detail = churn_detail;
+    opt_cmp = None;
+    compact_cmp = None;
+    par_cmp = None;
+    cost_cmp = None;
+    churn_cmp =
+      Some
+        {
+          churn_ops = ops;
+          churn_localized = ch.Engine.Eval.ch_localized;
+          churn_fallbacks = ch.Engine.Eval.ch_fallbacks;
+          churn_rebuilt = ch.Engine.Eval.ch_gates_rebuilt;
+          churn_carried = ch.Engine.Eval.ch_gates_carried;
+          churn_speedup = speedup;
+          churn_ok;
+          churn_detail;
+        };
+    telemetry_pct = None;
+  }
+
 (* ----------------------------------------------------------- driver --- *)
 
 let () =
   let seed = ref 20260705 in
-  let out = ref "BENCH_pr9.json" in
+  let out = ref "BENCH_pr10.json" in
   let smoke = ref false in
   let trace = ref "" in
   let domains = ref 4 in
@@ -1064,7 +1210,7 @@ let () =
   Arg.parse
     [
       ("--seed", Arg.Set_int seed, "INT  PRNG seed (default 20260705)");
-      ("--out", Arg.Set_string out, "FILE  JSON baseline output (default BENCH_pr9.json)");
+      ("--out", Arg.Set_string out, "FILE  JSON baseline output (default BENCH_pr10.json)");
       ("--smoke", Arg.Set smoke, "  small instances and fewer updates (CI mode)");
       ( "--domains",
         Arg.Set_int domains,
@@ -1186,6 +1332,7 @@ let () =
             ~hot:96
             ~rounds:(if smoke then 8 else 32)
             ~seed ~salt:8 ~require_speedup:None () );
+      ("churn_nat", fun () -> churn_workload ~smoke ~seed ~salt:9 ());
     ]
   in
   let selected =

@@ -333,7 +333,19 @@ let stats_cmd =
              and cross-check the summed gate counts against the cumulative dyn/* \
              counters — the two must agree exactly.")
   in
-  let run kind n seed qname (budget, opt, backend, domains) ((updates, batch, cost), load) =
+  let churn_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "churn" ] ~docv:"K"
+          ~doc:
+            "Mixed churn: $(docv) further operations alternating between random weight \
+             updates and structural edge toggles (insert the arc pair if absent, delete \
+             it if present) served through the localized-recompile path; reports \
+             per-kind latency quantiles plus the localized/fallback split and the \
+             gates-rebuilt vs gates-carried totals (0 = skip).")
+  in
+  let run kind n seed qname (budget, opt, backend, domains) ((updates, batch, cost, churn), load)
+      =
     match load with
     | Some path ->
         (* A persisted circuit carries no workload: print what the file holds. *)
@@ -355,7 +367,7 @@ let stats_cmd =
     Format.printf "circuit: %a@." Circuits.Circuit.pp_stats cs;
     (* Theorem 8 update latency: the weighted variant Σ_x̄ [φ]·w(x₁) is
        prepared as a dynamic circuit and hit with random weight updates. *)
-    if updates > 0 && fv <> [] then begin
+    if (updates > 0 || churn > 0) && fv <> [] then begin
       let nat_ops = Intf.with_int_repr (Intf.ops_of_module (module Instances.Nat)) in
       let nn = Db.Instance.n inst in
       let w = Db.Weights.create ~name:"w" ~arity:1 ~zero:0 in
@@ -386,7 +398,7 @@ let stats_cmd =
           c.Engine.Eval.Cost.gates_visited delta
           (if c.Engine.Eval.Cost.gates_visited = delta then "exact" else "MISMATCH")
       in
-      if batch <= 1 then begin
+      if updates > 0 && batch <= 1 then begin
         let samples = Array.make updates 0. in
         for i = 0 to updates - 1 do
           let x = Random.State.int rng nn in
@@ -409,7 +421,7 @@ let stats_cmd =
           (Engine.Eval.value ev);
         if cost then report_cost ()
       end
-      else begin
+      else if updates > 0 then begin
         let nbatches = (updates + batch - 1) / batch in
         let samples = Array.make nbatches 0. in
         let total = ref 0. in
@@ -441,11 +453,64 @@ let stats_cmd =
           Printf.printf "cost waves: %d (one committed wave per batch)\n"
             !agg.Engine.Eval.Cost.waves
         end
+      end;
+      (* Mixed churn: alternate weight updates with structural edge
+         toggles. Toggles stay local (v within a few ids of u) so the
+         treedepth witness mostly survives and the localized path gets
+         exercised; when an op still deepens the forest past the compiled
+         bound, the fallback recompile is what gets timed and counted. *)
+      if churn > 0 then begin
+        let w_samples = ref [] and s_samples = ref [] in
+        for i = 0 to churn - 1 do
+          let u0 = Unix.gettimeofday () in
+          if i mod 2 = 0 then begin
+            Engine.Eval.update ev "w" [ Random.State.int rng nn ] (Random.State.int rng 5);
+            w_samples := ((Unix.gettimeofday () -. u0) *. 1e9) :: !w_samples
+          end
+          else begin
+            let u = Random.State.int rng nn in
+            let v = (u + 1 + Random.State.int rng (min 3 (nn - 1))) mod nn in
+            if Db.Instance.mem inst "E" [ u; v ] then begin
+              Engine.Eval.delete_tuple ev "E" [ u; v ];
+              if Db.Instance.mem inst "E" [ v; u ] then
+                Engine.Eval.delete_tuple ev "E" [ v; u ]
+            end
+            else begin
+              Engine.Eval.insert_tuple ev "E" [ u; v ];
+              if not (Db.Instance.mem inst "E" [ v; u ]) then
+                Engine.Eval.insert_tuple ev "E" [ v; u ]
+            end;
+            s_samples := ((Unix.gettimeofday () -. u0) *. 1e9) :: !s_samples
+          end;
+          Obs.Openmetrics.pulse ()
+        done;
+        let quantiles l =
+          let a = Array.of_list l in
+          Array.sort compare a;
+          (sample_quantile a 0.5, sample_quantile a 0.99)
+        in
+        let wp50, wp99 = quantiles !w_samples in
+        let sp50, sp99 = quantiles !s_samples in
+        Printf.printf "churn: %d ops  weight p50 %.0fns p99 %.0fns  structural p50 %.0fns p99 %.0fns\n"
+          churn wp50 wp99 sp50 sp99;
+        let ch = Engine.Eval.churn_stats ev in
+        let total_gates = ch.Engine.Eval.ch_gates_rebuilt + ch.Engine.Eval.ch_gates_carried in
+        Printf.printf
+          "churn: %d inserts %d deletes  %d localized %d fallbacks  gates rebuilt %d / \
+           carried %d (%.1f%% rebuilt)\n"
+          ch.Engine.Eval.ch_inserts ch.Engine.Eval.ch_deletes ch.Engine.Eval.ch_localized
+          ch.Engine.Eval.ch_fallbacks ch.Engine.Eval.ch_gates_rebuilt
+          ch.Engine.Eval.ch_gates_carried
+          (if total_gates = 0 then 0.
+           else 100. *. float_of_int ch.Engine.Eval.ch_gates_rebuilt /. float_of_int total_gates);
+        Printf.printf "churn value now: %d\n" (Engine.Eval.value ev)
       end
     end
   in
   let updates_batch =
-    Term.(const (fun u b c l -> ((u, b, c), l)) $ updates_arg $ batch_arg $ cost_arg $ load_arg)
+    Term.(
+      const (fun u b c ch l -> ((u, b, c, ch), l))
+      $ updates_arg $ batch_arg $ cost_arg $ churn_arg $ load_arg)
   in
   Cmd.v
     (Cmd.info "stats"

@@ -52,6 +52,12 @@ let h_batch_ns = Obs.histogram ~scope:"dyn" "batch_ns"
 let m_rollbacks = Obs.counter ~scope:"dyn" "rollbacks"
 let m_repairs = Obs.counter ~scope:"dyn" "repairs"
 
+(* Structural-splice observables: circuits spliced after a localized
+   recompile, and how many gates each splice carried over vs rebuilt. *)
+let m_splices = Obs.counter ~scope:"dyn" "splices"
+let m_splice_carried = Obs.counter ~scope:"dyn" "splice_carried_gates"
+let m_splice_rebuilt = Obs.counter ~scope:"dyn" "splice_rebuilt_gates"
+
 (** Raised by every read/update once a fault mid-update has left the
     incremental state inconsistent {e and} the rollback that should have
     undone the wave failed too; carries the original failure. The only
@@ -169,12 +175,27 @@ type 'a t = {
   mutable rollback_fault_hook : (unit -> unit) option;
       (** test-only fault injection at the start of a rollback; a raise
           here simulates a crash during recovery itself (→ poisoned) *)
+  ext_remap : int array;
+      (** external (pre-balance) gate id → internal gate id; identity
+          outside General mode. Lets {!splice} translate a carry table
+          expressed over the optimizer's circuit into internal ids *)
+  synth : int array array;
+      (** per external gate: the internal gates [balance] synthesized for
+          its binary tree, in emission order — structurally equal external
+          gates get positionally corresponding trees, so a splice can
+          carry the synthesized subtree values too *)
 }
 
-(* Rebalance wide Add/Mul gates into binary trees (General mode). *)
-let balance (c : 'a Circuit.t) : 'a Circuit.t =
+(* Rebalance wide Add/Mul gates into binary trees (General mode); also
+   returns the external→internal remap and, per external gate, the
+   synthesized tree-internal gates in emission order. The tree shape is a
+   pure function of the fan-in, so structurally equal external gates have
+   positionally corresponding synth arrays. *)
+let balance (c : 'a Circuit.t) : 'a Circuit.t * int array * int array array =
   let b = Circuit.builder () in
-  let remap = Array.make (Array.length c.Circuit.nodes) (-1) in
+  let n = Array.length c.Circuit.nodes in
+  let remap = Array.make n (-1) in
+  let synth = Array.make n [||] in
   let rec tree mk = function
     | [] -> invalid_arg "Dyn.balance: empty gate list"
     | [ g ] -> g
@@ -186,6 +207,7 @@ let balance (c : 'a Circuit.t) : 'a Circuit.t =
   in
   Array.iteri
     (fun id node ->
+      let len0 = Circuit.builder_len b in
       let nid =
         match node with
         | Circuit.Input key -> Circuit.input b key
@@ -200,9 +222,18 @@ let balance (c : 'a Circuit.t) : 'a Circuit.t =
               (List.map (fun g -> remap.(g)) (Array.to_list gs))
         | Circuit.Perm rows -> Circuit.perm b (Array.map (Array.map (fun g -> remap.(g))) rows)
       in
+      let len1 = Circuit.builder_len b in
+      if len1 - len0 > 1 then begin
+        (* everything created for this gate except the gate itself *)
+        let extra = ref [] in
+        for g = len1 - 1 downto len0 do
+          if g <> nid then extra := g :: !extra
+        done;
+        synth.(id) <- Array.of_list !extra
+      end;
       remap.(id) <- nid)
     c.Circuit.nodes;
-  Circuit.finish b ~output:remap.(c.Circuit.output)
+  (Circuit.finish b ~output:remap.(c.Circuit.output), remap, synth)
 
 let pick_mode (ops : 'a Semiring.Intf.ops) =
   match (ops.Semiring.Intf.elements, ops.Semiring.Intf.neg) with
@@ -220,9 +251,15 @@ let backend_name = function Boxed -> "boxed" | Compact -> "compact"
    value is already in the plane — a parallel full evaluation ran first —
    and this pass only builds the auxiliary structures: permanent
    maintenance state (whose [perm] rewrites the gate value with the same
-   permanent) and Finite-mode counters. *)
-let init_derived ?(prefilled = false) (ops : 'a Semiring.Intf.ops) mode fin_ctx
-    (topo : 'a topo) (values : 'a Compact.plane) (aux : 'a aux array) =
+   permanent) and Finite-mode counters.
+
+   [skip] marks gates whose value and aux were already carried over by
+   {!splice} — they are left untouched; [on_build] fires before each gate
+   that is (re)built, carrying the fault-injection and cost-accounting
+   hooks of the splice path. *)
+let init_derived ?(prefilled = false) ?(skip = fun _ -> false) ?(on_build = fun _ -> ())
+    (ops : 'a Semiring.Intf.ops) mode fin_ctx (topo : 'a topo)
+    (values : 'a Compact.plane) (aux : 'a aux array) =
   let open Semiring.Intf in
   let vget g = Compact.plane_get values g in
   let vset id v = Compact.plane_set values id v in
@@ -255,50 +292,119 @@ let init_derived ?(prefilled = false) (ops : 'a Semiring.Intf.ops) mode fin_ctx
   | TBoxed b ->
       Array.iteri
         (fun id node ->
-          match node with
-          | Circuit.Input _ -> ()
-          | Circuit.Const s -> vset id s
-          | Circuit.Add gs ->
-              vset id (Array.fold_left (fun acc g -> ops.add acc (vget g)) ops.zero gs);
-              mk_counts id (fun visit -> Array.iter visit gs)
-          | Circuit.Mul gs ->
-              vset id (Array.fold_left (fun acc g -> ops.mul acc (vget g)) ops.one gs)
-          | Circuit.Perm rows ->
-              let m = Array.map (Array.map vget) rows in
-              let ncols = if Array.length rows = 0 then 0 else Array.length rows.(0) in
-              mk_perm id m ncols)
+          if not (skip id) then
+            match node with
+            | Circuit.Input _ -> ()
+            | Circuit.Const s ->
+                on_build id;
+                vset id s
+            | Circuit.Add gs ->
+                on_build id;
+                vset id (Array.fold_left (fun acc g -> ops.add acc (vget g)) ops.zero gs);
+                mk_counts id (fun visit -> Array.iter visit gs)
+            | Circuit.Mul gs ->
+                on_build id;
+                vset id (Array.fold_left (fun acc g -> ops.mul acc (vget g)) ops.one gs)
+            | Circuit.Perm rows ->
+                on_build id;
+                let m = Array.map (Array.map vget) rows in
+                let ncols = if Array.length rows = 0 then 0 else Array.length rows.(0) in
+                mk_perm id m ncols)
         b.nodes
   | TFlat fl ->
       let cc = fl.cc in
       let off = cc.Compact.child_off and ch = cc.Compact.children in
       for id = 0 to cc.Compact.n - 1 do
-        match cc.Compact.opcode.(id) with
-        | 0 (* input *) -> ()
-        | 1 (* const *) -> if not prefilled then vset id cc.Compact.consts.(cc.Compact.arg.(id))
-        | 2 (* add *) ->
-            if not prefilled then begin
-              let acc = ref ops.zero in
-              for i = off.(id) to off.(id + 1) - 1 do
-                acc := ops.add !acc (vget ch.(i))
-              done;
-              vset id !acc
-            end;
-            mk_counts id (fun visit ->
+        if not (skip id) then
+          match cc.Compact.opcode.(id) with
+          | 0 (* input *) -> ()
+          | 1 (* const *) ->
+              if not prefilled then begin
+                on_build id;
+                vset id cc.Compact.consts.(cc.Compact.arg.(id))
+              end
+          | 2 (* add *) ->
+              if not prefilled then begin
+                on_build id;
+                let acc = ref ops.zero in
                 for i = off.(id) to off.(id + 1) - 1 do
-                  visit ch.(i)
-                done)
-        | 3 (* mul *) ->
-            if not prefilled then begin
-              let acc = ref ops.one in
-              for i = off.(id) to off.(id + 1) - 1 do
-                acc := ops.mul !acc (vget ch.(i))
-              done;
-              vset id !acc
-            end
-        | _ (* perm *) ->
-            let ncols = cc.Compact.perm_cols.(cc.Compact.arg.(id)) in
-            mk_perm id (Compact.perm_matrix cc values id) ncols
+                  acc := ops.add !acc (vget ch.(i))
+                done;
+                vset id !acc
+              end;
+              mk_counts id (fun visit ->
+                  for i = off.(id) to off.(id + 1) - 1 do
+                    visit ch.(i)
+                  done)
+          | 3 (* mul *) ->
+              if not prefilled then begin
+                on_build id;
+                let acc = ref ops.one in
+                for i = off.(id) to off.(id + 1) - 1 do
+                  acc := ops.mul !acc (vget ch.(i))
+                done;
+                vset id !acc
+              end
+          | _ (* perm *) ->
+              on_build id;
+              let ncols = cc.Compact.perm_cols.(cc.Compact.arg.(id)) in
+              mk_perm id (Compact.perm_matrix cc values id) ncols
       done
+
+(* Build the per-backend gate storage for a circuit: the topology (boxed
+   parent lists or the CSR triple), the input-key table, and an
+   uninitialized value plane. Shared by [create] and [splice]. *)
+let make_structure (type a) backend (ops : a Semiring.Intf.ops) (c : a Circuit.t) :
+    a topo * (Circuit.input_key, int) Hashtbl.t * a Compact.plane =
+  let n = Array.length c.Circuit.nodes in
+  match backend with
+  | Boxed ->
+      let parents = Array.make n [] in
+      Array.iteri
+        (fun id node ->
+          match node with
+          | Circuit.Input _ | Circuit.Const _ -> ()
+          | Circuit.Add gs | Circuit.Mul gs ->
+              Array.iteri (fun slot g -> parents.(g) <- (id, slot) :: parents.(g)) gs
+          | Circuit.Perm rows ->
+              let ncols = if Array.length rows = 0 then 0 else Array.length rows.(0) in
+              Array.iteri
+                (fun r row ->
+                  Array.iteri
+                    (fun cidx g -> parents.(g) <- (id, (r * ncols) + cidx) :: parents.(g))
+                    row)
+                rows)
+        c.Circuit.nodes;
+      ( TBoxed { nodes = c.Circuit.nodes; parents },
+        c.Circuit.input_ids,
+        Compact.boxed_plane ops n )
+  | Compact ->
+      let cc = Compact.of_circuit c in
+      let nch = Array.length cc.Compact.children in
+      (* parent CSR: count, prefix-sum, fill (parents end up in
+         ascending parent-id order) *)
+      let par_off = Array.make (n + 1) 0 in
+      Array.iter (fun g -> par_off.(g + 1) <- par_off.(g + 1) + 1) cc.Compact.children;
+      for g = 0 to n - 1 do
+        par_off.(g + 1) <- par_off.(g + 1) + par_off.(g)
+      done;
+      let par_gate = Array.make nch 0 and par_slot = Array.make nch 0 in
+      let cursor = Array.sub par_off 0 n in
+      let coff = cc.Compact.child_off in
+      for id = 0 to n - 1 do
+        for i = coff.(id) to coff.(id + 1) - 1 do
+          let g = cc.Compact.children.(i) in
+          par_gate.(cursor.(g)) <- id;
+          par_slot.(cursor.(g)) <- i - coff.(id);
+          cursor.(g) <- cursor.(g) + 1
+        done
+      done;
+      ( TFlat { cc; par_off; par_gate; par_slot },
+        cc.Compact.input_ids,
+        Compact.make_plane ops n )
+
+(* identity external↔internal mapping for the modes that do not balance *)
+let identity_remap n = (Array.init n (fun i -> i), Array.make n [||])
 
 let create ?mode ?(backend = Compact) ?(domains = 1) (ops : 'a Semiring.Intf.ops)
     (c : 'a Circuit.t) (valuation : Circuit.input_key -> 'a) : 'a t =
@@ -312,55 +418,14 @@ let create ?mode ?(backend = Compact) ?(domains = 1) (ops : 'a Semiring.Intf.ops
         ("gates", Obs.Trace.I (Array.length c.Circuit.nodes));
       ]
   @@ fun () ->
-  let c = if mode = General then balance c else c in
-  let n = Array.length c.Circuit.nodes in
-  let topo, input_ids, values =
-    match backend with
-    | Boxed ->
-        let parents = Array.make n [] in
-        Array.iteri
-          (fun id node ->
-            match node with
-            | Circuit.Input _ | Circuit.Const _ -> ()
-            | Circuit.Add gs | Circuit.Mul gs ->
-                Array.iteri (fun slot g -> parents.(g) <- (id, slot) :: parents.(g)) gs
-            | Circuit.Perm rows ->
-                let ncols = if Array.length rows = 0 then 0 else Array.length rows.(0) in
-                Array.iteri
-                  (fun r row ->
-                    Array.iteri
-                      (fun cidx g -> parents.(g) <- (id, (r * ncols) + cidx) :: parents.(g))
-                      row)
-                  rows)
-          c.Circuit.nodes;
-        ( TBoxed { nodes = c.Circuit.nodes; parents },
-          c.Circuit.input_ids,
-          Compact.boxed_plane ops n )
-    | Compact ->
-        let cc = Compact.of_circuit c in
-        let nch = Array.length cc.Compact.children in
-        (* parent CSR: count, prefix-sum, fill (parents end up in
-           ascending parent-id order) *)
-        let par_off = Array.make (n + 1) 0 in
-        Array.iter (fun g -> par_off.(g + 1) <- par_off.(g + 1) + 1) cc.Compact.children;
-        for g = 0 to n - 1 do
-          par_off.(g + 1) <- par_off.(g + 1) + par_off.(g)
-        done;
-        let par_gate = Array.make nch 0 and par_slot = Array.make nch 0 in
-        let cursor = Array.sub par_off 0 n in
-        let coff = cc.Compact.child_off in
-        for id = 0 to n - 1 do
-          for i = coff.(id) to coff.(id + 1) - 1 do
-            let g = cc.Compact.children.(i) in
-            par_gate.(cursor.(g)) <- id;
-            par_slot.(cursor.(g)) <- i - coff.(id);
-            cursor.(g) <- cursor.(g) + 1
-          done
-        done;
-        ( TFlat { cc; par_off; par_gate; par_slot },
-          cc.Compact.input_ids,
-          Compact.make_plane ops n )
+  let c, ext_remap, synth =
+    if mode = General then balance c
+    else
+      let r, s = identity_remap (Array.length c.Circuit.nodes) in
+      (c, r, s)
   in
+  let n = Array.length c.Circuit.nodes in
+  let topo, input_ids, values = make_structure backend ops c in
   (* seed input values *)
   (match topo with
   | TBoxed b ->
@@ -418,6 +483,8 @@ let create ?mode ?(backend = Compact) ?(domains = 1) (ops : 'a Semiring.Intf.ops
     poisoned = None;
     fault_hook = None;
     rollback_fault_hook = None;
+    ext_remap;
+    synth;
   }
 
 let poisoned t = t.poisoned
@@ -941,6 +1008,317 @@ let repair t =
   t.poisoned <- None;
   Obs.Counter.incr m_repairs
 
+(* --- structural splice --- *)
+
+type splice_report = {
+  sp_carried : int;  (** gates whose value/aux crossed over untouched *)
+  sp_rebuilt : int;  (** gates recomputed bottom-up *)
+  sp_retired : int;  (** old gates with no image in the new structure *)
+}
+
+(* Uniform structural view of one gate on either backend, for the carry
+   check ([Perm] children row-major on both). *)
+type 'a view =
+  | VInput of Circuit.input_key
+  | VConst of 'a
+  | VAdd of int array
+  | VMul of int array
+  | VPerm of int array * int  (** row-major children, column count *)
+
+let gate_view (topo : 'a topo) id : 'a view =
+  match topo with
+  | TBoxed b -> (
+      match b.nodes.(id) with
+      | Circuit.Input key -> VInput key
+      | Circuit.Const s -> VConst s
+      | Circuit.Add gs -> VAdd gs
+      | Circuit.Mul gs -> VMul gs
+      | Circuit.Perm rows ->
+          let ncols = if Array.length rows = 0 then 0 else Array.length rows.(0) in
+          VPerm (Array.concat (Array.to_list rows), ncols))
+  | TFlat fl -> (
+      let cc = fl.cc in
+      let kids () =
+        Array.sub cc.Compact.children
+          cc.Compact.child_off.(id)
+          (cc.Compact.child_off.(id + 1) - cc.Compact.child_off.(id))
+      in
+      match cc.Compact.opcode.(id) with
+      | 0 -> VInput cc.Compact.input_keys.(cc.Compact.arg.(id))
+      | 1 -> VConst cc.Compact.consts.(cc.Compact.arg.(id))
+      | 2 -> VAdd (kids ())
+      | 3 -> VMul (kids ())
+      | _ -> VPerm (kids (), cc.Compact.perm_cols.(cc.Compact.arg.(id))))
+
+(** Replace the compiled circuit by [c] — the output of a localized
+    recompile — building the new runtime structure {e aside} and carrying
+    over every gate the recompile left untouched. [carry.(j)] names, for
+    new (optimizer-level) gate [j], the old optimizer-level gate whose
+    value it must equal, or [-1] if the gate was rebuilt; [valuation]
+    supplies values for input keys the old structure does not hold (new
+    keys; existing carried inputs keep their old values).
+
+    The wave is transactional by construction: the old structure is never
+    mutated while the new one is built, so a mid-splice fault (e.g. the
+    fault-injection hook) discards the new structure and raises
+    {!Rolled_back} with the old structure intact — or, if the
+    rollback-fault hook raises too, poisons the old structure and
+    re-raises, exactly the three outcomes of a weight wave.
+
+    On success the returned structure supersedes [t]: permanent
+    maintenance state is transferred by pointer, so the old [t] is
+    poisoned and must not be updated again (reads raise {!Poisoned};
+    {!repair} would resurrect it with fresh aux, deliberately). The
+    carry is re-verified gate by gate against the actual topologies —
+    a carried gate must have the same shape and carried children as its
+    source, else it is demoted to rebuilt — so a wrong carry table
+    degrades splice cost, never correctness. *)
+let splice (t : 'a t) (c : 'a Circuit.t) ~(carry : int array)
+    (valuation : Circuit.input_key -> 'a) : 'a t * splice_report =
+  check_live t;
+  if Array.length carry <> Array.length c.Circuit.nodes then
+    Robust.bad_input "Dyn.splice: carry table has %d entries for %d gates"
+      (Array.length carry) (Array.length c.Circuit.nodes);
+  Obs.Trace.span ~scope:"dyn" "splice"
+    ~attrs:
+      [
+        ("old_gates", Obs.Trace.I t.n);
+        ("new_gates", Obs.Trace.I (Array.length c.Circuit.nodes));
+      ]
+  @@ fun () ->
+  let c, ext_remap, synth =
+    if t.mode = General then balance c
+    else
+      let r, s = identity_remap (Array.length c.Circuit.nodes) in
+      (c, r, s)
+  in
+  let n = Array.length c.Circuit.nodes in
+  let topo, input_ids, values = make_structure (backend t) t.ops c in
+  (* Translate the optimizer-level carry into internal ids. Balance tree
+     shape is a pure function of the fan-in, so when a carried gate's
+     synthesized-subtree sizes agree on both sides the tree-internal
+     gates correspond positionally and cross over too. *)
+  let src = Array.make n (-1) in
+  Array.iteri
+    (fun ext_new old_ext ->
+      if old_ext >= 0 then begin
+        src.(ext_remap.(ext_new)) <- t.ext_remap.(old_ext);
+        let s_new = synth.(ext_new) and s_old = t.synth.(old_ext) in
+        if Array.length s_new = Array.length s_old then
+          Array.iteri (fun k g -> src.(g) <- s_old.(k)) s_new
+      end)
+    carry;
+  (* Index the old circuit's derived gates by (kind, children, arity) so
+     the promotion step below can recover correspondences the carry table
+     missed — chiefly the fan-in trees the optimizer's balance pass
+     synthesizes, which have no raw-circuit preimage and so can never be
+     carried through the raw-level remap composition. First occurrence
+     wins; the promotion walk is ascending, so a resolved child set
+     uniquely keys the matching old gate. *)
+  let old_shape : (int * int array * int, int list ref) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let old_consts = ref [] in
+  (* Addition is commutative in every semiring, so Add gates are keyed
+     (and later compared) as sorted child multisets — re-optimization is
+     free to permute a sum's operands. Mul and Perm stay order-exact.
+     Buckets hold every old gate with a given shape: balance trees
+     routinely mint several gates over the same children (e.g. chunked
+     sums of a repeated operand), and each needs its own source because
+     the final map must stay injective. *)
+  let sorted ks =
+    let s = Array.copy ks in
+    Array.sort compare s;
+    s
+  in
+  for i = 0 to t.n - 1 do
+    let key =
+      match gate_view t.topo i with
+      | VInput _ -> None
+      | VConst _ ->
+          old_consts := i :: !old_consts;
+          None
+      | VAdd ks -> Some (2, sorted ks, 0)
+      | VMul ks -> Some (3, ks, 0)
+      | VPerm (ks, nc) -> Some (4, ks, nc)
+    in
+    match key with
+    | Some k -> (
+        match Hashtbl.find_opt old_shape k with
+        | Some bucket -> bucket := i :: !bucket
+        | None -> Hashtbl.add old_shape k (ref [ i ]))
+    | None -> ()
+  done;
+  let old_consts = List.rev !old_consts in
+  let find_unclaimed claimed key =
+    match Hashtbl.find_opt old_shape key with
+    | None -> None
+    | Some bucket -> List.find_opt (fun i -> not claimed.(i)) !bucket
+  in
+  (* Ascending promotion + defensive demotion. Promotion: an unmatched
+     new gate whose children all resolved adopts the old gate with the
+     identical shape over those sources, if any. Demotion: a gate stays
+     carried only if its source has the identical shape — equal key for
+     inputs, equal value for constants — and every child is carried from
+     the corresponding old child (children precede the gate, so their
+     final verdict is already in [src]). [claimed] keeps the final map
+     injective: permanent-tracking aux transfers by pointer, so two new
+     gates must never share one old source. *)
+  let claimed = Array.make t.n false in
+  for j = 0 to n - 1 do
+    (if src.(j) < 0 then
+       match gate_view topo j with
+       | VInput key -> (
+           match Hashtbl.find_opt t.input_ids key with
+           | Some i when not claimed.(i) -> src.(j) <- i
+           | _ -> ())
+       | VConst v -> (
+           match
+             List.find_opt
+               (fun i ->
+                 (not claimed.(i))
+                 &&
+                 match gate_view t.topo i with
+                 | VConst b -> t.ops.Semiring.Intf.equal v b
+                 | _ -> false)
+               old_consts
+           with
+           | Some i -> src.(j) <- i
+           | None -> ())
+       | VAdd ks | VMul ks | VPerm (ks, _) ->
+           let resolved = Array.map (fun ch -> src.(ch)) ks in
+           if Array.for_all (fun i -> i >= 0) resolved then begin
+             let key =
+               match gate_view topo j with
+               | VMul _ -> (3, resolved, 0)
+               | VPerm (_, nc) -> (4, resolved, nc)
+               | _ -> (2, sorted resolved, 0)
+             in
+             match find_unclaimed claimed key with
+             | Some i -> src.(j) <- i
+             | None -> ()
+           end);
+    if src.(j) >= 0 then begin
+      let i = src.(j) in
+      let kids_match c_new c_old =
+        Array.length c_new = Array.length c_old
+        && begin
+             let ok = ref true in
+             Array.iteri (fun l ch -> if src.(ch) <> c_old.(l) then ok := false) c_new;
+             !ok
+           end
+      in
+      let ok =
+        (not claimed.(i))
+        &&
+        match (gate_view topo j, gate_view t.topo i) with
+        | VInput k1, VInput k2 -> k1 = k2
+        | VConst a, VConst b -> t.ops.Semiring.Intf.equal a b
+        | VAdd c1, VAdd c2 ->
+            (* Commutative: the multiset of carried sources must equal
+               the multiset of old children; order is free to differ. *)
+            Array.length c1 = Array.length c2
+            && Array.for_all (fun ch -> src.(ch) >= 0) c1
+            && sorted (Array.map (fun ch -> src.(ch)) c1) = sorted c2
+        | VMul c1, VMul c2 -> kids_match c1 c2
+        | VPerm (c1, nc1), VPerm (c2, nc2) -> nc1 = nc2 && kids_match c1 c2
+        | _ -> false
+      in
+      if ok then claimed.(i) <- true else src.(j) <- -1
+    end
+  done;
+  (* Seed: carried gates copy their value (and transfer aux — permanent
+     state by pointer, Finite counters by copy); fresh inputs take the
+     valuation. Fresh derived gates are computed below. *)
+  let aux = Array.make n ANone in
+  let carried = ref 0 in
+  let old_used = Array.make t.n false in
+  for j = 0 to n - 1 do
+    let i = src.(j) in
+    if i >= 0 then begin
+      incr carried;
+      old_used.(i) <- true;
+      Compact.plane_set values j (vget t i);
+      match t.aux.(i) with
+      | ANone -> ()
+      | ACount counts -> aux.(j) <- ACount (Array.copy counts)
+      | APerm (st, ncols) -> aux.(j) <- APerm (st, ncols)
+    end
+    else
+      match gate_view topo j with
+      | VInput key -> Compact.plane_set values j (valuation key)
+      | _ -> ()
+  done;
+  let retired = ref 0 in
+  Array.iter (fun used -> if not used then incr retired) old_used;
+  let rebuilt = ref 0 in
+  let on_build id =
+    (match t.fault_hook with Some h -> h id | None -> ());
+    incr rebuilt
+  in
+  (match init_derived ~skip:(fun j -> src.(j) >= 0) ~on_build t.ops t.mode t.fin_ctx
+           topo values aux
+   with
+  | () -> ()
+  | exception e -> (
+      (* The old structure was never touched: discarding the half-built
+         twin IS the rollback. The hooks still get their say so the chaos
+         battery can drive all three outcomes. *)
+      match (match t.rollback_fault_hook with Some h -> h () | None -> ()) with
+      | () ->
+          Obs.Counter.incr m_rollbacks;
+          Obs.Trace.dump_flight
+            ~reason:("Circuits.Dyn rolled_back mid-splice fault: " ^ Printexc.to_string e)
+            ();
+          raise (Rolled_back (Printexc.to_string e))
+      | exception re ->
+          t.poisoned <- Some (Printexc.to_string e);
+          Obs.Trace.dump_flight
+            ~reason:
+              (Printf.sprintf "Circuits.Dyn poisoned mid-splice: %s (rollback failed: %s)"
+                 (Printexc.to_string e) (Printexc.to_string re))
+            ();
+          raise e));
+  let t' =
+    {
+      ops = t.ops;
+      mode = t.mode;
+      n;
+      topo;
+      output = c.Circuit.output;
+      input_ids;
+      values;
+      aux;
+      fin_ctx = t.fin_ctx;
+      wave_heap = Array.make 16 0;
+      wave_len = 0;
+      wave_in = Array.make n false;
+      wave_saved = Array.make n t.ops.Semiring.Intf.zero;
+      pending = Array.make n [];
+      update_ops = t.update_ops + !rebuilt;
+      obs_tick = t.obs_tick;
+      cost_log = t.cost_log;
+      undo_log = Array.make 64 UNop;
+      undo_len = 0;
+      journal = t.journal;
+      poisoned = None;
+      fault_hook = t.fault_hook;
+      rollback_fault_hook = t.rollback_fault_hook;
+      ext_remap;
+      synth;
+    }
+  in
+  (* Splice cost flows into the same accounting as weight waves, so the
+     Σ cost_log = update_ops delta = touched_gates delta cross-check in
+     [stats --cost] keeps holding across structural updates. *)
+  (match t.cost_log with Some sink -> sink := !rebuilt :: !sink | None -> ());
+  Obs.Counter.add m_touched !rebuilt;
+  Obs.Counter.incr m_splices;
+  Obs.Counter.add m_splice_carried !carried;
+  Obs.Counter.add m_splice_rebuilt !rebuilt;
+  t.poisoned <- Some "superseded by a splice; use the spliced structure";
+  (t', { sp_carried = !carried; sp_rebuilt = !rebuilt; sp_retired = !retired })
+
 (** Attach (or return the already-attached) update journal: from now on
     every committed {!set_input}/{!set_inputs} batch is appended. *)
 let enable_journal t =
@@ -953,21 +1331,68 @@ let enable_journal t =
 
 let journal t = t.journal
 
+(** Attach/detach a specific journal — the way an already-running journal
+    survives a structure replacement ({!splice} inherits it implicitly;
+    the full-rebuild fallback re-attaches it here). *)
+let set_journal t j = t.journal <- j
+
+(** Transfer the cross-structure bookkeeping — journal, cost sink, gate
+    odometer, fault hooks — from a superseded structure onto its
+    full-rebuild replacement: the fallback twin of what {!splice}
+    inherits, so cost brackets spanning a structural fallback stay
+    coherent. *)
+let adopt_accounting ~(from : 'a t) (t : 'a t) =
+  t.journal <- from.journal;
+  t.cost_log <- from.cost_log;
+  t.update_ops <- from.update_ops + t.update_ops;
+  t.obs_tick <- from.obs_tick;
+  t.fault_hook <- from.fault_hook;
+  t.rollback_fault_hook <- from.rollback_fault_hook
+
+(** Charge [k] gate recomputations to this structure's odometer, cost
+    sink and the global touched counter — what a full structural rebuild
+    costs, kept on the same books as waves and splices so the
+    Σ cost_log = Δ update_ops = Δ touched_gates identity holds across
+    every kind of update. *)
+let charge t k =
+  t.update_ops <- t.update_ops + k;
+  (match t.cost_log with Some sink -> sink := k :: !sink | None -> ());
+  Obs.Counter.add m_touched k
+
 (** Re-apply a journal's committed batches in order. Run against a fresh
     {!create} from the same pre-journal valuation this reconstructs the
     exact served state (gate values, aux state, pending buffers) the
     journaling structure reached — checksums are verified first, and the
     structure's own journal is suspended while replaying so the batches
-    are not re-appended. *)
-let replay t (j : 'a Journal.t) =
+    are not re-appended.
+
+    Structural records are forwarded to [structural] in commit order —
+    the caller (normally [Engine.Eval.replay]) re-runs the tuple op and
+    splices; a bare [Dyn] cannot change its own circuit, so the default
+    rejects them rather than silently replaying a wrong state. *)
+let replay ?structural t (j : 'a Journal.t) =
   Obs.Trace.span ~scope:"dyn" "replay"
     ~attrs:[ ("batches", Obs.Trace.I (Journal.length j)) ]
   @@ fun () ->
   (match Journal.verify j with
   | Some seq -> Robust.bad_input "Dyn.replay: journal batch %d fails its checksum" seq
   | None -> ());
+  let structural =
+    match structural with
+    | Some f -> f
+    | None ->
+        fun (_ : Journal.structural_op) ->
+          Robust.bad_input
+            "Dyn.replay: journal holds structural ops; replay through Engine.Eval"
+  in
   let journal = t.journal in
   t.journal <- None;
   Fun.protect
     ~finally:(fun () -> t.journal <- journal)
-    (fun () -> List.iter (fun b -> set_inputs t b.Journal.writes) (Journal.batches j))
+    (fun () ->
+      List.iter
+        (fun b ->
+          match Journal.structural b with
+          | Some s -> structural s
+          | None -> set_inputs t (Journal.writes b))
+        (Journal.batches j))

@@ -3,22 +3,54 @@
     journal reconstructs the exact served state, so a process restart (or
     a repair-from-scratch) never loses committed writes.
 
-    Each batch records the input-key assignments of one committed wave
-    together with a checksum of its marshalled payload; {!verify} and
-    {!load} re-derive the checksum so silent corruption (in memory or on
-    disk) is detected before a replay can serve wrong answers. The
+    Two record kinds share the commit sequence:
+
+    - {b weight batches} — the input-key assignments of one committed
+      propagation wave (the only record kind before structural updates);
+    - {b structural ops} — one committed tuple insert or delete, recorded
+      by the localized-recompile path so a replay can re-run the same
+      splice against a fresh compile.
+
+    Each record carries a checksum of its marshalled payload; {!verify}
+    and {!load} re-derive the checksum so silent corruption (in memory or
+    on disk) is detected before a replay can serve wrong answers. The
     optional file form is a small length-prefixed binary format:
 
-      magic "SPQJ1\n", then per batch
+      magic "SPQJ1\n", then per record
       [4-byte length | 4-byte FNV-1a checksum | payload],
 
-    payload = [Marshal] of the assignment list, batches oldest-first. *)
+    payload = [Marshal] of the record body, records oldest-first. Weight
+    batches keep the pre-structural encoding bit for bit (payload = the
+    assignment list, length positive); a structural op is framed with the
+    {e negated} payload length — readers from before the extension reject
+    the negative length as implausible instead of misdecoding it, and
+    weight-only journals written today remain byte-identical to the
+    committed golden fixture. *)
+
+(** One committed tuple insert or delete against a relation. *)
+type structural_op = {
+  s_insert : bool;  (** true = insert, false = delete *)
+  s_rel : string;
+  s_tup : int list;
+}
+
+type 'a record =
+  | Weights of (Circuit.input_key * 'a) list  (** committed assignments, oldest first *)
+  | Structural of structural_op
 
 type 'a batch = {
   seq : int;  (** 0-based position in commit order *)
-  writes : (Circuit.input_key * 'a) list;  (** committed assignments, oldest first *)
-  checksum : int;  (** FNV-1a (32-bit) of the marshalled writes *)
+  op : 'a record;
+  checksum : int;  (** FNV-1a (32-bit) of the marshalled payload *)
 }
+
+(** The weight assignments of a batch ([[]] for a structural op) — the
+    accessor most consumers of pre-structural journals used. *)
+let writes (b : 'a batch) : (Circuit.input_key * 'a) list =
+  match b.op with Weights ws -> ws | Structural _ -> []
+
+let structural (b : 'a batch) : structural_op option =
+  match b.op with Weights _ -> None | Structural s -> Some s
 
 type 'a t = {
   mutable rev_batches : 'a batch list;  (** newest first *)
@@ -30,6 +62,7 @@ type 'a t = {
    journal shadows): committed batches and their payload volume. *)
 let m_journal_batches = Obs.counter ~scope:"dyn" "journal_batches"
 let m_journal_bytes = Obs.counter ~scope:"dyn" "journal_bytes"
+let m_journal_structural = Obs.counter ~scope:"dyn" "journal_structural_ops"
 
 let create () : 'a t = { rev_batches = []; count = 0; total_bytes = 0 }
 
@@ -40,19 +73,32 @@ let checksum_bytes (s : string) : int =
   String.iter (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xFFFFFFFF) s;
   !h
 
-let encode_writes (writes : (Circuit.input_key * 'a) list) : string =
-  Marshal.to_string writes []
+(* The two payload encoders are kept separate (rather than marshalling the
+   [record] variant) so weight batches stay byte-compatible with journals
+   written before structural ops existed. *)
+let encode_record (op : 'a record) : string =
+  match op with
+  | Weights ws -> Marshal.to_string ws []
+  | Structural s -> Marshal.to_string s []
 
-(** Record one committed batch (empty batches are kept too: replay must
-    preserve commit positions for the seq numbers to line up). *)
-let append (t : 'a t) (writes : (Circuit.input_key * 'a) list) : unit =
-  let payload = encode_writes writes in
-  let b = { seq = t.count; writes; checksum = checksum_bytes payload } in
+let append_record (t : 'a t) (op : 'a record) : unit =
+  let payload = encode_record op in
+  let b = { seq = t.count; op; checksum = checksum_bytes payload } in
   t.rev_batches <- b :: t.rev_batches;
   t.count <- t.count + 1;
   t.total_bytes <- t.total_bytes + String.length payload;
   Obs.Counter.incr m_journal_batches;
+  (match op with Structural _ -> Obs.Counter.incr m_journal_structural | Weights _ -> ());
   Obs.Counter.add m_journal_bytes (String.length payload)
+
+(** Record one committed weight batch (empty batches are kept too: replay
+    must preserve commit positions for the seq numbers to line up). *)
+let append (t : 'a t) (writes : (Circuit.input_key * 'a) list) : unit =
+  append_record t (Weights writes)
+
+(** Record one committed structural update (tuple insert/delete). *)
+let append_structural (t : 'a t) ~(insert : bool) ~(rel : string) ~(tup : int list) : unit =
+  append_record t (Structural { s_insert = insert; s_rel = rel; s_tup = tup })
 
 (** Batches oldest-first (commit order). *)
 let batches (t : 'a t) : 'a batch list = List.rev t.rev_batches
@@ -60,13 +106,18 @@ let batches (t : 'a t) : 'a batch list = List.rev t.rev_batches
 let length (t : 'a t) : int = t.count
 let bytes (t : 'a t) : int = t.total_bytes
 
+let structural_count (t : 'a t) : int =
+  List.fold_left
+    (fun acc b -> match b.op with Structural _ -> acc + 1 | Weights _ -> acc)
+    0 t.rev_batches
+
 (** Re-derive every checksum; [Some seq] is the first corrupt batch. *)
 let verify (t : 'a t) : int option =
   List.fold_left
     (fun acc b ->
       match acc with
       | Some _ -> acc
-      | None -> if checksum_bytes (encode_writes b.writes) <> b.checksum then Some b.seq else None)
+      | None -> if checksum_bytes (encode_record b.op) <> b.checksum then Some b.seq else None)
     None (batches t)
 
 let magic = "SPQJ1\n"
@@ -78,8 +129,12 @@ let save (t : 'a t) (path : string) : unit =
   output_string oc magic;
   List.iter
     (fun b ->
-      let payload = encode_writes b.writes in
-      output_binary_int oc (String.length payload);
+      let payload = encode_record b.op in
+      (* structural ops are framed with the negated length; weight batches
+         keep the original positive-length frame *)
+      (match b.op with
+      | Weights _ -> output_binary_int oc (String.length payload)
+      | Structural _ -> output_binary_int oc (-String.length payload));
       output_binary_int oc b.checksum;
       output_string oc payload)
     (batches t)
@@ -99,9 +154,15 @@ let load (path : string) : 'a t =
   let rec loop () =
     match input_binary_int ic with
     | exception End_of_file -> ()
-    | len ->
-        if len < 0 || len > 1 lsl 30 then
-          Robust.bad_input "Journal.load: %s batch %d has implausible length %d" path t.count len;
+    | tagged_len ->
+        let structural = tagged_len < 0 in
+        let len = abs tagged_len in
+        if len = 0 && structural then
+          Robust.bad_input "Journal.load: %s batch %d has implausible length %d" path
+            t.count tagged_len;
+        if len > 1 lsl 30 then
+          Robust.bad_input "Journal.load: %s batch %d has implausible length %d" path
+            t.count len;
         let stored = input_binary_int ic land 0xFFFFFFFF in
         let payload =
           try really_input_string ic len
@@ -110,7 +171,14 @@ let load (path : string) : 'a t =
         in
         if checksum_bytes payload <> stored then
           Robust.bad_input "Journal.load: %s batch %d fails its checksum" path t.count;
-        append t (Marshal.from_string payload 0);
+        if structural then begin
+          let s : structural_op = Marshal.from_string payload 0 in
+          if s.s_rel = "" || List.exists (fun v -> v < 0) s.s_tup then
+            Robust.bad_input "Journal.load: %s batch %d has a malformed structural op"
+              path t.count;
+          append_record t (Structural s)
+        end
+        else append_record t (Weights (Marshal.from_string payload 0));
         loop ()
   in
   loop ();

@@ -40,10 +40,17 @@ let check_tuple t r tup =
         Robust.bad_input "Instance: element %d out of domain [0, %d)" v t.n)
     tup
 
-(** Add a tuple to relation [r]. Idempotent. *)
+(** Add a tuple to relation [r]. A duplicate insert is rejected as
+    [Robust.Bad_input]: structural deltas must be unambiguous — the
+    incremental-maintenance layer needs every accepted insert to be a
+    genuine change, not a silent last-write-wins overwrite. *)
 let add t r tup =
   check_tuple t r tup;
-  Hashtbl.replace (rel_table t r) tup ()
+  let tbl = rel_table t r in
+  if Hashtbl.mem tbl tup then
+    Robust.bad_input "Instance: duplicate tuple %s(%s)" r
+      (String.concat "," (List.map string_of_int tup));
+  Hashtbl.replace tbl tup ()
 
 (** Remove a tuple from relation [r]. Idempotent. *)
 let remove t r tup = Hashtbl.remove (rel_table t r) tup
@@ -77,6 +84,19 @@ let func t f =
 
 let apply_func t f v = (func t f).(v)
 
+(** Unordered element pairs of one tuple, each occurrence once — the unit
+    of Gaifman-edge incidence. Both the snapshot graph and the live
+    multiplicity counts are built from this same enumeration, so a later
+    [delete] removes exactly the incidences its [insert] added. *)
+let tuple_pairs (tup : tuple) (f : int -> int -> unit) =
+  let rec pairs = function
+    | [] -> ()
+    | x :: rest ->
+        List.iter (fun y -> if x <> y then f x y) rest;
+        pairs rest
+  in
+  pairs tup
+
 (** The Gaifman graph (Section 2): vertices are domain elements; distinct
     elements are adjacent iff they occur together in some tuple (function
     symbols contribute the graphs of the functions). *)
@@ -85,14 +105,7 @@ let gaifman t : Graphs.Graph.t =
   List.iter
     (fun (r, a) ->
       if a >= 2 then
-        iter_tuples t r (fun tup ->
-            let rec pairs = function
-              | [] -> ()
-              | x :: rest ->
-                  List.iter (fun y -> if x <> y then edges := (x, y) :: !edges) rest;
-                  pairs rest
-            in
-            pairs tup))
+        iter_tuples t r (fun tup -> tuple_pairs tup (fun x y -> edges := (x, y) :: !edges)))
     t.schema.Schema.rels;
   List.iter
     (fun f ->
@@ -100,6 +113,26 @@ let gaifman t : Graphs.Graph.t =
       Array.iteri (fun v w -> if v <> w then edges := (v, w) :: !edges) tbl)
     t.schema.Schema.funcs;
   Graphs.Graph.of_edges ~n:t.n !edges
+
+(** The Gaifman graph as a live, multiplicity-counted structure: one
+    incidence per unordered element pair per tuple occurrence (plus the
+    function graphs, one incidence each — functions are replaced whole by
+    [set_func], never structurally updated, so their count never drops).
+    The starting point for localized incremental recompiles. *)
+let live_gaifman t : Graphs.Live.t =
+  let live = Graphs.Live.create ~n:t.n in
+  List.iter
+    (fun (r, a) ->
+      if a >= 2 then
+        iter_tuples t r (fun tup ->
+            tuple_pairs tup (fun x y -> ignore (Graphs.Live.add_edge live x y))))
+    t.schema.Schema.rels;
+  List.iter
+    (fun f ->
+      let tbl = func t f in
+      Array.iteri (fun v w -> if v <> w then ignore (Graphs.Live.add_edge live v w)) tbl)
+    t.schema.Schema.funcs;
+  live
 
 (** Is adding/removing this tuple Gaifman-preserving (Section 6)? A tuple
     may be added only if its elements already form a clique in the given
@@ -135,7 +168,13 @@ let with_relation t r ~arity tuples =
   Hashtbl.iter (fun f tbl -> Hashtbl.replace deep_funcs f (Array.copy tbl)) t.funcs;
   let t' = { t with schema; tuples = deep_tuples; funcs = deep_funcs } in
   Hashtbl.replace t'.tuples r (Hashtbl.create (List.length tuples * 2));
-  List.iter (fun tup -> add t' r tup) tuples;
+  (* materialized answer lists may repeat tuples; the relation is a set,
+     so dedup here instead of inheriting [add]'s duplicate rejection *)
+  List.iter
+    (fun tup ->
+      check_tuple t' r tup;
+      Hashtbl.replace (rel_table t' r) tup ())
+    tuples;
   t'
 
 (** Deep copy (for baselines that mutate). *)

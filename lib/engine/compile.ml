@@ -14,7 +14,17 @@
        color assignments — identity (12) of Lemma 35;
     4. for each subset, build a low-depth elimination forest of the induced
        subgraph and compile each summand by shapes (Lemmas 29–33), with
-       relation literals resolved per shape against the database. *)
+       relation literals resolved per shape against the database.
+
+    The pipeline is re-entrant: {!compile_plan} additionally returns a
+    {!plan} — the live Gaifman graph, the pinned coloring, and the raw
+    circuit sliced into per-color-subset {!segment}s — and
+    {!recompile_local} rebuilds only the segments a structural update
+    (tuple insert/delete) touches, splicing the untouched gates through
+    the optimizer remap machinery. When the treedepth witness of an
+    affected subset grows past the compiled [max_depth] bound the
+    localized path refuses ({!local_result.Fallback}) and the caller runs
+    a full recompile with a fresh coloring — the amortization trigger. *)
 
 type meta = {
   p : int;  (** maximum number of variables in a summand *)
@@ -40,6 +50,10 @@ let color_rel c = Printf.sprintf "__color_%d" c
 let m_runs = Obs.counter ~scope:"compile" "runs"
 let m_shapes = Obs.counter ~scope:"compile" "shapes"
 let m_subsets = Obs.counter ~scope:"compile" "subsets"
+let m_recompiles = Obs.counter ~scope:"compile" "recompiles_local"
+let m_recompile_fallbacks = Obs.counter ~scope:"compile" "recompile_fallbacks"
+let m_gates_rebuilt = Obs.counter ~scope:"compile" "gates_rebuilt"
+let m_gates_copied = Obs.counter ~scope:"compile" "gates_copied"
 let h_total_ns = Obs.histogram ~scope:"compile" "total_ns"
 let h_normalize_ns = Obs.histogram ~scope:"compile" "normalize_ns"
 let h_orientation_ns = Obs.histogram ~scope:"compile" "orientation_ns"
@@ -75,14 +89,182 @@ let surjective_maps vars subset =
     (fun m -> List.for_all (fun c -> List.exists (fun (_, c') -> c' = c) m) subset)
     (go vars)
 
-(** Compile a closed expression over an instance. [tfa_rounds] overrides
-    the number of augmentation rounds; [max_depth] aborts (with
-    [Robust.Unsupported_fragment]) if some induced forest is deeper — a
-    sign the coloring is not low-treedepth enough for this pattern size.
-    [budget] limits emitted gates and wall-clock time, checked
-    cooperatively as shapes and subsets are compiled; a violation raises
-    [Robust.Error (Budget_exceeded _)] instead of exhausting memory on a
-    hostile query.
+(* the compiled [holds] predicate: color pseudo-relations resolve against
+   the pinned coloring, everything else against the (mutable) instance *)
+let mk_holds inst (color : int array) r tuple =
+  if String.length r > 8 && String.sub r 0 8 = "__color_" then
+    match tuple with
+    | [ v ] -> color.(v) = int_of_string (String.sub r 8 (String.length r - 8))
+    | _ -> false
+  else Db.Instance.mem inst r tuple
+
+(* instrumented timing combinator shared by compile and recompile paths;
+   the record field keeps it polymorphic past the value restriction *)
+type timed = { timed : 'a. float ref -> (unit -> 'a) -> 'a }
+
+let mk_timed () =
+  let instrumented = Obs.is_enabled () in
+  {
+    timed =
+      (fun acc f ->
+        if instrumented then begin
+          let t0 = Obs.now_ns () in
+          let r = f () in
+          acc := !acc +. Obs.elapsed_ns t0;
+          r
+        end
+        else f ());
+  }
+
+(** One contiguous slice of the raw circuit: the gates one color subset
+    (or the constant-summand preamble, [seg_subset = None]) compiled to.
+    Localized recompiles copy unaffected segments gate for gate and re-run
+    only the affected ones. *)
+type segment = {
+  seg_subset : int list option;
+  seg_lo : int;  (** raw gate range [seg_lo, seg_hi) *)
+  seg_hi : int;
+  seg_tops : int list;  (** this segment's top-level gates, emission order *)
+  seg_depth : int;  (** elimination-forest depth used (0 for the preamble) *)
+  seg_shapes : int;
+}
+
+(** Everything a localized recompile needs: the inputs of the one-shot
+    pipeline plus the live graph (with its pinned coloring and forest
+    cache) and the segmented raw circuit. The instance and live graph are
+    shared mutable state with the caller; the rest is immutable — a
+    successful [recompile_local] returns a {e new} plan and the caller
+    commits it, so a failed splice never leaves a half-updated plan. *)
+type 'a plan = {
+  pl_inst : Db.Instance.t;
+  pl_nf : 'a Logic.Normal.summand list;
+  pl_num_summands : int;
+  pl_p : int;
+  pl_live : Graphs.Live.t;
+  pl_zero : 'a;
+  pl_one : 'a;
+  pl_equal : 'a -> 'a -> bool;
+  pl_opt : Opt.pass list;
+  pl_tfa_rounds : int;
+  pl_max_depth : int;
+  pl_budget : Robust.budget;
+  pl_dynamic_rels : string list;
+  pl_raw : 'a Circuits.Circuit.t;
+  pl_opt_remap : int array;  (** raw gate → optimized gate, -1 if dropped *)
+  pl_opt_gates : int;  (** gate count of the optimized circuit *)
+  pl_segments : segment list;  (** in raw emission order *)
+}
+
+(* Compile one color subset into the builder: the induced elimination
+   forest comes from the live graph's per-subset cache, then every
+   relevant summand × surjective color map is compiled by shapes. Returns
+   the subset's top-level gates (emission order), forest depth, and shape
+   count — or [None] when the subset has nothing to compile (both
+   conditions depend only on the pinned coloring and the summand set, so
+   a skipped subset stays skipped across structural updates). *)
+let compile_subset (type a) b ~(nf : a Logic.Normal.summand list) ~holds ~dynamic
+    ~(zero : a) ~(one : a) ~(live : Graphs.Live.t) ~(verts : int list) ~check_budget
+    ~(max_depth : int) ~timed ~t_decomp ~t_emit subset :
+    (int list * int * int) option =
+  let relevant =
+    List.filter
+      (fun s ->
+        let q = List.length (Logic.Normal.summand_vars s) in
+        q >= List.length subset && q > 0)
+      nf
+  in
+  if verts = [] || relevant = [] then None
+  else begin
+    Obs.Trace.span ~scope:"compile" "subset"
+      ~attrs:
+        [
+          ("colors", Obs.Trace.S (String.concat "," (List.map string_of_int subset)));
+          ("verts", Obs.Trace.I (List.length verts));
+        ]
+    @@ fun () ->
+    let gates0 = Circuits.Circuit.builder_len b in
+    check_budget ();
+    let forest, orig =
+      timed.timed t_decomp (fun () -> Graphs.Live.forest live subset ~verts)
+    in
+    let d = Graphs.Forest.max_depth forest in
+    if d > max_depth then
+      Robust.unsupported "Compile: induced forest depth %d exceeds %d; increase tfa_rounds"
+        d max_depth;
+    let fs = { Shapes.Forest_compile.forest; orig; holds; dynamic } in
+    let tops = ref [] in
+    let num_shapes = ref 0 in
+    List.iter
+      (fun (s : a Logic.Normal.summand) ->
+        let vars = Logic.Normal.summand_vars s in
+        List.iter
+          (fun cmap ->
+            let color_lits =
+              List.map
+                (fun (x, c) ->
+                  {
+                    Logic.Normal.pos = true;
+                    atom = Logic.Normal.ARel (color_rel c, [ Logic.Term.Var x ]);
+                  })
+                cmap
+            in
+            let s' =
+              {
+                s with
+                Logic.Normal.prod =
+                  {
+                    s.Logic.Normal.prod with
+                    Logic.Normal.lits = color_lits @ s.Logic.Normal.prod.Logic.Normal.lits;
+                  };
+              }
+            in
+            let shapes =
+              timed.timed t_decomp (fun () -> Shapes.Shape.enumerate ~d ~summand:s' ())
+            in
+            num_shapes := !num_shapes + List.length shapes;
+            let sgates =
+              timed.timed t_emit (fun () ->
+                  List.map (Shapes.Forest_compile.compile_shape b fs ~zero ~one) shapes)
+            in
+            let body =
+              match sgates with
+              | [] -> Circuits.Circuit.const b zero
+              | gs -> Circuits.Circuit.add b gs
+            in
+            let gate =
+              match s.Logic.Normal.prod.Logic.Normal.coeffs with
+              | [] -> body
+              | cs ->
+                  Circuits.Circuit.mul b (List.map (Circuits.Circuit.const b) cs @ [ body ])
+            in
+            tops := gate :: !tops;
+            check_budget ())
+          (surjective_maps vars subset))
+      relevant;
+    Obs.Trace.add_attr "depth" (Obs.Trace.I d);
+    Obs.Trace.add_attr "shapes" (Obs.Trace.I !num_shapes);
+    Obs.Trace.add_attr "gates_emitted"
+      (Obs.Trace.I (Circuits.Circuit.builder_len b - gates0));
+    Some (List.rev !tops, d, !num_shapes)
+  end
+
+(* the vertices whose pinned color lies in [subset], ascending *)
+let subset_verts (color : int array) n subset =
+  let verts = ref [] in
+  for v = n - 1 downto 0 do
+    if List.mem color.(v) subset then verts := v :: !verts
+  done;
+  !verts
+
+(** Compile a closed expression over an instance, returning the circuit,
+    its meta, and the {!plan} that makes localized recompiles possible.
+    [tfa_rounds] overrides the number of augmentation rounds; [max_depth]
+    aborts (with [Robust.Unsupported_fragment]) if some induced forest is
+    deeper — a sign the coloring is not low-treedepth enough for this
+    pattern size. [budget] limits emitted gates and wall-clock time,
+    checked cooperatively as shapes and subsets are compiled; a violation
+    raises [Robust.Error (Budget_exceeded _)] instead of exhausting memory
+    on a hostile query.
 
     The raw circuit is then rewritten by the {!Opt} pipeline ([opt],
     default {!Opt.default_passes}; pass [Opt.none] for the raw output).
@@ -90,24 +272,16 @@ let surjective_maps vars subset =
     and defaults to structural equality — pass the semiring's own
     equality when constants have non-canonical representations. The
     per-pass shrink report lands in [meta.opt]. *)
-let compile (type a) ~(zero : a) ~(one : a) ?(equal : a -> a -> bool = ( = ))
+let compile_plan (type a) ~(zero : a) ~(one : a) ?(equal : a -> a -> bool = ( = ))
     ?(opt = Opt.default_passes) ?(tfa_rounds = -1) ?(max_depth = 10)
     ?(budget = Robust.unlimited) ?(dynamic_rels = []) (inst : Db.Instance.t)
-    (expr : a Logic.Expr.t) : a Circuits.Circuit.t * meta =
+    (expr : a Logic.Expr.t) : a Circuits.Circuit.t * meta * a plan =
   Obs.Trace.span ~scope:"compile" "compile" @@ fun () ->
   let monitor = if Robust.is_unlimited budget then None else Some (Robust.start budget) in
   let instrumented = Obs.is_enabled () in
   let t_start = if instrumented then Obs.now_ns () else 0. in
   let t_decomp = ref 0. and t_emit = ref 0. in
-  let timed acc f =
-    if instrumented then begin
-      let t0 = Obs.now_ns () in
-      let r = f () in
-      acc := !acc +. Obs.elapsed_ns t0;
-      r
-    end
-    else f ()
-  in
+  let timed = mk_timed () in
   (match Logic.Expr.free_vars_unique expr with
   | [] -> ()
   | fv ->
@@ -116,7 +290,7 @@ let compile (type a) ~(zero : a) ~(one : a) ?(equal : a -> a -> bool = ( = ))
   let t_norm = ref 0. in
   let nf =
     Obs.Trace.span ~scope:"compile" "normalize" (fun () ->
-        let nf = timed t_norm (fun () -> Logic.Normal.of_expr expr) in
+        let nf = timed.timed t_norm (fun () -> Logic.Normal.of_expr expr) in
         Obs.Trace.add_attr "summands" (Obs.Trace.I (List.length nf));
         nf)
   in
@@ -129,12 +303,15 @@ let compile (type a) ~(zero : a) ~(one : a) ?(equal : a -> a -> bool = ( = ))
   if p > 4 then
     Robust.unsupported "Compile: %d variables per summand; at most 4 supported" p;
   let n = Db.Instance.n inst in
-  let g = Obs.Trace.span ~scope:"compile" "gaifman" (fun () -> Db.Instance.gaifman inst) in
+  let live =
+    Obs.Trace.span ~scope:"compile" "gaifman" (fun () -> Db.Instance.live_gaifman inst)
+  in
+  let g = Graphs.Live.snapshot live in
   let t_orient = ref 0. in
   let coloring =
     Obs.Trace.span ~scope:"compile" "orientation" (fun () ->
         let c =
-          timed t_orient (fun () ->
+          timed.timed t_orient (fun () ->
               if p = 0 then
                 { Graphs.Tfa.color = Array.make n 0; num_colors = min 1 n; rounds = 0 }
               else Graphs.Tfa.low_treedepth_coloring ~rounds:tfa_rounds g ~p)
@@ -143,14 +320,10 @@ let compile (type a) ~(zero : a) ~(one : a) ?(equal : a -> a -> bool = ( = ))
         Obs.Trace.add_attr "rounds" (Obs.Trace.I c.Graphs.Tfa.rounds);
         c)
   in
+  Graphs.Live.set_coloring live coloring;
   let color = coloring.Graphs.Tfa.color in
-  let holds r tuple =
-    if String.length r > 8 && String.sub r 0 8 = "__color_" then
-      match tuple with
-      | [ v ] -> color.(v) = int_of_string (String.sub r 8 (String.length r - 8))
-      | _ -> false
-    else Db.Instance.mem inst r tuple
-  in
+  let holds = mk_holds inst color in
+  let dynamic r = List.mem r dynamic_rels in
   let b = Circuits.Circuit.builder () in
   let check_budget () =
     match monitor with
@@ -161,7 +334,9 @@ let compile (type a) ~(zero : a) ~(one : a) ?(equal : a -> a -> bool = ( = ))
   let num_shapes = ref 0 in
   let max_forest_depth = ref 0 in
   let num_subsets = ref 0 in
-  (* constant summands (no variables) compile once *)
+  let segments = ref [] in
+  (* constant summands (no variables) compile once, as the preamble *)
+  let pre_tops = ref [] in
   List.iter
     (fun (s : a Logic.Normal.summand) ->
       if Logic.Normal.summand_vars s = [] then begin
@@ -172,140 +347,55 @@ let compile (type a) ~(zero : a) ~(one : a) ?(equal : a -> a -> bool = ( = ))
           | cs -> Circuits.Circuit.mul b (List.map (Circuits.Circuit.const b) cs)
         in
         gates := gate :: !gates;
+        pre_tops := gate :: !pre_tops;
         check_budget ()
       end)
     nf;
+  if Circuits.Circuit.builder_len b > 0 || !pre_tops <> [] then
+    segments :=
+      {
+        seg_subset = None;
+        seg_lo = 0;
+        seg_hi = Circuits.Circuit.builder_len b;
+        seg_tops = List.rev !pre_tops;
+        seg_depth = 0;
+        seg_shapes = 0;
+      }
+      :: !segments;
   Obs.Trace.span ~scope:"compile" "subsets" (fun () ->
-  if p > 0 && n > 0 then begin
-    let colors_present =
-      List.sort_uniq compare (Array.to_list (Array.sub color 0 n))
-    in
-    let by_color = Hashtbl.create 16 in
-    Array.iteri
-      (fun v c ->
-        Hashtbl.replace by_color c (v :: Option.value ~default:[] (Hashtbl.find_opt by_color c)))
-      color;
-    let subsets = List.filter (fun s -> s <> []) (subsets_up_to p colors_present) in
-    let old_to_new = Array.make n (-1) in
-    List.iter
-      (fun subset ->
-        let verts = List.concat_map (fun c -> Hashtbl.find by_color c) subset in
-        if verts <> [] then begin
-          (* summands needing at least |subset| variables *)
-          let relevant =
-            List.filter
-              (fun s ->
-                let q = List.length (Logic.Normal.summand_vars s) in
-                q >= List.length subset && q > 0)
-              nf
-          in
-          if relevant <> [] then begin
-            Obs.Trace.span ~scope:"compile" "subset"
-              ~attrs:
-                [
-                  ( "colors",
-                    Obs.Trace.S (String.concat "," (List.map string_of_int subset)) );
-                  ("verts", Obs.Trace.I (List.length verts));
-                ]
-            @@ fun () ->
-            let gates0 = Circuits.Circuit.builder_len b in
-            let shapes0 = !num_shapes in
-            check_budget ();
-            incr num_subsets;
-            let verts = List.sort compare verts in
-            let orig = Array.of_list verts in
-            Array.iteri (fun i v -> old_to_new.(v) <- i) orig;
-            let forest =
-              timed t_decomp (fun () ->
-                  let sub_edges =
-                    List.concat_map
-                      (fun v ->
-                        List.filter_map
-                          (fun w ->
-                            if w > v && old_to_new.(w) >= 0 then
-                              Some (old_to_new.(v), old_to_new.(w))
-                            else None)
-                          (Graphs.Graph.neighbors g v))
-                      verts
-                  in
-                  let sub_g = Graphs.Graph.of_edges ~n:(Array.length orig) sub_edges in
-                  Graphs.Treedepth.best_forest sub_g)
-            in
-            let d = Graphs.Forest.max_depth forest in
-            if d > max_depth then
-              Robust.unsupported
-                "Compile: induced forest depth %d exceeds %d; increase tfa_rounds" d
-                max_depth;
-            max_forest_depth := max !max_forest_depth d;
-            let fs =
-              {
-                Shapes.Forest_compile.forest;
-                orig;
-                holds;
-                dynamic = (fun r -> List.mem r dynamic_rels);
-              }
-            in
-            List.iter
-              (fun (s : a Logic.Normal.summand) ->
-                let vars = Logic.Normal.summand_vars s in
-                List.iter
-                  (fun cmap ->
-                    let color_lits =
-                      List.map
-                        (fun (x, c) ->
-                          {
-                            Logic.Normal.pos = true;
-                            atom = Logic.Normal.ARel (color_rel c, [ Logic.Term.Var x ]);
-                          })
-                        cmap
-                    in
-                    let s' =
-                      {
-                        s with
-                        Logic.Normal.prod =
-                          {
-                            s.Logic.Normal.prod with
-                            Logic.Normal.lits = color_lits @ s.Logic.Normal.prod.Logic.Normal.lits;
-                          };
-                      }
-                    in
-                    let d' = Graphs.Forest.max_depth forest in
-                    let shapes =
-                      timed t_decomp (fun () -> Shapes.Shape.enumerate ~d:d' ~summand:s' ())
-                    in
-                    num_shapes := !num_shapes + List.length shapes;
-                    let sgates =
-                      timed t_emit (fun () ->
-                          List.map (Shapes.Forest_compile.compile_shape b fs ~zero ~one) shapes)
-                    in
-                    let body =
-                      match sgates with
-                      | [] -> Circuits.Circuit.const b zero
-                      | gs -> Circuits.Circuit.add b gs
-                    in
-                    let gate =
-                      match s.Logic.Normal.prod.Logic.Normal.coeffs with
-                      | [] -> body
-                      | cs ->
-                          Circuits.Circuit.mul b
-                            (List.map (Circuits.Circuit.const b) cs @ [ body ])
-                    in
-                    gates := gate :: !gates;
-                    check_budget ())
-                  (surjective_maps vars subset))
-              relevant;
-            (* reset the shared index map *)
-            Array.iter (fun v -> old_to_new.(v) <- -1) orig;
-            Obs.Trace.add_attr "depth" (Obs.Trace.I d);
-            Obs.Trace.add_attr "shapes" (Obs.Trace.I (!num_shapes - shapes0));
-            Obs.Trace.add_attr "gates_emitted"
-              (Obs.Trace.I (Circuits.Circuit.builder_len b - gates0))
-          end
-        end)
-      subsets
-  end;
-  Obs.Trace.add_attr "subsets" (Obs.Trace.I !num_subsets);
-  Obs.Trace.add_attr "shapes" (Obs.Trace.I !num_shapes));
+      if p > 0 && n > 0 then begin
+        let colors_present =
+          List.sort_uniq compare (Array.to_list (Array.sub color 0 n))
+        in
+        let subsets = List.filter (fun s -> s <> []) (subsets_up_to p colors_present) in
+        List.iter
+          (fun subset ->
+            let verts = subset_verts color n subset in
+            let lo = Circuits.Circuit.builder_len b in
+            match
+              compile_subset b ~nf ~holds ~dynamic ~zero ~one ~live ~verts
+                ~check_budget ~max_depth ~timed ~t_decomp ~t_emit subset
+            with
+            | None -> ()
+            | Some (tops, d, shapes) ->
+                incr num_subsets;
+                num_shapes := !num_shapes + shapes;
+                max_forest_depth := max !max_forest_depth d;
+                List.iter (fun gate -> gates := gate :: !gates) tops;
+                segments :=
+                  {
+                    seg_subset = Some subset;
+                    seg_lo = lo;
+                    seg_hi = Circuits.Circuit.builder_len b;
+                    seg_tops = tops;
+                    seg_depth = d;
+                    seg_shapes = shapes;
+                  }
+                  :: !segments)
+          subsets
+      end;
+      Obs.Trace.add_attr "subsets" (Obs.Trace.I !num_subsets);
+      Obs.Trace.add_attr "shapes" (Obs.Trace.I !num_shapes));
   let raw =
     Obs.Trace.span ~scope:"compile" "finish" (fun () ->
         let output =
@@ -341,7 +431,7 @@ let compile (type a) ~(zero : a) ~(one : a) ?(equal : a -> a -> bool = ( = ))
     Obs.Trace.add_attr "num_perm" (Obs.Trace.I s.Circuits.Circuit.num_perm);
     Obs.Trace.add_attr "max_perm_rows" (Obs.Trace.I s.Circuits.Circuit.max_perm_rows)
   end;
-  ( circuit,
+  let meta =
     {
       p;
       num_colors = coloring.Graphs.Tfa.num_colors;
@@ -350,4 +440,274 @@ let compile (type a) ~(zero : a) ~(one : a) ?(equal : a -> a -> bool = ( = ))
       num_shapes = !num_shapes;
       num_summands;
       opt = optimized.Opt.report;
-    } )
+    }
+  in
+  let plan =
+    {
+      pl_inst = inst;
+      pl_nf = nf;
+      pl_num_summands = num_summands;
+      pl_p = p;
+      pl_live = live;
+      pl_zero = zero;
+      pl_one = one;
+      pl_equal = equal;
+      pl_opt = opt;
+      pl_tfa_rounds = tfa_rounds;
+      pl_max_depth = max_depth;
+      pl_budget = budget;
+      pl_dynamic_rels = dynamic_rels;
+      pl_raw = raw;
+      pl_opt_remap = optimized.Opt.remap;
+      pl_opt_gates = Array.length circuit.Circuits.Circuit.nodes;
+      pl_segments = List.rev !segments;
+    }
+  in
+  (circuit, meta, plan)
+
+(** One-shot form: {!compile_plan} with the plan dropped. *)
+let compile (type a) ~(zero : a) ~(one : a) ?equal ?opt ?tfa_rounds ?max_depth ?budget
+    ?dynamic_rels (inst : Db.Instance.t) (expr : a Logic.Expr.t) :
+    a Circuits.Circuit.t * meta =
+  let circuit, meta, _plan =
+    compile_plan ~zero ~one ?equal ?opt ?tfa_rounds ?max_depth ?budget ?dynamic_rels inst
+      expr
+  in
+  (circuit, meta)
+
+(* exact structural copy of one raw gate into the builder, children
+   remapped through [splice]; Add/Mul go through [push] (not the
+   singleton-collapsing smart constructors) so copies are gate-for-gate *)
+let copy_gate (type a) b (nodes : a Circuits.Circuit.node array) splice id =
+  match nodes.(id) with
+  | Circuits.Circuit.Input key -> Circuits.Circuit.input b key
+  | Circuits.Circuit.Const s -> Circuits.Circuit.const b s
+  | Circuits.Circuit.Add gs ->
+      Circuits.Circuit.push b (Circuits.Circuit.Add (Array.map (fun g -> splice.(g)) gs))
+  | Circuits.Circuit.Mul gs ->
+      Circuits.Circuit.push b (Circuits.Circuit.Mul (Array.map (fun g -> splice.(g)) gs))
+  | Circuits.Circuit.Perm rows ->
+      Circuits.Circuit.push b
+        (Circuits.Circuit.Perm (Array.map (Array.map (fun g -> splice.(g))) rows))
+
+(** Result of {!recompile_local}. [Localized] carries the new optimized
+    circuit plus the two remap tables the splice layer needs:
+
+    - [remap]: old optimized gate → new optimized gate, [-1] for gates
+      that were dropped (their subset was rebuilt);
+    - [carry]: new optimized gate → old optimized gate, [-1] for gates
+      that must be (re)computed. A carried gate is a structural copy of
+      its old self over carried children, so its cached value is still
+      valid — this is what makes the splice O(affected subtree).
+
+    [Fallback] is the amortization trigger: the update grew some affected
+    subset's elimination-forest depth past the compiled bound, so the
+    caller must run a full {!compile_plan} (fresh coloring) instead. *)
+type 'a local_result =
+  | Localized of {
+      circuit : 'a Circuits.Circuit.t;
+      meta : meta;
+      plan : 'a plan;
+      remap : int array;
+      carry : int array;
+      gates_rebuilt : int;
+      gates_copied : int;
+    }
+  | Fallback of string
+
+(** Rebuild only the color-subset segments affected by a structural
+    update touching the vertices [touched] (the tuple's elements): a
+    segment is affected iff its subset contains every touched color. The
+    untouched segments are copied gate for gate; the whole circuit is
+    then re-optimized and the old→new / new→old remap tables are composed
+    across the splice. The caller is responsible for having already
+    applied the tuple change to the instance and the live graph. *)
+let recompile_local (type a) (plan : a plan) ~(touched : int list) : a local_result =
+  Obs.Trace.span ~scope:"compile" "recompile_local"
+    ~attrs:[ ("touched", Obs.Trace.I (List.length touched)) ]
+  @@ fun () ->
+  let live = plan.pl_live in
+  let coloring =
+    match Graphs.Live.coloring live with
+    | Some c -> c
+    | None -> Robust.divergence "recompile_local: plan has no pinned coloring"
+  in
+  let color = coloring.Graphs.Tfa.color in
+  let n = Db.Instance.n plan.pl_inst in
+  let touched_colors = Graphs.Live.colors_of live touched in
+  ignore (Graphs.Live.invalidate live ~touched_colors);
+  let affected seg =
+    match seg.seg_subset with
+    | None -> false
+    | Some subset -> Graphs.Live.subset_affected ~touched_colors subset
+  in
+  (* pre-flight: rebuild the affected subsets' forests against the updated
+     graph and check the treedepth witness still fits the compiled bound —
+     if not, this is the amortization trigger and the caller recompiles
+     from scratch with a fresh coloring *)
+  let too_deep =
+    List.find_map
+      (fun seg ->
+        match seg.seg_subset with
+        | Some subset when affected seg ->
+            let verts = subset_verts color n subset in
+            let forest, _ = Graphs.Live.forest live subset ~verts in
+            let d = Graphs.Forest.max_depth forest in
+            if d > plan.pl_max_depth then Some (subset, d) else None
+        | _ -> None)
+      plan.pl_segments
+  in
+  match too_deep with
+  | Some (subset, d) ->
+      Obs.Counter.incr m_recompile_fallbacks;
+      Fallback
+        (Printf.sprintf
+           "treedepth witness of subset {%s} grew to %d, past the compiled bound %d"
+           (String.concat "," (List.map string_of_int subset))
+           d plan.pl_max_depth)
+  | None ->
+      let monitor =
+        if Robust.is_unlimited plan.pl_budget then None
+        else Some (Robust.start plan.pl_budget)
+      in
+      let timed = mk_timed () in
+      let t_decomp = ref 0. and t_emit = ref 0. in
+      let holds = mk_holds plan.pl_inst color in
+      let dynamic r = List.mem r plan.pl_dynamic_rels in
+      let old_raw = plan.pl_raw in
+      let old_nodes = old_raw.Circuits.Circuit.nodes in
+      let splice = Array.make (Array.length old_nodes) (-1) in
+      let b = Circuits.Circuit.builder () in
+      let check_budget () =
+        match monitor with
+        | Some m -> Robust.check m ~gates:(Circuits.Circuit.builder_len b)
+        | None -> ()
+      in
+      let gates = ref [] in
+      let segments = ref [] in
+      let gates_rebuilt = ref 0 in
+      let gates_copied = ref 0 in
+      let num_shapes = ref 0 in
+      let num_subsets = ref 0 in
+      let max_forest_depth = ref 0 in
+      List.iter
+        (fun seg ->
+          let lo = Circuits.Circuit.builder_len b in
+          if affected seg then begin
+            let subset = Option.get seg.seg_subset in
+            (* inputs first created inside this segment's range may be
+               referenced by later (copied) segments: re-emit them all so
+               the hash-consing resolves; unused ones are DCE'd by opt *)
+            for id = seg.seg_lo to seg.seg_hi - 1 do
+              match old_nodes.(id) with
+              | Circuits.Circuit.Input key ->
+                  splice.(id) <- Circuits.Circuit.input b key
+              | _ -> ()
+            done;
+            let verts = subset_verts color n subset in
+            match
+              compile_subset b ~nf:plan.pl_nf ~holds ~dynamic ~zero:plan.pl_zero
+                ~one:plan.pl_one ~live ~verts ~check_budget
+                ~max_depth:plan.pl_max_depth ~timed ~t_decomp ~t_emit subset
+            with
+            | None ->
+                (* verts and relevance are static given the pinned
+                   coloring, so a compiled subset cannot become empty *)
+                Robust.divergence "recompile_local: compiled subset became empty"
+            | Some (tops, d, shapes) ->
+                let hi = Circuits.Circuit.builder_len b in
+                gates_rebuilt := !gates_rebuilt + (hi - lo);
+                incr num_subsets;
+                num_shapes := !num_shapes + shapes;
+                max_forest_depth := max !max_forest_depth d;
+                List.iter (fun gate -> gates := gate :: !gates) tops;
+                segments :=
+                  {
+                    seg_subset = Some subset;
+                    seg_lo = lo;
+                    seg_hi = hi;
+                    seg_tops = tops;
+                    seg_depth = d;
+                    seg_shapes = shapes;
+                  }
+                  :: !segments
+          end
+          else begin
+            for id = seg.seg_lo to seg.seg_hi - 1 do
+              splice.(id) <- copy_gate b old_nodes splice id
+            done;
+            let hi = Circuits.Circuit.builder_len b in
+            gates_copied := !gates_copied + (seg.seg_hi - seg.seg_lo);
+            let tops = List.map (fun g -> splice.(g)) seg.seg_tops in
+            if seg.seg_subset <> None then begin
+              incr num_subsets;
+              num_shapes := !num_shapes + seg.seg_shapes;
+              max_forest_depth := max !max_forest_depth seg.seg_depth
+            end;
+            List.iter (fun gate -> gates := gate :: !gates) tops;
+            segments := { seg with seg_lo = lo; seg_hi = hi; seg_tops = tops } :: !segments;
+            check_budget ()
+          end)
+        plan.pl_segments;
+      let output =
+        match !gates with
+        | [] -> Circuits.Circuit.const b plan.pl_zero
+        | gs -> Circuits.Circuit.add b gs
+      in
+      check_budget ();
+      let raw = Circuits.Circuit.finish b ~output in
+      let optimized =
+        Opt.run ~passes:plan.pl_opt ~zero:plan.pl_zero ~one:plan.pl_one
+          ~equal:plan.pl_equal raw
+      in
+      let circuit = optimized.Opt.circuit in
+      let r_new = optimized.Opt.remap in
+      (* compose the remaps across the splice: every old raw gate that was
+         copied links its old optimized image to its new optimized image *)
+      let remap = Array.make plan.pl_opt_gates (-1) in
+      let carry = Array.make (Array.length circuit.Circuits.Circuit.nodes) (-1) in
+      Array.iteri
+        (fun i j ->
+          if j >= 0 then begin
+            let a = plan.pl_opt_remap.(i) and bb = r_new.(j) in
+            if a >= 0 && bb >= 0 then begin
+              if remap.(a) < 0 then remap.(a) <- bb;
+              if carry.(bb) < 0 then carry.(bb) <- a
+            end
+          end)
+        splice;
+      Obs.Counter.incr m_recompiles;
+      Obs.Counter.add m_gates_rebuilt !gates_rebuilt;
+      Obs.Counter.add m_gates_copied !gates_copied;
+      Obs.Trace.add_attr "gates_rebuilt" (Obs.Trace.I !gates_rebuilt);
+      Obs.Trace.add_attr "gates_copied" (Obs.Trace.I !gates_copied);
+      let meta =
+        {
+          p = plan.pl_p;
+          num_colors = coloring.Graphs.Tfa.num_colors;
+          num_subsets = !num_subsets;
+          max_forest_depth = !max_forest_depth;
+          num_shapes = !num_shapes;
+          num_summands = plan.pl_num_summands;
+          opt = optimized.Opt.report;
+        }
+      in
+      let plan' =
+        {
+          plan with
+          pl_raw = raw;
+          pl_opt_remap = r_new;
+          pl_opt_gates = Array.length circuit.Circuits.Circuit.nodes;
+          pl_segments = List.rev !segments;
+        }
+      in
+      Localized
+        {
+          circuit;
+          meta;
+          plan = plan';
+          remap;
+          carry;
+          gates_rebuilt = !gates_rebuilt;
+          gates_copied = !gates_copied;
+        }

@@ -12,12 +12,38 @@
     f′ = Σ_x̄ f · v₁(x₁) ⋯ v_k(x_k) for fresh query weights v_i that
     default to 0. *)
 
+(** Structural-churn odometer of one prepared query: how many tuple
+    inserts/deletes it absorbed, how many went through the localized
+    splice vs. the full-recompile fallback, and the gate totals behind
+    the localization claim (rebuilt ≪ carried on sparse instances). *)
+type churn = {
+  mutable ch_inserts : int;
+  mutable ch_deletes : int;
+  mutable ch_localized : int;  (** updates served by a localized splice *)
+  mutable ch_fallbacks : int;  (** updates that forced a full recompile *)
+  mutable ch_gates_rebuilt : int;  (** gates recomputed across all updates *)
+  mutable ch_gates_carried : int;  (** gates carried over across all splices *)
+}
+
 type 'a t = {
   ops : 'a Semiring.Intf.ops;
-  dyn : 'a Circuits.Dyn.t;
+  mutable dyn : 'a Circuits.Dyn.t;
+      (** replaced wholesale by a structural update: the splice builds the
+          new runtime aside and the old one is retired on commit *)
   free_vars : string list;  (** in query-argument order *)
-  meta : Compile.meta;
-  circuit : 'a Circuits.Circuit.t;
+  mutable meta : Compile.meta;
+  mutable circuit : 'a Circuits.Circuit.t;
+  mutable plan : 'a Compile.plan;
+      (** the compile plan behind [circuit] — segments, live graph, remap
+          tables — that {!Compile.recompile_local} rebuilds from *)
+  inst : Db.Instance.t;  (** the live instance; structural ops mutate it *)
+  expr_closed : 'a Logic.Expr.t;  (** closed form, for fallback recompiles *)
+  base_valuation : Circuits.Circuit.input_key -> 'a;
+      (** weights-store valuation for input keys a new circuit introduces *)
+  e_mode : Circuits.Dyn.mode option;
+  e_backend : Circuits.Dyn.backend option;
+  e_domains : int option;
+  churn : churn;
   mutable upd_pending : int;
       (** engine/updates increments buffered here and flushed to the
           global counter in blocks of 32: one atomic add per 32 calls
@@ -65,8 +91,8 @@ let prepare (type a) (ops : a Semiring.Intf.ops) ?mode ?backend ?domains ?opt ?t
                  (fun i x -> Logic.Expr.Weight (query_weight i, [ Logic.Term.Var x ]))
                  fv) )
   in
-  let circuit, meta =
-    Compile.compile ~zero:ops.zero ~one:ops.one ~equal:ops.equal ?opt ?tfa_rounds
+  let circuit, meta, plan =
+    Compile.compile_plan ~zero:ops.zero ~one:ops.one ~equal:ops.equal ?opt ?tfa_rounds
       ?max_depth ?budget inst expr_closed
   in
   let valuation (w, tuple) =
@@ -74,7 +100,30 @@ let prepare (type a) (ops : a Semiring.Intf.ops) ?mode ?backend ?domains ?opt ?t
     else Db.Weights.get (Db.Weights.find weights w) tuple
   in
   let dyn = Circuits.Dyn.create ?mode ?backend ?domains ops circuit valuation in
-  { ops; dyn; free_vars = fv; meta; circuit; upd_pending = 0 }
+  {
+    ops;
+    dyn;
+    free_vars = fv;
+    meta;
+    circuit;
+    plan;
+    inst;
+    expr_closed;
+    base_valuation = valuation;
+    e_mode = mode;
+    e_backend = backend;
+    e_domains = domains;
+    churn =
+      {
+        ch_inserts = 0;
+        ch_deletes = 0;
+        ch_localized = 0;
+        ch_fallbacks = 0;
+        ch_gates_rebuilt = 0;
+        ch_gates_carried = 0;
+      };
+    upd_pending = 0;
+  }
 
 (** Value of a closed expression (or of the wrapped sum, which is 0 until
     queried, for expressions with free variables). *)
@@ -126,6 +175,173 @@ let update_many t (updates : (string * int list * 'a) list) =
 
 let meta t = t.meta
 let stats t = Circuits.Circuit.stats t.circuit
+let churn_stats t = t.churn
+
+(* --- structural updates: tuple insert/delete --- *)
+
+let m_inserts = Obs.counter ~scope:"engine" "inserts"
+let m_deletes = Obs.counter ~scope:"engine" "deletes"
+let m_localized = Obs.counter ~scope:"engine" "structural_localized"
+let m_struct_fallbacks = Obs.counter ~scope:"engine" "structural_fallbacks"
+
+(* Journal the committed structural op on whatever journal the (possibly
+   just-replaced) structure carries, so a replay interleaves weight
+   batches and tuple ops in commit order. *)
+let journal_structural t ~insert rel tuple =
+  match Circuits.Dyn.journal t.dyn with
+  | Some j -> Circuits.Journal.append_structural j ~insert ~rel ~tup:tuple
+  | None -> ()
+
+(* The amortization fallback: the update grew a treedepth witness past
+   the compiled bound, so recompile from scratch (fresh coloring, fresh
+   plan — the instance already holds the new tuple set) and rebuild the
+   dynamic structure seeded from the old one's input values. The journal,
+   cost sink and gate odometer carry over; the full build is charged as
+   this update's cost. *)
+let full_recompile (t : 'a t) : unit =
+  let plan = t.plan in
+  let circuit, meta, plan' =
+    Compile.compile_plan ~zero:plan.Compile.pl_zero ~one:plan.Compile.pl_one
+      ~equal:plan.Compile.pl_equal ~opt:plan.Compile.pl_opt
+      ~tfa_rounds:plan.Compile.pl_tfa_rounds ~max_depth:plan.Compile.pl_max_depth
+      ~budget:plan.Compile.pl_budget ~dynamic_rels:plan.Compile.pl_dynamic_rels t.inst
+      t.expr_closed
+  in
+  let old_dyn = t.dyn in
+  let valuation key =
+    match Circuits.Dyn.input_value old_dyn key with
+    | Some v -> v
+    | None -> t.base_valuation key
+  in
+  let dyn =
+    Circuits.Dyn.create ?mode:t.e_mode ?backend:t.e_backend ?domains:t.e_domains t.ops
+      circuit valuation
+  in
+  Circuits.Dyn.adopt_accounting ~from:old_dyn dyn;
+  Circuits.Dyn.charge dyn (Circuits.Dyn.num_gates dyn);
+  t.dyn <- dyn;
+  t.circuit <- circuit;
+  t.meta <- meta;
+  t.plan <- plan'
+
+(* One structural update: apply the tuple delta to the instance and the
+   live Gaifman graph, run the localized recompile, splice the rebuilt
+   circuit into the running structure (or fall back to a full recompile
+   past the amortization trigger), journal the op. Transactional: any
+   fault before commit reverts the instance and graph deltas, so the
+   served state stays the pre-update one (the splice itself never mutates
+   the old structure). *)
+let structural (t : 'a t) ~insert rel tuple : unit =
+  Obs.Trace.span ~scope:"engine" (if insert then "insert_tuple" else "delete_tuple")
+  @@ fun () ->
+  let live = t.plan.Compile.pl_live in
+  let has_edges = List.length tuple >= 2 in
+  (* 1. the instance delta — [add] rejects duplicates, and a delete of an
+     absent tuple is equally ambiguous, so both directions validate *)
+  if insert then Db.Instance.add t.inst rel tuple
+  else if Db.Instance.mem t.inst rel tuple then Db.Instance.remove t.inst rel tuple
+  else
+    Robust.bad_input "Eval.delete_tuple: tuple %s(%s) not present" rel
+      (String.concat "," (List.map string_of_int tuple));
+  (* 2. mirror it in the live graph, one pair-incidence at a time — the
+     same enumeration [Db.Instance.live_gaifman] seeded it with *)
+  if has_edges then
+    Db.Instance.tuple_pairs tuple (fun x y ->
+        if insert then ignore (Graphs.Live.add_edge live x y)
+        else ignore (Graphs.Live.remove_edge live x y));
+  let revert () =
+    if has_edges then
+      Db.Instance.tuple_pairs tuple (fun x y ->
+          if insert then ignore (Graphs.Live.remove_edge live x y)
+          else ignore (Graphs.Live.add_edge live x y));
+    if insert then Db.Instance.remove t.inst rel tuple else Db.Instance.add t.inst rel tuple;
+    (* the recompile pre-flight may have cached forests against the now
+       reverted graph; drop them so nothing stale survives the abort *)
+    match Graphs.Live.coloring live with
+    | Some _ ->
+        ignore
+          (Graphs.Live.invalidate live
+             ~touched_colors:(Graphs.Live.colors_of live (List.sort_uniq compare tuple)))
+    | None -> ()
+  in
+  let protect f = match f () with v -> v | exception e -> revert (); raise e in
+  (match
+     protect (fun () ->
+         Compile.recompile_local t.plan ~touched:(List.sort_uniq compare tuple))
+   with
+  | Compile.Localized { circuit; meta; plan; carry; _ } ->
+      let old_dyn = t.dyn in
+      let valuation key =
+        match Circuits.Dyn.input_value old_dyn key with
+        | Some v -> v
+        | None -> t.base_valuation key
+      in
+      let dyn, report = protect (fun () -> Circuits.Dyn.splice old_dyn circuit ~carry valuation) in
+      t.dyn <- dyn;
+      t.circuit <- circuit;
+      t.meta <- meta;
+      t.plan <- plan;
+      t.churn.ch_localized <- t.churn.ch_localized + 1;
+      t.churn.ch_gates_rebuilt <- t.churn.ch_gates_rebuilt + report.Circuits.Dyn.sp_rebuilt;
+      t.churn.ch_gates_carried <- t.churn.ch_gates_carried + report.Circuits.Dyn.sp_carried;
+      Obs.Counter.incr m_localized
+  | Compile.Fallback _reason ->
+      protect (fun () -> full_recompile t);
+      t.churn.ch_fallbacks <- t.churn.ch_fallbacks + 1;
+      t.churn.ch_gates_rebuilt <- t.churn.ch_gates_rebuilt + Circuits.Dyn.num_gates t.dyn;
+      Obs.Counter.incr m_struct_fallbacks);
+  if insert then begin
+    t.churn.ch_inserts <- t.churn.ch_inserts + 1;
+    Obs.Counter.incr m_inserts
+  end
+  else begin
+    t.churn.ch_deletes <- t.churn.ch_deletes + 1;
+    Obs.Counter.incr m_deletes
+  end;
+  journal_structural t ~insert rel tuple
+
+(** Insert a tuple into relation [rel] and maintain the compiled circuit
+    by a localized incremental recompile: only the color subsets whose
+    subset contains every touched color are rebuilt; everything else is
+    carried over by the splice. Duplicate inserts raise [Bad_input]. *)
+let insert_tuple t rel tuple = structural t ~insert:true rel tuple
+
+(** Delete a tuple; the exact inverse of {!insert_tuple} (deleting an
+    absent tuple raises [Bad_input]). *)
+let delete_tuple t rel tuple = structural t ~insert:false rel tuple
+
+(** Attach (or return) the update journal of the backing structure; it
+    survives structure replacements — splices inherit it, fallback
+    rebuilds re-attach it — so one journal covers a whole churn history. *)
+let enable_journal t = Circuits.Dyn.enable_journal t.dyn
+
+(** Re-apply a journal's committed batches — weight waves {e and}
+    structural ops — in commit order. Run against a freshly prepared [t]
+    on the pre-journal instance and weights, this reconstructs the exact
+    served state: values, circuit shape, plan. The structure's own
+    journal is suspended for the duration (across structure replacements)
+    so replayed batches are not re-appended. *)
+let replay (t : 'a t) (j : 'a Circuits.Journal.t) : unit =
+  (match Circuits.Journal.verify j with
+  | Some seq -> Robust.bad_input "Eval.replay: journal batch %d fails its checksum" seq
+  | None -> ());
+  let saved = Circuits.Dyn.journal t.dyn in
+  Circuits.Dyn.set_journal t.dyn None;
+  Fun.protect
+    ~finally:(fun () -> Circuits.Dyn.set_journal t.dyn saved)
+    (fun () ->
+      List.iter
+        (fun b ->
+          match Circuits.Journal.structural b with
+          | Some s ->
+              structural t ~insert:s.Circuits.Journal.s_insert s.Circuits.Journal.s_rel
+                s.Circuits.Journal.s_tup
+          | None ->
+              Circuits.Dyn.set_inputs t.dyn
+                (List.filter
+                   (fun (key, _) -> Circuits.Dyn.has_input t.dyn key)
+                   (Circuits.Journal.writes b)))
+        (Circuits.Journal.batches j))
 
 (** Per-operation cost attribution (Theorem 8 made inspectable): what one
     query or one update batch actually spent — wall time, gate
@@ -618,6 +834,39 @@ let update_many_checked ?(cost : Cost.t option ref option) (ck : 'a checked)
       | Degraded _ -> ());
       List.iter (fun (col, tuple, v) -> Db.Weights.set col tuple v) cols;
       if ck.self_check then self_check_now ck)
+
+(* Checked structural update: on the circuit backend run the full
+   localized-recompile machinery (which reverts the instance and graph on
+   any fault, so the pre-update state is intact under every [Error]) under
+   the same recovery policy as weight waves — a rolled-back splice fault
+   is retried from the reverted pre-update state, and a poisoned structure
+   is repaired in place first under [`Repair] (no weight writes to
+   re-align: the revert already restored the instance). On the degraded
+   backend mutate the instance only — the reference evaluator always
+   reads the live instance, so both backends observe the same tuple set.
+   The optional self-check cross-validates the spliced circuit against
+   the reference on the post-update instance. *)
+let structural_checked (ck : 'a checked) ~insert rel tuple : (unit, Robust.error) result =
+  Robust.protect
+    ~classify:(classify_engine (Some ck.backend))
+    (fun () ->
+      (match ck.backend with
+      | Circuit t -> apply_with_recovery ck t [] (fun () -> structural t ~insert rel tuple)
+      | Degraded _ ->
+          if insert then Db.Instance.add ck.c_inst rel tuple
+          else if Db.Instance.mem ck.c_inst rel tuple then
+            Db.Instance.remove ck.c_inst rel tuple
+          else
+            Robust.bad_input "Eval.delete_tuple: tuple %s(%s) not present" rel
+              (String.concat "," (List.map string_of_int tuple)));
+      if ck.self_check then self_check_now ck)
+
+(** Checked {!insert_tuple}: classified errors, pre-update state preserved
+    on failure, self-check (when enabled) after the splice commits. *)
+let insert_tuple_checked ck rel tuple = structural_checked ck ~insert:true rel tuple
+
+(** Checked {!delete_tuple}. *)
+let delete_tuple_checked ck rel tuple = structural_checked ck ~insert:false rel tuple
 
 (** Inject a fault hook into the underlying dynamic circuit (tests only);
     no-op on a degraded backend. *)

@@ -240,6 +240,8 @@ let set_tuple t ?gaifman rel tuple present =
     let g = match gaifman with Some g -> g | None -> Db.Instance.gaifman t.inst in
     if not (Db.Instance.clique_in g tuple) then
       Robust.bad_input "Fo_enum.set_tuple: tuple would change the Gaifman graph";
-    Db.Instance.add t.inst rel tuple
+    (* set semantics: setting an already-present tuple is a no-op, unlike
+       the strict [Instance.add] used by structural deltas *)
+    if not (Db.Instance.mem t.inst rel tuple) then Db.Instance.add t.inst rel tuple
   end
   else Db.Instance.remove t.inst rel tuple

@@ -1,10 +1,11 @@
 (* Chaos harness for the transactional update path (standalone test
    executable, also wired into CI as a seedless smoke job).
 
-   For every update strategy (General/nat, Ring/int, Finite/Z4) and both
-   update shapes (single [update_checked], batched [update_many_checked])
-   it first counts the fault positions of one wave — every gate
-   recomputation the wave performs — then injects a crash at {e each}
+   For every update strategy (General/nat, Ring/int, Finite/Z4) and all
+   three update shapes (single [update_checked], batched
+   [update_many_checked], structural [insert_tuple_checked] — the
+   localized-recompile + splice wave) it first counts the fault positions
+   of one wave — every gate recomputation the wave performs — then injects a crash at {e each}
    position in turn and drives all three recovery policies:
 
    - [`Fail]     the update reports [Internal_divergence], the circuit
@@ -69,9 +70,12 @@ let setup (type a) (ops : a Intf.ops) mode ~(of_int : int -> a) ~recover ~retrie
   | Ok ck -> (inst, weights, ck)
   | Error err -> failwith ("chaos setup: " ^ Robust.to_string err)
 
-type shape = Single | Batched
+type shape = Single | Batched | Structural
 
-let shape_name = function Single -> "single" | Batched -> "batched"
+let shape_name = function
+  | Single -> "single"
+  | Batched -> "batched"
+  | Structural -> "structural"
 
 let apply (type a) ~(of_int : int -> a) shape ck =
   match shape with
@@ -79,6 +83,9 @@ let apply (type a) ~(of_int : int -> a) shape ck =
   | Batched ->
       Engine.Eval.update_many_checked ck
         [ ("w", [ 1 ], of_int 50); ("w", [ 3 ], of_int 60) ]
+  (* a chord on the path: absent initially, stays within the compiled
+     treedepth bound, and its splice rebuilds a faultable set of gates *)
+  | Structural -> Engine.Eval.insert_tuple_checked ck "E" [ 0; 3 ]
 
 (* Count the wave's fault positions with a hook that never raises. *)
 let count_positions (type a) (ops : a Intf.ops) mode ~(of_int : int -> a) shape =
@@ -168,7 +175,7 @@ let sweep (type a) ~smoke name (ops : a Intf.ops) mode ~(of_int : int -> a) =
         Printf.printf "chaos: %s/%s — %d fault position(s), %d probed, 3 policies each\n%!"
           name (shape_name shape) positions !probed
       end)
-    [ Single; Batched ]
+    [ Single; Batched; Structural ]
 
 let contains needle hay =
   let nl = String.length needle and hl = String.length hay in
@@ -194,7 +201,7 @@ let () =
   let snap = Obs.snapshot () in
   List.iter
     (fun m -> if not (contains m snap) then fail "metric %s missing from snapshot" m)
-    [ "rollbacks"; "repairs"; "retries"; "journal_batches"; "journal_bytes" ];
+    [ "rollbacks"; "repairs"; "retries"; "journal_batches"; "journal_bytes"; "splices" ];
   if !failures > 0 then begin
     Printf.eprintf "chaos: %d violation(s)\n%!" !failures;
     exit 1

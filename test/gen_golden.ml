@@ -1,11 +1,15 @@
-(* gen_golden — writes the committed .spqc fixtures under test/golden/.
+(* gen_golden — writes the committed .spqc/.spqj fixtures under test/golden/.
 
-   The fixtures pin the SPQC1 wire format: test_compact.ml's
-   "golden format stability" case loads them with the *current* reader and
-   checks their evaluation against the values this program printed when
-   the files were first written. Do not regenerate them casually — if the
-   format version is ever bumped, add new fixtures for the new version and
-   keep the old ones loading.
+   The fixtures pin the SPQC1 circuit and SPQJ1 journal wire formats:
+   test_compact.ml's "golden format stability" case loads them with the
+   *current* reader and checks their evaluation against the values this
+   program printed when the files were first written. Do not regenerate
+   them casually — if a format version is ever bumped, add new fixtures
+   for the new version and keep the old ones loading.
+
+   journal_weights.spqj was written before SPQJ1 grew the structural-op
+   record type (negative-length frames), so it pins exactly the
+   weight-batch encoding every pre-extension journal used.
 
    Usage: dune exec test/gen_golden.exe -- [DIR]   (default: test/golden) *)
 
@@ -47,4 +51,15 @@ let () =
   Compact.save ~tag:"int" int_c int_path;
   let int_ops = Intf.with_int_repr (Intf.ops_of_ring (module Instances.Int_ring)) in
   Printf.printf "%s: eval w[i]=2i-3 -> %d\n" int_path
-    (Compact.eval int_ops int_c (function "w", [ i ] -> (2 * i) - 3 | _ -> 0))
+    (Compact.eval int_ops int_c (function "w", [ i ] -> (2 * i) - 3 | _ -> 0));
+
+  (* journal_weights: three weight batches (one empty — replay must keep
+     commit positions), int payloads, every key shape the engine emits *)
+  let j : int Circuits.Journal.t = Circuits.Journal.create () in
+  Circuits.Journal.append j [ (("w", [ 0 ]), 5); (("w", [ 1 ]), 7) ];
+  Circuits.Journal.append j [];
+  Circuits.Journal.append j [ (("__qv0", [ 2 ]), 1); (("w", [ 0 ]), 0) ];
+  let j_path = Filename.concat dir "journal_weights.spqj" in
+  Circuits.Journal.save j j_path;
+  Printf.printf "%s: %d batches, %d payload bytes\n" j_path (Circuits.Journal.length j)
+    (Circuits.Journal.bytes j)

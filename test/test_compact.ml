@@ -361,6 +361,69 @@ let golden_stability () =
       | "w", [ i ] -> (2 * i) - 3
       | _ -> 0))
 
+(* journal_weights.spqj was written by gen_golden before SPQJ1 grew the
+   structural-op record type: the current reader must keep decoding it to
+   the exact recorded batches, and re-saving it must be byte-identical —
+   the weight-batch encoding is pinned forever. *)
+let golden_journal_stability () =
+  let module Journal = Circuits.Journal in
+  let path = golden_path "journal_weights.spqj" in
+  let j : int Journal.t = Journal.load path in
+  check_int "batch count" 3 (Journal.length j);
+  check_int "structural count" 0 (Journal.structural_count j);
+  check_bool "verifies" true (Journal.verify j = None);
+  (match Journal.batches j with
+  | [ b0; b1; b2 ] ->
+      check_int "seq 0" 0 b0.Journal.seq;
+      check_int "seq 1" 1 b1.Journal.seq;
+      check_int "seq 2" 2 b2.Journal.seq;
+      check_bool "batch 0 writes" true
+        (Journal.writes b0 = [ (("w", [ 0 ]), 5); (("w", [ 1 ]), 7) ]);
+      check_bool "batch 1 empty" true (Journal.writes b1 = []);
+      check_bool "batch 2 writes" true
+        (Journal.writes b2 = [ (("__qv0", [ 2 ]), 1); (("w", [ 0 ]), 0) ]);
+      List.iter
+        (fun b -> check_bool "no structural op" true (Journal.structural b = None))
+        [ b0; b1; b2 ]
+  | bs -> Alcotest.failf "expected 3 batches, got %d" (List.length bs));
+  let read_file p =
+    let ic = open_in_bin p in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    really_input_string ic (in_channel_length ic)
+  in
+  let tmp = Filename.temp_file "sparseq_golden_journal" ".spqj" in
+  Fun.protect ~finally:(fun () -> Sys.remove tmp) @@ fun () ->
+  Journal.save j tmp;
+  check_bool "re-save byte-identical" true (read_file tmp = read_file path)
+
+(* mixed weight + structural journal round trip: the negative-length frame
+   introduced for structural ops survives save/load, and a pre-extension
+   reader's plausibility check would reject it rather than misdecode. *)
+let journal_structural_round_trip () =
+  let module Journal = Circuits.Journal in
+  let j : int Journal.t = Journal.create () in
+  Journal.append j [ (("w", [ 0 ]), 3) ];
+  Journal.append_structural j ~insert:true ~rel:"E" ~tup:[ 1; 2 ];
+  Journal.append j [];
+  Journal.append_structural j ~insert:false ~rel:"E" ~tup:[ 1; 2 ];
+  check_int "structural count" 2 (Journal.structural_count j);
+  check_bool "verifies" true (Journal.verify j = None);
+  let tmp = Filename.temp_file "sparseq_struct_journal" ".spqj" in
+  Fun.protect ~finally:(fun () -> Sys.remove tmp) @@ fun () ->
+  Journal.save j tmp;
+  let j2 : int Journal.t = Journal.load tmp in
+  check_int "batch count" 4 (Journal.length j2);
+  check_int "structural count survives" 2 (Journal.structural_count j2);
+  List.iter2
+    (fun (b : int Journal.batch) (b2 : int Journal.batch) ->
+      check_int "seq" b.Journal.seq b2.Journal.seq;
+      check_bool "writes" true (Journal.writes b = Journal.writes b2);
+      check_bool "structural" true (Journal.structural b = Journal.structural b2))
+    (Journal.batches j) (Journal.batches j2);
+  match Journal.structural (List.nth (Journal.batches j2) 1) with
+  | Some { Journal.s_insert = true; s_rel = "E"; s_tup = [ 1; 2 ] } -> ()
+  | _ -> Alcotest.fail "structural op did not survive the round trip"
+
 let suite =
   [
     compact_eval_eq_boxed "nat (Bigarray plane)" (Intf.with_int_repr nat_ops) ~zero:0
@@ -396,4 +459,7 @@ let suite =
     save_load_save_identity;
     Alcotest.test_case "save/load eval round trip" `Quick roundtrip_eval;
     Alcotest.test_case "golden format stability" `Quick golden_stability;
+    Alcotest.test_case "golden journal stability" `Quick golden_journal_stability;
+    Alcotest.test_case "journal structural round trip" `Quick
+      journal_structural_round_trip;
   ]

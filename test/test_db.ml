@@ -21,8 +21,12 @@ let instance_crud () =
   let s = Db.Schema.make [ ("E", 2); ("P", 1) ] in
   let i = Db.Instance.create s ~n:5 in
   Db.Instance.add i "E" [ 0; 1 ];
-  Db.Instance.add i "E" [ 0; 1 ];
-  check_int "idempotent add" 1 (Db.Instance.cardinality i "E");
+  (* regression: a duplicate insert used to be a silent last-write-wins
+     replace; structural deltas need it to be a structured error *)
+  Alcotest.check_raises "duplicate insert rejected"
+    (Robust.Error (Robust.Bad_input "Instance: duplicate tuple E(0,1)")) (fun () ->
+      Db.Instance.add i "E" [ 0; 1 ]);
+  check_int "duplicate left cardinality alone" 1 (Db.Instance.cardinality i "E");
   check_bool "mem" true (Db.Instance.mem i "E" [ 0; 1 ]);
   check_bool "not mem reversed" false (Db.Instance.mem i "E" [ 1; 0 ]);
   Db.Instance.remove i "E" [ 0; 1 ];

@@ -12,6 +12,7 @@ let () =
       ("compact", Test_compact.suite);
       ("par", Test_par.suite);
       ("engine", Test_engine.suite);
+      ("structural", Test_structural.suite);
       ("shapes", Test_shapes.suite);
       ("fo", Test_fo.suite);
       ("nested", Test_nested.suite);

@@ -178,7 +178,7 @@ let journal_file_round_trip () =
   List.iter2
     (fun (b : int Journal.batch) (b2 : int Journal.batch) ->
       check_int "seq survives" b.Journal.seq b2.Journal.seq;
-      check_bool "writes survive" true (b.Journal.writes = b2.Journal.writes))
+      check_bool "writes survive" true (Journal.writes b = Journal.writes b2))
     (Journal.batches j) (Journal.batches j2);
   let d2 = Dyn.create ~mode:Dyn.General nat_ops c valuation in
   Dyn.replay d2 j2;
